@@ -1,0 +1,151 @@
+// Command dspbench regenerates the paper's evaluation figures as
+// plain-text tables (the series behind Figures 5–8 and the Table II
+// parameter listing).
+//
+// Usage:
+//
+//	dspbench [flags]
+//
+//	-fig LIST    comma-separated figures to run: 5a,5b,6,7,8, table2 or "all"
+//	-scale F     workload task scale (default 0.03; 1.0 = paper size)
+//	-seed N      sweep seed
+//	-csv         emit CSV instead of aligned text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dsp/internal/experiments"
+	"dsp/internal/metrics"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dspbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("dspbench", flag.ContinueOnError)
+	figs := fs.String("fig", "all", "figures to run: 5a,5b,6,7,8,table2 or all")
+	scale := fs.Float64("scale", 0.03, "workload task scale (1.0 = paper-size jobs)")
+	seed := fs.Int64("seed", 0, "sweep seed (0 = default)")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
+	sens := fs.String("sensitivity", "", "comma-separated DSP parameters to sweep: gamma,delta,rho,omega1,epoch")
+	sensJobs := fs.Int("sensitivity-jobs", 150, "job count for sensitivity sweeps")
+	fairness := fs.Bool("fairness", false, "also report per-method slowdown fairness (Jain index)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	o := experiments.DefaultOptions()
+	o.Scale = *scale
+	if *seed != 0 {
+		o.Seed = *seed
+	}
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*figs, ",") {
+		want[strings.TrimSpace(strings.ToLower(f))] = true
+	}
+	all := want["all"]
+
+	emit := func(t *metrics.Table) {
+		if *csv {
+			fmt.Fprintf(out, "# %s\n%s\n", t.Title, t.CSV())
+		} else {
+			fmt.Fprintf(out, "%s\n", t.Render())
+		}
+	}
+
+	if all || want["table2"] {
+		fmt.Fprintln(out, tableII())
+	}
+	if all || want["5a"] {
+		t, err := experiments.Fig5(experiments.Real, o)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	if all || want["5b"] {
+		t, err := experiments.Fig5(experiments.EC2, o)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	if all || want["6"] {
+		f, err := experiments.Fig6(experiments.Real, o)
+		if err != nil {
+			return err
+		}
+		for _, t := range f.All() {
+			emit(t)
+		}
+	}
+	if all || want["7"] {
+		f, err := experiments.Fig6(experiments.EC2, o)
+		if err != nil {
+			return err
+		}
+		for _, t := range f.All() {
+			emit(t)
+		}
+	}
+	if all || want["8"] {
+		f, err := experiments.Fig8(o)
+		if err != nil {
+			return err
+		}
+		emit(f.Makespan)
+		emit(f.Throughput)
+	}
+	if *sens != "" {
+		for _, p := range strings.Split(*sens, ",") {
+			param := experiments.SensitivityParam(strings.TrimSpace(strings.ToLower(p)))
+			t, err := experiments.Sensitivity(param, nil, experiments.Real, *sensJobs, o)
+			if err != nil {
+				return err
+			}
+			emit(t)
+		}
+	}
+	if *fairness {
+		t, err := experiments.Fairness(experiments.Real, *sensJobs, o)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	return nil
+}
+
+// tableII renders the paper's Table II parameter settings.
+func tableII() string {
+	rows := [][3]string{
+		{"n", "# of servers", "30-50"},
+		{"h", "# of jobs", "150-2500"},
+		{"m", "# of tasks of a job", "100-2000"},
+		{"delta", "minimum required ratio", "0.35"},
+		{"tau", "waiting-time threshold (starvation)", "see preempt.Params.Tau"},
+		{"theta1", "weight for CPU size", "0.5"},
+		{"theta2", "weight for Mem size", "0.5"},
+		{"alpha", "weight for waiting time (SRPT)", "0.5"},
+		{"beta", "weight for remaining time (SRPT)", "1"},
+		{"gamma", "level coefficient in (0,1)", "0.5"},
+		{"omega1", "weight for task's remaining time", "0.5"},
+		{"omega2", "weight for task's waiting time", "0.3"},
+		{"omega3", "weight for task's allowable waiting time", "0.2"},
+	}
+	var b strings.Builder
+	b.WriteString("# Table II — parameter settings\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %-45s %s\n", r[0], r[1], r[2])
+	}
+	return b.String()
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// devNull routes table output away from the test log.
+func devNull(t *testing.T) *os.File {
+	t.Helper()
+	f, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestRunTable2Only(t *testing.T) {
+	if err := run([]string{"-fig", "table2"}, devNull(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleFigureTinyScale(t *testing.T) {
+	// 5a at a tiny scale exercises the whole harness quickly; the x-axis
+	// job counts are fixed, so use the scale knob only.
+	if err := run([]string{"-fig", "none", "-sensitivity", "delta", "-sensitivity-jobs", "12", "-scale", "0.02"}, devNull(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFairness(t *testing.T) {
+	if err := run([]string{"-fig", "none", "-fairness", "-sensitivity-jobs", "12", "-scale", "0.02"}, devNull(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-nope"}, devNull(t)); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-fig", "none", "-sensitivity", "bogus"}, devNull(t)); err == nil {
+		t.Error("unknown sensitivity parameter accepted")
+	}
+}
+
+func TestTableIIText(t *testing.T) {
+	out := tableII()
+	for _, want := range []string{"delta", "0.35", "omega3", "Table II"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tableII missing %q", want)
+		}
+	}
+}

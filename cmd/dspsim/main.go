@@ -1,0 +1,109 @@
+// Command dspsim runs a single cluster simulation and prints its metrics.
+//
+// Usage:
+//
+//	dspsim [flags]
+//
+//	-platform real|ec2     testbed profile (default real: 50 nodes)
+//	-scheduler NAME        DSP | Aalo | TetrisW/SimDep | TetrisW/oDep
+//	-preemptor NAME        none | DSP | DSPW/oPP | Amoeba | Natjam | SRPT
+//	-jobs N                number of jobs (default 150)
+//	-scale F               workload task scale (default 0.03)
+//	-seed N                workload seed (default 1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dsp/internal/cluster"
+	"dsp/internal/experiments"
+	"dsp/internal/sim"
+	"dsp/internal/trace"
+	"dsp/internal/units"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dspsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dspsim", flag.ContinueOnError)
+	platform := fs.String("platform", "real", "testbed profile: real (50 nodes) or ec2 (30 instances)")
+	scheduler := fs.String("scheduler", "DSP", "offline scheduling method")
+	preemptor := fs.String("preemptor", "DSP", "online preemption method, or 'none'")
+	jobs := fs.Int("jobs", 150, "number of jobs")
+	scale := fs.Float64("scale", 0.03, "workload task scale (1.0 = paper-size jobs)")
+	load := fs.Float64("load", 1, "mean-task-size multiplier (load factor; the experiment harness uses 1/scale)")
+	seed := fs.Int64("seed", 1, "workload seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var plat experiments.Platform
+	switch *platform {
+	case "real":
+		plat = experiments.Real
+	case "ec2":
+		plat = experiments.EC2
+	default:
+		return fmt.Errorf("unknown platform %q", *platform)
+	}
+
+	s, err := experiments.NewScheduler(*scheduler)
+	if err != nil {
+		return err
+	}
+	var pre sim.Preemptor
+	cp := cluster.DefaultCheckpoint()
+	if *preemptor != "none" {
+		pre, cp, err = experiments.NewPreemptor(*preemptor)
+		if err != nil {
+			return err
+		}
+	}
+
+	spec := trace.DefaultSpec(*jobs, *seed)
+	spec.TaskScale = *scale
+	spec.MeanTaskSizeMI *= *load
+	w, err := trace.Generate(spec)
+	if err != nil {
+		return err
+	}
+
+	res, err := sim.Run(sim.Config{
+		Cluster:    plat.Cluster(),
+		Scheduler:  s,
+		Preemptor:  pre,
+		Checkpoint: cp,
+		Period:     5 * units.Minute,
+		Epoch:      10 * units.Second,
+	}, w)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("platform:            %s (%d nodes)\n", plat, plat.Cluster().Len())
+	fmt.Printf("scheduler:           %s\n", s.Name())
+	if pre != nil {
+		fmt.Printf("preemptor:           %s (checkpoint=%v)\n", pre.Name(), cp.Enabled)
+	} else {
+		fmt.Printf("preemptor:           none\n")
+	}
+	fmt.Printf("jobs:                %d (scale %.3f, arrival %.2f jobs/min)\n", *jobs, *scale, w.ArrivalRate)
+	fmt.Println()
+	fmt.Printf("makespan:            %v\n", res.Makespan)
+	fmt.Printf("tasks completed:     %d\n", res.TasksCompleted)
+	fmt.Printf("throughput:          %.4f tasks/ms\n", res.TaskThroughputPerMs)
+	fmt.Printf("jobs meeting ddl:    %d / %d\n", res.JobsMetDeadline, res.JobsCompleted)
+	fmt.Printf("job throughput:      %.3f deadline-met jobs/min\n", res.JobThroughputPerMin)
+	fmt.Printf("avg job waiting:     %v\n", res.AvgJobWait)
+	fmt.Printf("avg task waiting:    %v\n", res.AvgTaskWait)
+	fmt.Printf("preemptions:         %d\n", res.Preemptions)
+	fmt.Printf("disorders:           %d\n", res.Disorders)
+	return nil
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunSmoke(t *testing.T) {
+	if err := run([]string{"-jobs", "6", "-scale", "0.02", "-preemptor", "none"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithPreemptor(t *testing.T) {
+	if err := run([]string{"-jobs", "4", "-scale", "0.02", "-platform", "ec2", "-preemptor", "SRPT"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-platform", "mars"}); err == nil {
+		t.Error("unknown platform accepted")
+	}
+	if err := run([]string{"-scheduler", "nope"}); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+	if err := run([]string{"-preemptor", "nope"}); err == nil {
+		t.Error("unknown preemptor accepted")
+	}
+	if err := run([]string{"-jobs", "0"}); err == nil {
+		t.Error("zero jobs accepted")
+	}
+	if err := run([]string{"-bogusflag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunJSON(t *testing.T) {
+	if err := run([]string{"-jobs", "3", "-scale", "0.02"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunStats(t *testing.T) {
+	if err := run([]string{"-jobs", "3", "-scale", "0.02", "-stats"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDOT(t *testing.T) {
+	if err := run([]string{"-jobs", "3", "-scale", "0.02", "-dot", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-jobs", "3", "-scale", "0.02", "-dot", "99"}); err == nil {
+		t.Error("missing job accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-jobs", "0"}); err == nil {
+		t.Error("zero jobs accepted")
+	}
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesSVG(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "g.svg")
+	if err := run([]string{"-jobs", "3", "-nodes", "2", "-scale", "0.02", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := string(data)
+	if !strings.Contains(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Error("output is not SVG")
+	}
+	if !strings.Contains(svg, "<rect") {
+		t.Error("no spans rendered")
+	}
+}
+
+func TestRunNoPreemptor(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "g.svg")
+	if err := run([]string{"-jobs", "2", "-nodes", "2", "-scale", "0.02", "-preemptor", "none", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-preemptor", "bogus"}); err == nil {
+		t.Error("unknown preemptor accepted")
+	}
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-jobs", "2", "-scale", "0.02", "-o", "/nonexistent-dir/x.svg"}); err == nil {
+		t.Error("unwritable output accepted")
+	}
+}

@@ -1,0 +1,96 @@
+// deadline: a deadline-sensitive mixed workload demonstrating DSP's
+// urgent-task preemption and the normalized-priority (PP) filter. A batch
+// of long background jobs saturates a small cluster; latency-critical
+// jobs with tight deadlines arrive mid-run and must preempt to finish on
+// time. The example runs the same workload under DSP, DSPW/oPP (no PP
+// filter) and no preemption at all, and prints deadline hit rates and
+// preemption counts.
+//
+// Run with:
+//
+//	go run ./examples/deadline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dsp/internal/cluster"
+	"dsp/internal/dag"
+	"dsp/internal/preempt"
+	"dsp/internal/sched"
+	"dsp/internal/sim"
+	"dsp/internal/trace"
+	"dsp/internal/units"
+)
+
+func buildWorkload() *trace.Workload {
+	w := &trace.Workload{ArrivalRate: 4}
+	demand := dag.Resources{CPU: 1, Mem: 1, DiskMB: 0.02, Bandwidth: 0.02}
+
+	// Background: 16 single-task jobs of 10 minutes each (one per slot),
+	// no deadline — the cluster is fully occupied when the critical jobs
+	// arrive.
+	id := 0
+	for ; id < 16; id++ {
+		j := dag.NewJob(dag.JobID(id), 1)
+		j.Task(0).Size = 3600 * 600 // 10 min at 3600 MIPS
+		j.Task(0).Demand = demand
+		w.Jobs = append(w.Jobs, &trace.Job{Class: trace.Large, Arrival: 0, DAG: j})
+	}
+	// Latency-critical: small two-level jobs arriving at t=60 s with 90 s
+	// deadlines.
+	for ; id < 22; id++ {
+		j := dag.NewJob(dag.JobID(id), 3)
+		for k := 0; k < 3; k++ {
+			j.Task(dag.TaskID(k)).Size = 3600 * 10 // 10 s each
+			j.Task(dag.TaskID(k)).Demand = demand
+		}
+		j.MustDep(0, 1)
+		j.MustDep(0, 2)
+		j.Deadline = 90
+		w.Jobs = append(w.Jobs, &trace.Job{Class: trace.Small, Arrival: units.Minute, DAG: j})
+	}
+	return w
+}
+
+func run(pre sim.Preemptor) *sim.Result {
+	res, err := sim.Run(sim.Config{
+		Cluster:    cluster.RealCluster(2), // 16 slots: saturated by design
+		Scheduler:  sched.NewDSP(),
+		Preemptor:  pre,
+		Checkpoint: cluster.DefaultCheckpoint(),
+		Period:     30 * units.Second,
+		Epoch:      5 * units.Second,
+	}, buildWorkload())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	fmt.Println("22 jobs on 2 nodes (16 slots): 16×10-minute background tasks +")
+	fmt.Println("6 deadline-critical DAG jobs (90 s deadline) arriving at t=60 s")
+	fmt.Println()
+	fmt.Printf("%-14s %-10s %-12s %-12s %-10s\n",
+		"preemption", "met-ddl", "makespan", "avg-wait", "preempts")
+	for _, row := range []struct {
+		name string
+		pre  sim.Preemptor
+	}{
+		{"none", nil},
+		{"DSPW/oPP", preempt.NewDSPWithoutPP()},
+		{"DSP", preempt.NewDSP()},
+	} {
+		res := run(row.pre)
+		fmt.Printf("%-14s %2d/%-7d %-12v %-12v %-10d\n",
+			row.name, res.JobsMetDeadline, res.JobsCompleted,
+			res.Makespan, res.AvgJobWait, res.Preemptions)
+	}
+	fmt.Println()
+	fmt.Println("Without preemption the critical jobs queue behind the background")
+	fmt.Println("tasks and miss their deadlines; DSP's urgent-task rule preempts the")
+	fmt.Println("deadline-safe background tasks, and the PP filter keeps the number")
+	fmt.Println("of context switches lower than DSPW/oPP at the same hit rate.")
+}

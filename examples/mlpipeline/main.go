@@ -1,0 +1,119 @@
+// mlpipeline: a machine-learning training pipeline — the DAG-structured
+// workload class that motivates the paper — scheduled with DSP and with
+// the dependency-blind Tetris baseline, to show how dependency-aware
+// scheduling shortens the makespan.
+//
+// Pipeline shape per job (classic feature/train/ensemble DAG):
+//
+//	ingest ─▶ clean ─▶ featurize×F ─▶ train×M ─▶ validate ─▶ report
+//
+// Run with:
+//
+//	go run ./examples/mlpipeline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dsp/internal/baselines"
+	"dsp/internal/cluster"
+	"dsp/internal/dag"
+	"dsp/internal/preempt"
+	"dsp/internal/sched"
+	"dsp/internal/sim"
+	"dsp/internal/trace"
+	"dsp/internal/units"
+)
+
+// pipeline builds one ML-pipeline job with F featurization shards and M
+// model trainers.
+func pipeline(id dag.JobID, f, m int) *dag.Job {
+	n := 2 + f + m + 2
+	j := dag.NewJob(id, n)
+	demand := dag.Resources{CPU: 1, Mem: 2, DiskMB: 0.02, Bandwidth: 0.02}
+
+	ingest := dag.TaskID(0)
+	clean := dag.TaskID(1)
+	validate := dag.TaskID(n - 2)
+	report := dag.TaskID(n - 1)
+
+	j.Task(ingest).Size = 90000 // 25 s at 3600 MIPS
+	j.Task(clean).Size = 54000
+	j.MustDep(ingest, clean)
+	for i := 0; i < f; i++ {
+		ft := dag.TaskID(2 + i)
+		j.Task(ft).Size = 36000
+		j.MustDep(clean, ft)
+	}
+	for i := 0; i < m; i++ {
+		tr := dag.TaskID(2 + f + i)
+		j.Task(tr).Size = 180000 // training dominates: 50 s
+		// Each trainer consumes every feature shard.
+		for k := 0; k < f; k++ {
+			j.MustDep(dag.TaskID(2+k), tr)
+		}
+		j.MustDep(tr, validate)
+	}
+	j.Task(validate).Size = 36000
+	j.Task(report).Size = 18000
+	j.MustDep(validate, report)
+	for i := range j.Tasks {
+		j.Tasks[i].Demand = demand
+	}
+	j.Deadline = 1200
+	return j
+}
+
+func workload(jobs int) *trace.Workload {
+	w := &trace.Workload{ArrivalRate: 4}
+	for i := 0; i < jobs; i++ {
+		w.Jobs = append(w.Jobs, &trace.Job{
+			Class:   trace.Medium,
+			Arrival: units.Time(i) * 15 * units.Second,
+			DAG:     pipeline(dag.JobID(i), 6, 4),
+		})
+	}
+	return w
+}
+
+func main() {
+	const jobs = 12
+	c := func() *cluster.Cluster { return cluster.RealCluster(6) }
+
+	dspRes, err := sim.Run(sim.Config{
+		Cluster:    c(),
+		Scheduler:  sched.NewDSP(),
+		Preemptor:  preempt.NewDSP(),
+		Checkpoint: cluster.DefaultCheckpoint(),
+		Period:     time30s(),
+		Epoch:      10 * units.Second,
+	}, workload(jobs))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tetrisRes, err := sim.Run(sim.Config{
+		Cluster:   c(),
+		Scheduler: &baselines.Tetris{},
+		Period:    time30s(),
+	}, workload(jobs))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%d ML pipelines (6 feature shards, 4 trainers each) on 6 nodes\n\n", jobs)
+	fmt.Printf("%-24s %-12s %-10s %-8s\n", "method", "makespan", "tasks/ms", "met-ddl")
+	fmt.Printf("%-24s %-12v %-10.4f %d/%d\n", "DSP (sched+preempt)",
+		dspRes.Makespan, dspRes.TaskThroughputPerMs, dspRes.JobsMetDeadline, jobs)
+	fmt.Printf("%-24s %-12v %-10.4f %d/%d\n", "TetrisW/oDep",
+		tetrisRes.Makespan, tetrisRes.TaskThroughputPerMs, tetrisRes.JobsMetDeadline, jobs)
+
+	if dspRes.Makespan <= tetrisRes.Makespan {
+		fmt.Println("\nDSP finishes the pipeline batch sooner by prioritizing the tasks")
+		fmt.Println("whose completion unlocks the most downstream work (ingest/clean and")
+		fmt.Println("feature shards gate every trainer).")
+	}
+}
+
+func time30s() units.Time { return 30 * units.Second }

@@ -1,0 +1,3 @@
+module dsp
+
+go 1.22

@@ -1,0 +1,127 @@
+package baselines
+
+import (
+	"container/heap"
+	"sort"
+
+	"dsp/internal/dag"
+	"dsp/internal/sim"
+	"dsp/internal/units"
+)
+
+// Aalo is the coflow scheduler of [11]: each job is treated as one coflow
+// and its tasks as the coflow's flows. Flows of a coflow stay together
+// and are released in FIFO (here: topological) order so dependencies are
+// satisfied; coflows are ordered across multi-level queues by the work
+// they have accumulated — without prior knowledge, smaller coflows
+// finish first, approximating shortest-job-first. Aalo has no notion of
+// job deadlines and does not prioritize tasks by how many dependents
+// their completion unlocks.
+type Aalo struct {
+	// QueueThresholds are the multi-level queue boundaries in millions of
+	// instructions of accumulated work; a job in a lower queue is served
+	// before jobs in higher queues. Defaults to powers of ten starting at
+	// 1e5 MI.
+	QueueThresholds []float64
+}
+
+// NewAalo returns an Aalo scheduler with default queue thresholds.
+func NewAalo() *Aalo {
+	return &Aalo{QueueThresholds: []float64{1e5, 1e6, 1e7, 1e8}}
+}
+
+// Name implements sim.Scheduler.
+func (a *Aalo) Name() string { return "Aalo" }
+
+// queueLevel returns the multi-level-queue index for a job, based on the
+// work it has already accumulated (completed + running + queued), which
+// is what Aalo can observe without prior knowledge.
+func (a *Aalo) queueLevel(j *sim.JobState) int {
+	var sentMI float64
+	for _, t := range j.Tasks {
+		if t.Phase != sim.Pending {
+			sentMI += t.Task.Size
+		}
+	}
+	for lvl, th := range a.QueueThresholds {
+		if sentMI < th {
+			return lvl
+		}
+	}
+	return len(a.QueueThresholds)
+}
+
+// Schedule implements sim.Scheduler.
+func (a *Aalo) Schedule(now units.Time, pending []*sim.JobState, v *sim.View) []sim.Assignment {
+	sims := buildNodeSims(now, v)
+	if len(sims) == 0 {
+		return nil
+	}
+
+	// Coflows ordered by (queue level, arrival).
+	jobs := append([]*sim.JobState(nil), pending...)
+	sort.Slice(jobs, func(x, y int) bool {
+		lx, ly := a.queueLevel(jobs[x]), a.queueLevel(jobs[y])
+		if lx != ly {
+			return lx < ly
+		}
+		if jobs[x].Arrival != jobs[y].Arrival {
+			return jobs[x].Arrival < jobs[y].Arrival
+		}
+		return jobs[x].Dag.ID < jobs[y].Dag.ID
+	})
+
+	finish := make(map[dag.Key]units.Time)
+	var out []sim.Assignment
+	for _, j := range jobs {
+		order, err := j.Dag.TopoOrder()
+		if err != nil {
+			continue
+		}
+		for _, tid := range order {
+			ts := j.Tasks[tid]
+			if ts.Phase != sim.Pending {
+				if ts.Phase == sim.Done {
+					finish[ts.Key()] = ts.DoneAt
+				}
+				continue
+			}
+			// Parent bound.
+			bound := now
+			for _, p := range j.Dag.Parents(tid) {
+				ps := j.Tasks[p]
+				var pf units.Time
+				if ps.Phase == sim.Done {
+					pf = ps.DoneAt
+				} else if f, ok := finish[ps.Key()]; ok {
+					pf = f
+				}
+				if pf > bound {
+					bound = pf
+				}
+			}
+			// Earliest-start placement (FIFO within the coflow; Aalo does
+			// not pack by resources).
+			var best *nodeSim
+			for _, ns := range sims {
+				if len(ns.slots) == 0 {
+					continue
+				}
+				if best == nil || ns.slots[0] < best.slots[0] ||
+					(ns.slots[0] == best.slots[0] && ns.id < best.id) {
+					best = ns
+				}
+			}
+			if best == nil {
+				return out
+			}
+			avail := heap.Pop(&best.slots).(units.Time)
+			start := units.Max(avail, bound)
+			end := start + units.FromSeconds(ts.Task.Size/best.speed)
+			heap.Push(&best.slots, end)
+			finish[ts.Key()] = end
+			out = append(out, sim.Assignment{Task: ts, Node: best.id, Start: start})
+		}
+	}
+	return out
+}

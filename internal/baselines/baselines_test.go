@@ -1,0 +1,328 @@
+package baselines
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dsp/internal/cluster"
+	"dsp/internal/dag"
+	"dsp/internal/sim"
+	"dsp/internal/trace"
+	"dsp/internal/units"
+)
+
+func testCluster(n, slots int) *cluster.Cluster {
+	c := &cluster.Cluster{Theta1: 0.5, Theta2: 0.5}
+	for i := 0; i < n; i++ {
+		c.Nodes = append(c.Nodes, &cluster.Node{
+			ID: cluster.NodeID(i), Name: "t", SCPU: 1000, SMem: 1000, Slots: slots,
+			Capacity: dag.Resources{CPU: float64(slots), Mem: 16, DiskMB: 1e6, Bandwidth: 1e3},
+		})
+	}
+	return c
+}
+
+// rrScheduler assigns pending tasks round-robin at start = now.
+type rrScheduler struct{}
+
+func (rrScheduler) Name() string { return "rr" }
+func (rrScheduler) Schedule(now units.Time, pending []*sim.JobState, v *sim.View) []sim.Assignment {
+	var out []sim.Assignment
+	i := 0
+	n := v.Cluster().Len()
+	for _, j := range pending {
+		for _, t := range j.PendingTasks() {
+			out = append(out, sim.Assignment{Task: t, Node: cluster.NodeID(i % n), Start: now})
+			i++
+		}
+	}
+	return out
+}
+
+func sizedJob(id dag.JobID, sizes ...float64) *dag.Job {
+	j := dag.NewJob(id, len(sizes))
+	for i, s := range sizes {
+		j.Task(dag.TaskID(i)).Size = s
+		j.Task(dag.TaskID(i)).Demand = dag.Resources{CPU: 0.5, Mem: 1, DiskMB: 0.02, Bandwidth: 0.02}
+	}
+	return j
+}
+
+func workload(jobs ...*dag.Job) *trace.Workload {
+	w := &trace.Workload{ArrivalRate: 3}
+	for _, j := range jobs {
+		w.Jobs = append(w.Jobs, &trace.Job{Arrival: 0, DAG: j})
+	}
+	return w
+}
+
+func genWorkload(t *testing.T, n int, seed int64) *trace.Workload {
+	t.Helper()
+	spec := trace.DefaultSpec(n, seed)
+	spec.TaskScale = 0.05
+	w, err := trace.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestTetrisNames(t *testing.T) {
+	if (&Tetris{}).Name() != "TetrisW/oDep" {
+		t.Errorf("Name = %q", (&Tetris{}).Name())
+	}
+	if (&Tetris{WithDependency: true}).Name() != "TetrisW/SimDep" {
+		t.Errorf("Name = %q", (&Tetris{WithDependency: true}).Name())
+	}
+}
+
+func TestTetrisCompletesWorkload(t *testing.T) {
+	w := genWorkload(t, 6, 5)
+	for _, dep := range []bool{false, true} {
+		res, err := sim.Run(sim.Config{
+			Cluster:   cluster.RealCluster(6),
+			Scheduler: &Tetris{WithDependency: dep},
+		}, w)
+		if err != nil {
+			t.Fatalf("dep=%v: %v", dep, err)
+		}
+		if res.JobsCompleted != 6 {
+			t.Errorf("dep=%v completed %d jobs, want 6", dep, res.JobsCompleted)
+		}
+		// Regenerate: sim mutates task states.
+		w = genWorkload(t, 6, 5)
+	}
+}
+
+func TestTetrisSimDepBeatsNoDepOnChains(t *testing.T) {
+	// Dependency-blind packing queues children ahead of parents and idles
+	// slots. A single workload can go either way, so compare the two
+	// variants' aggregate makespan across several seeded chain-heavy
+	// workloads.
+	var noDepTotal, simDepTotal units.Time
+	for seed := int64(1); seed <= 5; seed++ {
+		spec := trace.DefaultSpec(6, seed)
+		spec.TaskScale = 0.04
+		spec.EdgeDensity = 1.0
+		for _, dep := range []bool{false, true} {
+			w, err := trace.Generate(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sim.Run(sim.Config{Cluster: testCluster(4, 2), Scheduler: &Tetris{WithDependency: dep}}, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dep {
+				simDepTotal += res.Makespan
+			} else {
+				noDepTotal += res.Makespan
+			}
+		}
+	}
+	if simDepTotal > noDepTotal {
+		t.Errorf("SimDep aggregate makespan %v should be <= W/oDep %v", simDepTotal, noDepTotal)
+	}
+}
+
+func TestAaloCompletesAndOrdersByLevel(t *testing.T) {
+	w := genWorkload(t, 6, 8)
+	res, err := sim.Run(sim.Config{Cluster: cluster.RealCluster(6), Scheduler: NewAalo()}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JobsCompleted != 6 {
+		t.Errorf("completed %d jobs, want 6", res.JobsCompleted)
+	}
+	if NewAalo().Name() != "Aalo" {
+		t.Error("Aalo name")
+	}
+}
+
+func TestAaloQueueLevel(t *testing.T) {
+	a := NewAalo()
+	j := sizedJob(0, 50000, 2e6)
+	js := &sim.JobState{Dag: j}
+	for _, task := range j.Tasks {
+		js.Tasks = append(js.Tasks, &sim.TaskState{Task: task, Job: js, Phase: sim.Pending})
+	}
+	if lvl := a.queueLevel(js); lvl != 0 {
+		t.Errorf("fresh job level = %d, want 0", lvl)
+	}
+	js.Tasks[1].Phase = sim.Running // 2e6 MI now "sent"
+	if lvl := a.queueLevel(js); lvl != 2 {
+		t.Errorf("level after 2e6 MI = %d, want 2 (1e6 ≤ x < 1e7)", lvl)
+	}
+	js.Tasks[0].Phase = sim.Done
+	js.Tasks[1].Phase = sim.Done
+	if lvl := a.queueLevel(js); lvl != 2 {
+		t.Errorf("level = %d, want 2", lvl)
+	}
+}
+
+func TestAmoebaPreemptsLongestRunningForShortest(t *testing.T) {
+	big := sizedJob(0, 30000)
+	small := sizedJob(1, 1000)
+	res, err := sim.Run(sim.Config{
+		Cluster:    testCluster(1, 1),
+		Scheduler:  rrScheduler{},
+		Preemptor:  Amoeba{},
+		Checkpoint: cluster.DefaultCheckpoint(),
+		Epoch:      10 * units.Second,
+	}, workload(big, small))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Preemptions == 0 {
+		t.Error("Amoeba should preempt the long task for the short one")
+	}
+	if (Amoeba{}).Name() != "Amoeba" {
+		t.Error("name")
+	}
+}
+
+func TestAmoebaIgnoresDependenciesCausingDisorders(t *testing.T) {
+	// Running root with a short dependent child waiting: Amoeba compares
+	// remaining times only and commands the child to start — a disorder.
+	chain := sizedJob(0, 30000, 1000)
+	chain.MustDep(0, 1)
+	res, err := sim.Run(sim.Config{
+		Cluster:    testCluster(1, 1),
+		Scheduler:  rrScheduler{},
+		Preemptor:  Amoeba{},
+		Checkpoint: cluster.DefaultCheckpoint(),
+		Epoch:      10 * units.Second,
+	}, workload(chain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Disorders == 0 {
+		t.Error("Amoeba should cause dependency disorders on chains")
+	}
+}
+
+func TestNatjamProductionPreemptsResearch(t *testing.T) {
+	research := sizedJob(0, 30000)
+	research.Production = false
+	production := sizedJob(1, 1000)
+	production.Production = true
+	res, err := sim.Run(sim.Config{
+		Cluster:    testCluster(1, 1),
+		Scheduler:  rrScheduler{},
+		Preemptor:  Natjam{},
+		Checkpoint: cluster.DefaultCheckpoint(),
+		Epoch:      10 * units.Second,
+	}, workload(research, production))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Preemptions == 0 {
+		t.Error("Natjam should evict research for production")
+	}
+	if (Natjam{}).Name() != "Natjam" {
+		t.Error("name")
+	}
+}
+
+func TestNatjamNeverEvictsProduction(t *testing.T) {
+	prodRunning := sizedJob(0, 30000)
+	prodRunning.Production = true
+	prodWaiting := sizedJob(1, 1000)
+	prodWaiting.Production = true
+	res, err := sim.Run(sim.Config{
+		Cluster:    testCluster(1, 1),
+		Scheduler:  rrScheduler{},
+		Preemptor:  Natjam{},
+		Checkpoint: cluster.DefaultCheckpoint(),
+		Epoch:      10 * units.Second,
+	}, workload(prodRunning, prodWaiting))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Preemptions != 0 {
+		t.Errorf("Natjam evicted a production job %d times", res.Preemptions)
+	}
+}
+
+func TestSRPTPreemptsAndScratchRestartCosts(t *testing.T) {
+	big := sizedJob(0, 30000)
+	small := sizedJob(1, 1000)
+	run := func(cp cluster.CheckpointPolicy) *sim.Result {
+		res, err := sim.Run(sim.Config{
+			Cluster:    testCluster(1, 1),
+			Scheduler:  rrScheduler{},
+			Preemptor:  NewSRPT(),
+			Checkpoint: cp,
+			Epoch:      10 * units.Second,
+		}, workload(sizedJob(0, 30000), sizedJob(1, 1000)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	_ = big
+	_ = small
+	scratch := run(cluster.NoCheckpoint())
+	if scratch.Preemptions == 0 {
+		t.Fatal("SRPT should preempt")
+	}
+	ckpt := run(cluster.DefaultCheckpoint())
+	if scratch.Makespan < ckpt.Makespan {
+		t.Errorf("scratch restarts (%v) should not beat checkpointed (%v)",
+			scratch.Makespan, ckpt.Makespan)
+	}
+	if NewSRPT().Name() != "SRPT" {
+		t.Error("name")
+	}
+}
+
+func TestSRPTPriority(t *testing.T) {
+	s := NewSRPT()
+	j := sizedJob(0, 10000)
+	js := &sim.JobState{Dag: j}
+	ts := &sim.TaskState{Task: j.Task(0), Job: js, Phase: sim.Queued, QueuedAt: 0, Deadline: units.Forever}
+	js.Tasks = []*sim.TaskState{ts}
+	// wait 20 s, remaining 10 s: P = 0.5*20 - 1*10 = 0.
+	if got := s.priority(ts, 20*units.Second, 1000); got != 0 {
+		t.Errorf("priority = %v, want 0", got)
+	}
+}
+
+func TestPropertyBaselinePreemptorsTerminate(t *testing.T) {
+	// Every baseline must drive contended workloads to completion — the
+	// no-checkpoint SRPT path is the historically live-lock-prone one.
+	f := func(seed int64) bool {
+		type pol struct {
+			pre sim.Preemptor
+			cp  cluster.CheckpointPolicy
+		}
+		for _, p := range []pol{
+			{Amoeba{}, cluster.DefaultCheckpoint()},
+			{Natjam{}, cluster.DefaultCheckpoint()},
+			{NewSRPT(), cluster.NoCheckpoint()},
+		} {
+			spec := trace.DefaultSpec(6, seed)
+			spec.TaskScale = 0.03
+			spec.MeanTaskSizeMI *= 25
+			w, err := trace.Generate(spec)
+			if err != nil {
+				return false
+			}
+			res, err := sim.Run(sim.Config{
+				Cluster:    cluster.EC2(3),
+				Scheduler:  rrScheduler{},
+				Preemptor:  p.pre,
+				Checkpoint: p.cp,
+				MaxEvents:  5_000_000,
+			}, w)
+			if err != nil || res.JobsCompleted != 6 {
+				t.Logf("seed %d policy %s: err=%v", seed, p.pre.Name(), err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}

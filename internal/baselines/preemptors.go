@@ -1,0 +1,206 @@
+package baselines
+
+import (
+	"sort"
+
+	"dsp/internal/cluster"
+	"dsp/internal/sim"
+	"dsp/internal/units"
+)
+
+// Amoeba is the preemption policy of [20]: the running task that consumes
+// the most resources — i.e. has the longest remaining time — has the
+// lowest priority and is evicted first; a waiting task preempts it when
+// the waiting task's remaining time is shorter. Amoeba checkpoints
+// preempted tasks (configure the simulation with
+// cluster.DefaultCheckpoint()). It neither considers task dependencies
+// nor waiting time nor deadlines, so it causes dependency disorders and
+// can starve long tasks.
+type Amoeba struct{}
+
+// Name implements sim.Preemptor.
+func (Amoeba) Name() string { return "Amoeba" }
+
+// Epoch implements sim.Preemptor.
+func (Amoeba) Epoch(now units.Time, v *sim.View) []sim.Action {
+	var out []sim.Action
+	for k := 0; k < v.Cluster().Len(); k++ {
+		node := cluster.NodeID(k)
+		waiting := v.Queue(node)
+		running := v.Running(node)
+		if len(waiting) == 0 || len(running) == 0 {
+			continue
+		}
+		speed := v.Speed(node)
+		rem := func(t *sim.TaskState) units.Time { return t.LiveRemainingTime(now, speed) }
+		// Victims in descending live remaining time (most resources
+		// first).
+		victims := append([]*sim.TaskState(nil), running...)
+		sort.Slice(victims, func(a, b int) bool {
+			ra, rb := rem(victims[a]), rem(victims[b])
+			if ra != rb {
+				return ra > rb
+			}
+			return lessTask(victims[a], victims[b])
+		})
+		// Starters in ascending remaining time (smallest first).
+		starters := append([]*sim.TaskState(nil), waiting...)
+		sort.Slice(starters, func(a, b int) bool {
+			ra, rb := rem(starters[a]), rem(starters[b])
+			if ra != rb {
+				return ra < rb
+			}
+			return lessTask(starters[a], starters[b])
+		})
+		vi := 0
+		for _, s := range starters {
+			if vi >= len(victims) {
+				break
+			}
+			if rem(s) < rem(victims[vi]) {
+				out = append(out, sim.Action{Node: node, Victim: victims[vi], Starter: s})
+				vi++
+			} else {
+				break // starters only get longer from here
+			}
+		}
+	}
+	return out
+}
+
+// Natjam is the eviction policy of [21]: production jobs have priority
+// over research jobs, so only waiting tasks of production jobs preempt,
+// and only running tasks of research jobs are evicted. Evictions are
+// triggered by production work *showing up* (Natjam makes room when a
+// production job arrives, rather than continuously re-evaluating):
+// a production task acts as a preemptor only in the first epoch after it
+// entered the waiting queue and only if it has never run. The eviction
+// order picks the research task using the most resources (longest
+// remaining time) first and the latest deadline second. Natjam
+// checkpoints evicted tasks. It ignores dependencies.
+type Natjam struct{}
+
+// Name implements sim.Preemptor.
+func (Natjam) Name() string { return "Natjam" }
+
+// Epoch implements sim.Preemptor.
+func (Natjam) Epoch(now units.Time, v *sim.View) []sim.Action {
+	var out []sim.Action
+	arrivalWindow := now - v.Epoch()
+	for k := 0; k < v.Cluster().Len(); k++ {
+		node := cluster.NodeID(k)
+		waiting := v.Queue(node)
+		running := v.Running(node)
+		if len(waiting) == 0 || len(running) == 0 {
+			continue
+		}
+		// Only research tasks are evictable.
+		var victims []*sim.TaskState
+		for _, r := range running {
+			if !r.Job.Dag.Production {
+				victims = append(victims, r)
+			}
+		}
+		if len(victims) == 0 {
+			continue
+		}
+		speed := v.Speed(node)
+		sort.Slice(victims, func(a, b int) bool {
+			ra := victims[a].LiveRemainingTime(now, speed)
+			rb := victims[b].LiveRemainingTime(now, speed)
+			if ra != rb {
+				return ra > rb // most resources first
+			}
+			if victims[a].Deadline != victims[b].Deadline {
+				return victims[a].Deadline > victims[b].Deadline // latest deadline next
+			}
+			return lessTask(victims[a], victims[b])
+		})
+		// Only freshly enqueued, never-run production tasks preempt, in
+		// queue order.
+		vi := 0
+		for _, s := range waiting {
+			if vi >= len(victims) {
+				break
+			}
+			if !s.Job.Dag.Production || s.FirstStart >= 0 || s.QueuedAt < arrivalWindow {
+				continue
+			}
+			out = append(out, sim.Action{Node: node, Victim: victims[vi], Starter: s})
+			vi++
+		}
+	}
+	return out
+}
+
+// SRPT is the decentralized preemptive policy of [22]: task priority is
+// the linear combination of waiting time and remaining time, P = α·t^w −
+// β·t^rem (α=0.5, β=1 in the paper's configuration), so shorter-remaining
+// and longer-waiting tasks rank higher among the *waiting* tasks — the
+// waiting term prevents starvation of long waiters in the dispatch
+// order. The preemption test itself is the classic
+// shortest-remaining-processing-time rule: a waiting task evicts the
+// running task with the most remaining work when the waiter's remaining
+// time is strictly shorter. (Letting the waiting term alone beat running
+// tasks would, combined with SRPT's lack of checkpointing, re-preempt
+// every runner each epoch once any waiter's t^w exceeds 2·t^rem, and no
+// long task would ever finish.) SRPT has no checkpoint mechanism — run
+// it with cluster.NoCheckpoint() so preempted tasks restart from scratch
+// — and ignores dependencies and deadlines.
+type SRPT struct {
+	// Alpha and Beta are the waiting-time and remaining-time weights.
+	Alpha, Beta float64
+}
+
+// NewSRPT returns SRPT with the paper's α=0.5, β=1.
+func NewSRPT() *SRPT { return &SRPT{Alpha: 0.5, Beta: 1} }
+
+// Name implements sim.Preemptor.
+func (*SRPT) Name() string { return "SRPT" }
+
+func (s *SRPT) priority(t *sim.TaskState, now units.Time, speed float64) float64 {
+	return s.Alpha*t.WaitingTime(now).Seconds() - s.Beta*t.LiveRemainingTime(now, speed).Seconds()
+}
+
+// Epoch implements sim.Preemptor.
+func (s *SRPT) Epoch(now units.Time, v *sim.View) []sim.Action {
+	var out []sim.Action
+	for k := 0; k < v.Cluster().Len(); k++ {
+		node := cluster.NodeID(k)
+		waiting := v.Queue(node)
+		running := v.Running(node)
+		if len(waiting) == 0 || len(running) == 0 {
+			continue
+		}
+		speed := v.Speed(node)
+		victims := append([]*sim.TaskState(nil), running...)
+		sort.Slice(victims, func(a, b int) bool {
+			pa, pb := s.priority(victims[a], now, speed), s.priority(victims[b], now, speed)
+			if pa != pb {
+				return pa < pb // lowest priority evicted first
+			}
+			return lessTask(victims[a], victims[b])
+		})
+		starters := append([]*sim.TaskState(nil), waiting...)
+		sort.Slice(starters, func(a, b int) bool {
+			pa, pb := s.priority(starters[a], now, speed), s.priority(starters[b], now, speed)
+			if pa != pb {
+				return pa > pb // highest priority starts first
+			}
+			return lessTask(starters[a], starters[b])
+		})
+		vi := 0
+		for _, st := range starters {
+			if vi >= len(victims) {
+				break
+			}
+			// Classic SRPT preemption test: strictly shorter remaining
+			// work than the longest-remaining victim.
+			if st.LiveRemainingTime(now, speed) < victims[vi].LiveRemainingTime(now, speed) {
+				out = append(out, sim.Action{Node: node, Victim: victims[vi], Starter: st})
+				vi++
+			}
+		}
+	}
+	return out
+}

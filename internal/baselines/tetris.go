@@ -1,0 +1,180 @@
+// Package baselines implements the comparison systems of the DSP paper's
+// evaluation. Scheduling methods (Figure 5): Tetris without dependency
+// handling (TetrisW/oDep), Tetris with simple dependency handling
+// (TetrisW/SimDep) and Aalo. Preemption methods (Figures 6–7): Amoeba,
+// Natjam and SRPT. Each follows the behavioural description in Section V
+// of the paper.
+package baselines
+
+import (
+	"container/heap"
+	"sort"
+
+	"dsp/internal/cluster"
+	"dsp/internal/dag"
+	"dsp/internal/sim"
+	"dsp/internal/units"
+)
+
+// slotHeap is a min-heap of slot availability times.
+type slotHeap []units.Time
+
+func (h slotHeap) Len() int           { return len(h) }
+func (h slotHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h slotHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *slotHeap) Push(x any)        { *h = append(*h, x.(units.Time)) }
+func (h *slotHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// nodeSim tracks one node's planned slot availability while a scheduler
+// lays out a period's assignments.
+type nodeSim struct {
+	id    cluster.NodeID
+	speed float64
+	cap   dag.Resources
+	slots slotHeap
+}
+
+// buildNodeSims seeds per-node slot heaps from the live running set and
+// queue backlog, the same way the DSP list engine does.
+func buildNodeSims(now units.Time, v *sim.View) []*nodeSim {
+	c := v.Cluster()
+	sims := make([]*nodeSim, 0, c.Len())
+	for k := 0; k < c.Len(); k++ {
+		id := cluster.NodeID(k)
+		node := c.Node(id)
+		ns := &nodeSim{id: id, speed: v.Speed(id), cap: node.Capacity}
+		if ns.speed <= 0 {
+			continue // node down: never plan work onto it
+		}
+		ns.slots = make(slotHeap, 0, node.Slots)
+		for s := 0; s < node.Slots; s++ {
+			ns.slots = append(ns.slots, now)
+		}
+		running := append([]*sim.TaskState(nil), v.Running(id)...)
+		sort.Slice(running, func(a, b int) bool {
+			return running[a].LiveRemainingTime(now, ns.speed) < running[b].LiveRemainingTime(now, ns.speed)
+		})
+		for i, rt := range running {
+			if i < len(ns.slots) {
+				ns.slots[i] = now + rt.LiveRemainingTime(now, ns.speed)
+			}
+		}
+		heap.Init(&ns.slots)
+		for _, qt := range v.Queue(id) {
+			avail := heap.Pop(&ns.slots).(units.Time)
+			heap.Push(&ns.slots, avail+qt.RemainingTime(ns.speed))
+		}
+		sims = append(sims, ns)
+	}
+	return sims
+}
+
+// Tetris is the multi-resource packing scheduler ([7] in the paper): it
+// repeatedly gives the machine with the earliest free slot the
+// not-yet-placed task whose peak resource demand vector has the highest
+// alignment score (weighted dot product) with the machine's capacity.
+//
+// WithDependency=false is TetrisW/oDep: dependency is ignored entirely —
+// every pending task is packed in pure score order, and the engine
+// dispatches them blindly (sim.DependencyBlind), so a task whose inputs
+// are not ready wastes its slot until they appear or the blind timeout
+// requeues it.  WithDependency=true is TetrisW/SimDep, the "simple
+// dependency" variant the paper describes: only currently *runnable*
+// tasks (all precedents finished) are scheduled, and dependent tasks are
+// left to the next scheduling period — so, as the paper's introduction
+// observes, server resources sit idle between a precedent's completion
+// and the next period.
+type Tetris struct {
+	WithDependency bool
+}
+
+// Name implements sim.Scheduler.
+func (t *Tetris) Name() string {
+	if t.WithDependency {
+		return "TetrisW/SimDep"
+	}
+	return "TetrisW/oDep"
+}
+
+// DependencyBlind implements sim.DependencyBlind: the W/oDep variant
+// dispatches queues without checking precedents.
+func (t *Tetris) DependencyBlind() bool { return !t.WithDependency }
+
+// Schedule implements sim.Scheduler.
+func (t *Tetris) Schedule(now units.Time, pending []*sim.JobState, v *sim.View) []sim.Assignment {
+	sims := buildNodeSims(now, v)
+	if len(sims) == 0 {
+		return nil
+	}
+
+	placed := make(map[dag.Key]bool)
+	var todo []*sim.TaskState
+	for _, j := range pending {
+		for _, ts := range j.PendingTasks() {
+			// TetrisW/SimDep schedules only the runnable frontier:
+			// precedents must have actually finished. Dependent tasks
+			// stay pending until a later period. TetrisW/oDep takes
+			// everything.
+			if t.WithDependency && !ts.DepsMet() {
+				continue
+			}
+			todo = append(todo, ts)
+		}
+	}
+
+	var out []sim.Assignment
+	remaining := len(todo)
+	for remaining > 0 {
+		// Machine with the earliest free slot "asks" for a task.
+		var ns *nodeSim
+		for _, cand := range sims {
+			if len(cand.slots) == 0 {
+				continue
+			}
+			if ns == nil || cand.slots[0] < ns.slots[0] ||
+				(cand.slots[0] == ns.slots[0] && cand.id < ns.id) {
+				ns = cand
+			}
+		}
+		if ns == nil {
+			break
+		}
+		// Highest alignment score among candidate tasks.
+		var best *sim.TaskState
+		var bestScore float64
+		for _, ts := range todo {
+			if placed[ts.Key()] {
+				continue
+			}
+			score := ts.Task.Demand.Dot(ns.cap)
+			if best == nil || score > bestScore ||
+				(score == bestScore && lessTask(ts, best)) {
+				best = ts
+				bestScore = score
+			}
+		}
+		if best == nil {
+			break
+		}
+		avail := heap.Pop(&ns.slots).(units.Time)
+		end := avail + units.FromSeconds(best.Task.Size/ns.speed)
+		heap.Push(&ns.slots, end)
+		placed[best.Key()] = true
+		out = append(out, sim.Assignment{Task: best, Node: ns.id, Start: avail})
+		remaining--
+	}
+	return out
+}
+
+func lessTask(a, b *sim.TaskState) bool {
+	if a.Task.Job != b.Task.Job {
+		return a.Task.Job < b.Task.Job
+	}
+	return a.Task.ID < b.Task.ID
+}

@@ -1,0 +1,66 @@
+package cluster
+
+import "dsp/internal/units"
+
+// CheckpointPolicy models the checkpoint-restart mechanism ([29] in the
+// paper) that DSP, Amoeba and Natjam use during preemption: a preempted
+// task resumes from its most recent checkpoint, paying a recovery time
+// t^r plus the scheduling wait σ per preemption. SRPT has no checkpoint
+// mechanism, so a preempted task restarts from scratch.
+type CheckpointPolicy struct {
+	// Enabled selects checkpoint-resume (true) or restart-from-scratch
+	// (false).
+	Enabled bool
+	// Interval is the progress between checkpoints; completed work is
+	// rounded down to a multiple of Interval when a task is preempted.
+	// Zero means continuous checkpointing (no progress lost).
+	Interval units.Time
+	// Recovery is the recovery time t^r charged when a preempted task is
+	// resumed (context-switch/state-restore cost).
+	Recovery units.Time
+	// Sigma is the threshold σ the paper adds per preemption: the wait an
+	// evicted task experiences between being selected to run again and
+	// actually starting (0.05 s in the evaluation).
+	Sigma units.Time
+}
+
+// RetainedProgress returns how much of the given completed work survives
+// a preemption under this policy.
+func (p CheckpointPolicy) RetainedProgress(done units.Time) units.Time {
+	if !p.Enabled {
+		return 0
+	}
+	if p.Interval <= 0 {
+		return done
+	}
+	return (done / p.Interval) * p.Interval
+}
+
+// ResumePenalty returns the extra time charged when a preempted task is
+// put back on a processor (t^r + σ).
+func (p CheckpointPolicy) ResumePenalty() units.Time {
+	return p.Recovery + p.Sigma
+}
+
+// DefaultCheckpoint returns the checkpoint policy used by DSP, Amoeba and
+// Natjam in the evaluation: checkpointing on, 1 s checkpoint interval,
+// 2 s recovery (restoring task state from the checkpoint store), σ =
+// 50 ms. The interval must be shorter than the preemption epoch,
+// otherwise a task preempted every epoch could retain no progress at all
+// and the system would live-lock.
+func DefaultCheckpoint() CheckpointPolicy {
+	return CheckpointPolicy{
+		Enabled:  true,
+		Interval: units.Second,
+		Recovery: 2 * units.Second,
+		Sigma:    50 * units.Millisecond,
+	}
+}
+
+// NoCheckpoint returns the SRPT-style policy: preempted tasks restart
+// from scratch (same recovery and σ costs apply on resume).
+func NoCheckpoint() CheckpointPolicy {
+	p := DefaultCheckpoint()
+	p.Enabled = false
+	return p
+}

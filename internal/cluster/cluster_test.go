@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"testing"
+
+	"dsp/internal/units"
+)
+
+func TestSpeedEquation(t *testing.T) {
+	n := &Node{SCPU: 4000, SMem: 3200}
+	if got := n.Speed(0.5, 0.5); got != 3600 {
+		t.Errorf("Speed = %v, want 3600", got)
+	}
+	if got := n.Speed(1, 0); got != 4000 {
+		t.Errorf("Speed(1,0) = %v, want 4000", got)
+	}
+}
+
+func TestExecTime(t *testing.T) {
+	n := &Node{SCPU: 2000, SMem: 2000} // g = 2000 MIPS at 0.5/0.5
+	// 4000 MI at 2000 MIPS = 2 s.
+	if got := n.ExecTime(4000, 0.5, 0.5); got != 2*units.Second {
+		t.Errorf("ExecTime = %v, want 2s", got)
+	}
+	z := &Node{}
+	if got := z.ExecTime(100, 0.5, 0.5); got != units.Forever {
+		t.Errorf("zero-speed node ExecTime = %v, want Forever", got)
+	}
+}
+
+func TestRealClusterProfile(t *testing.T) {
+	c := RealCluster(50)
+	if c.Len() != 50 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if got := c.Speed(0); got != 3600 {
+		t.Errorf("real-cluster g = %v, want 3600", got)
+	}
+	if c.TotalSlots() != 400 {
+		t.Errorf("TotalSlots = %d, want 400", c.TotalSlots())
+	}
+	if c.Node(3).Capacity.Mem != 16 {
+		t.Errorf("capacity mem = %v", c.Node(3).Capacity.Mem)
+	}
+}
+
+func TestEC2Profile(t *testing.T) {
+	c := EC2(30)
+	if c.Len() != 30 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if got := c.Speed(0); got != 2660 {
+		t.Errorf("EC2 g = %v, want 2660 (paper's MIPS rating)", got)
+	}
+	if c.TotalSlots() != 120 {
+		t.Errorf("TotalSlots = %d, want 120", c.TotalSlots())
+	}
+}
+
+func TestMeanSpeed(t *testing.T) {
+	c := RealCluster(2)
+	if got := c.MeanSpeed(); got != 3600 {
+		t.Errorf("MeanSpeed = %v", got)
+	}
+	empty := &Cluster{Theta1: 0.5, Theta2: 0.5}
+	if got := empty.MeanSpeed(); got != 0 {
+		t.Errorf("empty MeanSpeed = %v", got)
+	}
+}
+
+func TestHeterogeneous(t *testing.T) {
+	c := Heterogeneous(5)
+	if c.Len() != 5 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	for i, n := range c.Nodes {
+		if n.ID != NodeID(i) {
+			t.Errorf("node %d has ID %d", i, n.ID)
+		}
+	}
+	// Should contain both profiles.
+	fast, slow := 0, 0
+	for _, n := range c.Nodes {
+		switch n.Name {
+		case "sun-x2200":
+			fast++
+		case "hp-ml110g5":
+			slow++
+		}
+	}
+	if fast == 0 || slow == 0 {
+		t.Errorf("heterogeneous cluster missing a profile: fast=%d slow=%d", fast, slow)
+	}
+}
+
+func TestCheckpointRetainedProgress(t *testing.T) {
+	p := DefaultCheckpoint()
+	p.Interval = 10 * units.Second
+	// 25 s of progress at 10 s interval -> 20 s retained.
+	if got := p.RetainedProgress(25 * units.Second); got != 20*units.Second {
+		t.Errorf("RetainedProgress = %v, want 20s", got)
+	}
+	if got := p.RetainedProgress(9 * units.Second); got != 0 {
+		t.Errorf("RetainedProgress(<interval) = %v, want 0", got)
+	}
+	if got := DefaultCheckpoint().RetainedProgress(2500 * units.Millisecond); got != 2*units.Second {
+		t.Errorf("default RetainedProgress(2.5s) = %v, want 2s", got)
+	}
+	p.Interval = 0
+	if got := p.RetainedProgress(7 * units.Second); got != 7*units.Second {
+		t.Errorf("continuous checkpoint RetainedProgress = %v, want 7s", got)
+	}
+}
+
+func TestNoCheckpointLosesAll(t *testing.T) {
+	p := NoCheckpoint()
+	if got := p.RetainedProgress(100 * units.Second); got != 0 {
+		t.Errorf("NoCheckpoint retained %v, want 0", got)
+	}
+	if p.ResumePenalty() != 2*units.Second+50*units.Millisecond {
+		t.Errorf("ResumePenalty = %v, want 2.05s", p.ResumePenalty())
+	}
+}
+
+func TestNodeString(t *testing.T) {
+	n := RealCluster(1).Node(0)
+	if n.String() == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,178 @@
+// Package cluster models the compute substrate of the DSP paper's
+// evaluation: nodes with CPU/memory sizes whose processing rate follows
+// g(k) = θ₁·s_cpu + θ₂·s_mem (Equation 1), task slots, multi-dimensional
+// resource capacities for packing schedulers, and the checkpoint/restart
+// cost model used during preemption. Two built-in profiles reproduce the
+// paper's testbeds: the 50-node Palmetto-like real cluster (Sun X2200,
+// AMD Opteron 2356, 16 GB) and the 30-instance EC2 deployment (HP
+// ProLiant ML110 G5, 2660 MIPS, 4 GB).
+package cluster
+
+import (
+	"fmt"
+
+	"dsp/internal/dag"
+	"dsp/internal/units"
+)
+
+// NodeID identifies a node within a cluster.
+type NodeID int
+
+// Node is one server. SCPU and SMem are the CPU and memory "sizes" from
+// the paper's Equation 1, in MIPS-equivalent units; the effective
+// processing rate is g = θ₁·SCPU + θ₂·SMem MIPS per running task.
+type Node struct {
+	ID   NodeID
+	Name string
+
+	// SCPU and SMem parameterize g(k); see Speed.
+	SCPU, SMem float64
+
+	// Slots is the number of tasks the node can run concurrently.
+	Slots int
+
+	// Capacity is the node's multi-dimensional resource capacity, in the
+	// same units as dag.Resources demands (CPU cores, memory GB, disk MB,
+	// bandwidth MB/s). Packing schedulers such as Tetris consult it.
+	Capacity dag.Resources
+}
+
+// Speed returns the node's processing rate g(k) = θ₁·s_cpu + θ₂·s_mem in
+// MIPS (Equation 1 of the paper).
+func (n *Node) Speed(theta1, theta2 float64) float64 {
+	return theta1*n.SCPU + theta2*n.SMem
+}
+
+// ExecTime returns the uninterrupted execution time of a task of the
+// given size (millions of instructions) on this node: t = l / g(k)
+// (Equation 2), converted to simulation time.
+func (n *Node) ExecTime(sizeMI, theta1, theta2 float64) units.Time {
+	g := n.Speed(theta1, theta2)
+	if g <= 0 {
+		return units.Forever
+	}
+	return units.FromSeconds(sizeMI / g)
+}
+
+// String renders a short description of the node.
+func (n *Node) String() string {
+	return fmt.Sprintf("node%d(%s cpu=%.0f mem=%.0f slots=%d)", n.ID, n.Name, n.SCPU, n.SMem, n.Slots)
+}
+
+// Cluster is a set of nodes.
+type Cluster struct {
+	Nodes []*Node
+	// Theta1 and Theta2 are the CPU/memory weights of Equation 1 (the
+	// paper sets both to 0.5).
+	Theta1, Theta2 float64
+}
+
+// Len returns the number of nodes n.
+func (c *Cluster) Len() int { return len(c.Nodes) }
+
+// Node returns the node with the given ID.
+func (c *Cluster) Node(id NodeID) *Node { return c.Nodes[id] }
+
+// Speed returns g(k) for node k.
+func (c *Cluster) Speed(k NodeID) float64 {
+	return c.Nodes[k].Speed(c.Theta1, c.Theta2)
+}
+
+// ExecTime returns the execution time of a task of the given size on node
+// k.
+func (c *Cluster) ExecTime(k NodeID, sizeMI float64) units.Time {
+	return c.Nodes[k].ExecTime(sizeMI, c.Theta1, c.Theta2)
+}
+
+// MeanSpeed returns the average g(k) across the cluster; workload
+// generators use it to compute nominal task execution times.
+func (c *Cluster) MeanSpeed() float64 {
+	if len(c.Nodes) == 0 {
+		return 0
+	}
+	var s float64
+	for _, n := range c.Nodes {
+		s += n.Speed(c.Theta1, c.Theta2)
+	}
+	return s / float64(len(c.Nodes))
+}
+
+// TotalSlots returns the total concurrent task capacity of the cluster.
+func (c *Cluster) TotalSlots() int {
+	s := 0
+	for _, n := range c.Nodes {
+		s += n.Slots
+	}
+	return s
+}
+
+// RealCluster builds the paper's Palmetto-like testbed profile with n
+// nodes (the paper uses 50): Sun X2200 servers — dual AMD Opteron 2356
+// (8 cores) with 16 GB memory, 720 GB disk and 1 GB/s network. With
+// θ₁=θ₂=0.5 the effective rate is 3600 MIPS per task.
+func RealCluster(n int) *Cluster {
+	c := &Cluster{Theta1: 0.5, Theta2: 0.5}
+	for i := 0; i < n; i++ {
+		c.Nodes = append(c.Nodes, &Node{
+			ID:    NodeID(i),
+			Name:  "sun-x2200",
+			SCPU:  4000, // MIPS-equivalent CPU size
+			SMem:  3200, // 16 GB × 200 MIPS-equivalent/GB
+			Slots: 8,
+			Capacity: dag.Resources{
+				CPU:       8,
+				Mem:       16,
+				DiskMB:    720 * 1024,
+				Bandwidth: 1024,
+			},
+		})
+	}
+	return c
+}
+
+// EC2 builds the paper's Amazon EC2 profile with n instances (the paper
+// uses 30): HP ProLiant ML110 G5 hardware at 2660 MIPS with 4 GB memory,
+// 720 GB disk and 1 GB/s network. With θ₁=θ₂=0.5 the effective rate is
+// 2660 MIPS per task.
+func EC2(n int) *Cluster {
+	c := &Cluster{Theta1: 0.5, Theta2: 0.5}
+	for i := 0; i < n; i++ {
+		c.Nodes = append(c.Nodes, &Node{
+			ID:    NodeID(i),
+			Name:  "hp-ml110g5",
+			SCPU:  4520, // chosen so g = 0.5·4520 + 0.5·800 = 2660 MIPS
+			SMem:  800,  // 4 GB × 200 MIPS-equivalent/GB
+			Slots: 4,
+			Capacity: dag.Resources{
+				CPU:       4,
+				Mem:       4,
+				DiskMB:    720 * 1024,
+				Bandwidth: 1024,
+			},
+		})
+	}
+	return c
+}
+
+// Heterogeneous builds a mixed cluster alternating real-cluster and EC2
+// node profiles; useful in tests and examples exercising speed-aware
+// placement.
+func Heterogeneous(n int) *Cluster {
+	fast := RealCluster((n + 1) / 2).Nodes
+	slow := EC2(n / 2).Nodes
+	c := &Cluster{Theta1: 0.5, Theta2: 0.5}
+	fi, si := 0, 0
+	for i := 0; i < n; i++ {
+		var nd *Node
+		if i%2 == 0 && fi < len(fast) {
+			nd = fast[fi]
+			fi++
+		} else {
+			nd = slow[si]
+			si++
+		}
+		nd.ID = NodeID(i)
+		c.Nodes = append(c.Nodes, nd)
+	}
+	return c
+}

@@ -1,0 +1,108 @@
+package dag
+
+// Chain is a root-to-leaf path of tasks C_i^q; all tasks on a chain must
+// be processed sequentially one after another (Section III).
+type Chain []TaskID
+
+// Chains enumerates root-to-leaf chains of the job in deterministic
+// (lexicographic by task ID) order, stopping once limit chains have been
+// produced (limit <= 0 means no limit). DAGs can have exponentially many
+// chains, so callers at scale should pass a limit; the offline ILP builder
+// only needs chains for small instances.
+func (j *Job) Chains(limit int) ([]Chain, error) {
+	if err := j.Validate(); err != nil {
+		return nil, err
+	}
+	var out []Chain
+	var path []TaskID
+	var walk func(t TaskID) bool
+	walk = func(t TaskID) bool {
+		path = append(path, t)
+		defer func() { path = path[:len(path)-1] }()
+		if len(j.children[t]) == 0 {
+			c := make(Chain, len(path))
+			copy(c, path)
+			out = append(out, c)
+			return limit > 0 && len(out) >= limit
+		}
+		for _, c := range j.children[t] {
+			if walk(c) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, r := range j.Roots() {
+		if walk(r) {
+			break
+		}
+	}
+	return out, nil
+}
+
+// CriticalPath returns the chain with the greatest total execution time
+// under the given per-task execution-time function, along with that total.
+// The critical path is the tightest lower bound on job completion time and
+// is used to assign feasible job deadlines in the workload generator.
+func (j *Job) CriticalPath(exec func(TaskID) float64) (Chain, float64, error) {
+	order, err := j.TopoOrder()
+	if err != nil {
+		return nil, 0, err
+	}
+	n := len(j.Tasks)
+	best := make([]float64, n) // longest path ending at task (inclusive)
+	from := make([]TaskID, n)  // predecessor on that path
+	for i := range from {
+		from[i] = -1
+	}
+	for _, t := range order {
+		w := exec(t)
+		best[t] = w
+		for _, p := range j.parents[t] {
+			if best[p]+w > best[t] {
+				best[t] = best[p] + w
+				from[t] = p
+			}
+		}
+	}
+	var end TaskID
+	var max float64
+	for i := 0; i < n; i++ {
+		if best[i] > max || (best[i] == max && TaskID(i) < end) {
+			max = best[i]
+			end = TaskID(i)
+		}
+	}
+	var rev []TaskID
+	for t := end; t != -1; t = from[t] {
+		rev = append(rev, t)
+	}
+	chain := make(Chain, len(rev))
+	for i, t := range rev {
+		chain[len(rev)-1-i] = t
+	}
+	return chain, max, nil
+}
+
+// BottomLevel returns, for each task, the length of the longest
+// execution-time path from the task (inclusive) to any leaf. List
+// schedulers (HEFT-style) use the bottom level as a rank: scheduling
+// larger-bottom-level tasks first keeps the critical path moving.
+func (j *Job) BottomLevel(exec func(TaskID) float64) ([]float64, error) {
+	order, err := j.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	bl := make([]float64, len(j.Tasks))
+	for i := len(order) - 1; i >= 0; i-- {
+		t := order[i]
+		var maxChild float64
+		for _, c := range j.children[t] {
+			if bl[c] > maxChild {
+				maxChild = bl[c]
+			}
+		}
+		bl[t] = exec(t) + maxChild
+	}
+	return bl, nil
+}

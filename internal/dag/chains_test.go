@@ -1,0 +1,159 @@
+package dag
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChainsDiamond(t *testing.T) {
+	j := diamond(t)
+	chains, err := j.Chains(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chains) != 2 {
+		t.Fatalf("got %d chains, want 2: %v", len(chains), chains)
+	}
+	want := [][]TaskID{{0, 1, 3}, {0, 2, 3}}
+	for i, w := range want {
+		if len(chains[i]) != len(w) {
+			t.Fatalf("chain %d = %v, want %v", i, chains[i], w)
+		}
+		for k := range w {
+			if chains[i][k] != w[k] {
+				t.Fatalf("chain %d = %v, want %v", i, chains[i], w)
+			}
+		}
+	}
+}
+
+func TestChainsLimit(t *testing.T) {
+	j := diamond(t)
+	chains, err := j.Chains(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chains) != 1 {
+		t.Fatalf("limit ignored: got %d chains", len(chains))
+	}
+}
+
+func TestChainsIndependent(t *testing.T) {
+	j := NewJob(1, 3)
+	chains, err := j.Chains(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chains) != 3 {
+		t.Fatalf("got %d chains, want 3 singletons", len(chains))
+	}
+	for i, c := range chains {
+		if len(c) != 1 || c[0] != TaskID(i) {
+			t.Errorf("chain %d = %v", i, c)
+		}
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	j := diamond(t)
+	// Exec times: 0:1, 1:5, 2:2, 3:1 -> critical path 0-1-3 length 7.
+	exec := func(id TaskID) float64 { return []float64{1, 5, 2, 1}[id] }
+	path, length, err := j.CriticalPath(exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if length != 7 {
+		t.Errorf("critical path length = %v, want 7", length)
+	}
+	want := []TaskID{0, 1, 3}
+	if len(path) != 3 {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+}
+
+func TestBottomLevel(t *testing.T) {
+	j := diamond(t)
+	exec := func(id TaskID) float64 { return []float64{1, 5, 2, 1}[id] }
+	bl, err := j.BottomLevel(exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leaf 3: 1. Task 1: 5+1=6. Task 2: 2+1=3. Root 0: 1+max(6,3)=7.
+	want := []float64{7, 6, 3, 1}
+	for i, w := range want {
+		if bl[i] != w {
+			t.Errorf("bottomLevel[%d] = %v, want %v", i, bl[i], w)
+		}
+	}
+}
+
+func TestTaskDeadlines(t *testing.T) {
+	j := diamond(t)
+	// Exec times 0:1, 1:5, 2:2, 3:1. Levels: 0->1, 1,2->2, 3->3. L=3.
+	// maxExec by level: l1=1, l2=5, l3=1.
+	// Deadline at level 3 = D. Level 2 = D-1. Level 1 = D-1-5 = D-6.
+	exec := func(id TaskID) float64 { return []float64{1, 5, 2, 1}[id] }
+	d, err := j.TaskDeadlines(100, exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{94, 99, 99, 100}
+	for i, w := range want {
+		if d[i] != w {
+			t.Errorf("deadline[%d] = %v, want %v", i, d[i], w)
+		}
+	}
+}
+
+func TestTaskDeadlinesSingleLevel(t *testing.T) {
+	j := NewJob(1, 3)
+	exec := func(TaskID) float64 { return 4 }
+	d, err := j.TaskDeadlines(10, exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range d {
+		if v != 10 {
+			t.Errorf("deadline[%d] = %v, want 10 (all tasks at last level)", i, v)
+		}
+	}
+}
+
+func TestAllowableWait(t *testing.T) {
+	if got := AllowableWait(10, 3); got != 7 {
+		t.Errorf("AllowableWait = %v, want 7", got)
+	}
+	if got := AllowableWait(2, 5); got != -3 {
+		t.Errorf("AllowableWait = %v, want -3 (missed deadline)", got)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	j := diamond(t)
+	j.Task(0).Size = 100
+	var buf strings.Builder
+	if err := j.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digraph job1", "t0 -> t1;", "t0 -> t2;", "t1 -> t3;", "t2 -> t3;",
+		"T0\\n100 MI", "rank=same",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Cyclic graphs refuse to render.
+	c := NewJob(9, 2)
+	c.MustDep(0, 1)
+	c.MustDep(1, 0)
+	if err := c.WriteDOT(&buf); err == nil {
+		t.Error("cyclic DOT render accepted")
+	}
+}

@@ -1,0 +1,49 @@
+package dag
+
+// TaskDeadlines derives a deadline for every task from the job deadline,
+// following Section IV-B of the paper: the deadline of the tasks in the
+// last level L is the job's deadline (t^d_ijL = t^d_i), and the deadline
+// of the tasks in level l is the job's deadline minus the maximum
+// execution time of the tasks in each level from L down to l+1:
+//
+//	t^d_ijl = t^d_i - Σ_{k=l+1..L} max_j { t_ijk }
+//
+// jobDeadline and the returned deadlines are in seconds relative to the
+// same origin (typically job submission); exec gives each task's nominal
+// execution time in seconds.
+func (j *Job) TaskDeadlines(jobDeadline float64, exec func(TaskID) float64) ([]float64, error) {
+	levels, err := j.Levels()
+	if err != nil {
+		return nil, err
+	}
+	L, err := j.NumLevels()
+	if err != nil {
+		return nil, err
+	}
+	// maxExec[l] = max over tasks at 1-based level l of exec time.
+	maxExec := make([]float64, L+1)
+	for i, l := range levels {
+		if e := exec(TaskID(i)); e > maxExec[l] {
+			maxExec[l] = e
+		}
+	}
+	// suffix[l] = Σ_{k=l+1..L} maxExec[k]
+	suffix := make([]float64, L+2)
+	for l := L - 1; l >= 0; l-- {
+		suffix[l] = suffix[l+1] + maxExec[l+1]
+	}
+	out := make([]float64, len(j.Tasks))
+	for i, l := range levels {
+		out[i] = jobDeadline - suffix[l]
+	}
+	return out, nil
+}
+
+// AllowableWait returns a task's allowable waiting time t^a = t^d - t^rem:
+// as long as the task's subsequent waiting time does not exceed t^a, it
+// can still complete by its deadline. deadline and remaining are both in
+// seconds measured from now; a negative result means the deadline is
+// already unreachable.
+func AllowableWait(deadline, remaining float64) float64 {
+	return deadline - remaining
+}

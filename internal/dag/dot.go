@@ -1,0 +1,49 @@
+package dag
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the job's dependency graph in Graphviz DOT format,
+// with one node per task (labelled with its ID and size) grouped into
+// ranks by DAG level. Pipe the output through `dot -Tsvg` to visualize a
+// workload's structure.
+func (j *Job) WriteDOT(w io.Writer) error {
+	levels, err := j.Levels()
+	if err != nil {
+		return err
+	}
+	L, err := j.NumLevels()
+	if err != nil {
+		return err
+	}
+	var werr error
+	p := func(format string, args ...any) {
+		if werr == nil {
+			_, werr = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("digraph job%d {\n", j.ID)
+	p("  rankdir=TB;\n")
+	p("  node [shape=box, fontsize=10];\n")
+	for l := 1; l <= L; l++ {
+		p("  { rank=same;")
+		for i, lv := range levels {
+			if lv == l {
+				p(" t%d;", i)
+			}
+		}
+		p(" }\n")
+	}
+	for i, t := range j.Tasks {
+		p("  t%d [label=\"T%d\\n%.0f MI\"];\n", i, i, t.Size)
+	}
+	for parent := range j.Tasks {
+		for _, c := range j.Children(TaskID(parent)) {
+			p("  t%d -> t%d;\n", parent, c)
+		}
+	}
+	p("}\n")
+	return werr
+}

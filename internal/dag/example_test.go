@@ -1,0 +1,91 @@
+package dag_test
+
+import (
+	"fmt"
+	"os"
+
+	"dsp/internal/dag"
+)
+
+// Build the paper's Figure 2 example DAG and inspect its structure.
+func Example() {
+	job := dag.NewJob(1, 7)
+	for i := 0; i < 7; i++ {
+		job.Task(dag.TaskID(i)).Size = 1000 * float64(i+1)
+	}
+	job.MustDep(0, 1)
+	job.MustDep(0, 2)
+	job.MustDep(1, 3)
+	job.MustDep(1, 4)
+	job.MustDep(2, 5)
+	job.MustDep(2, 6)
+
+	order, _ := job.TopoOrder()
+	fmt.Println("topological order:", order)
+
+	levels, _ := job.Levels()
+	fmt.Println("levels:", levels)
+
+	counts, _ := job.DescendantCounts()
+	fmt.Println("descendants of T0:", counts[0])
+	// Output:
+	// topological order: [0 1 2 3 4 5 6]
+	// levels: [1 2 2 3 3 3 3]
+	// descendants of T0: 6
+}
+
+func ExampleJob_CriticalPath() {
+	job := dag.NewJob(0, 4)
+	sizes := []float64{1000, 5000, 2000, 1000}
+	for i, s := range sizes {
+		job.Task(dag.TaskID(i)).Size = s
+	}
+	job.MustDep(0, 1)
+	job.MustDep(0, 2)
+	job.MustDep(1, 3)
+	job.MustDep(2, 3)
+
+	// Execution time at 1000 MIPS.
+	path, length, _ := job.CriticalPath(func(t dag.TaskID) float64 {
+		return job.Task(t).Size / 1000
+	})
+	fmt.Printf("critical path %v takes %.0f s\n", path, length)
+	// Output:
+	// critical path [0 1 3] takes 7 s
+}
+
+func ExampleJob_TaskDeadlines() {
+	job := dag.NewJob(0, 3)
+	for i := 0; i < 3; i++ {
+		job.Task(dag.TaskID(i)).Size = 2000
+	}
+	job.MustDep(0, 1)
+	job.MustDep(1, 2)
+
+	// Job deadline 60 s; each task takes 2 s at 1000 MIPS. Per the
+	// paper's backward rule, earlier levels get earlier deadlines.
+	deadlines, _ := job.TaskDeadlines(60, func(t dag.TaskID) float64 {
+		return job.Task(t).Size / 1000
+	})
+	fmt.Println(deadlines)
+	// Output:
+	// [56 58 60]
+}
+
+func ExampleJob_WriteDOT() {
+	job := dag.NewJob(0, 2)
+	job.Task(0).Size = 10
+	job.Task(1).Size = 20
+	job.MustDep(0, 1)
+	_ = job.WriteDOT(os.Stdout)
+	// Output:
+	// digraph job0 {
+	//   rankdir=TB;
+	//   node [shape=box, fontsize=10];
+	//   { rank=same; t0; }
+	//   { rank=same; t1; }
+	//   t0 [label="T0\n10 MI"];
+	//   t1 [label="T1\n20 MI"];
+	//   t0 -> t1;
+	// }
+}

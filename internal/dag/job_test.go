@@ -1,0 +1,206 @@
+package dag
+
+import (
+	"testing"
+)
+
+// diamond builds the classic diamond DAG: 0 -> {1,2} -> 3.
+func diamond(t *testing.T) *Job {
+	t.Helper()
+	j := NewJob(1, 4)
+	j.MustDep(0, 1)
+	j.MustDep(0, 2)
+	j.MustDep(1, 3)
+	j.MustDep(2, 3)
+	return j
+}
+
+func TestNewJobBasics(t *testing.T) {
+	j := NewJob(7, 5)
+	if j.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", j.Len())
+	}
+	if j.NumEdges() != 0 {
+		t.Fatalf("NumEdges = %d, want 0", j.NumEdges())
+	}
+	for i := 0; i < 5; i++ {
+		task := j.Task(TaskID(i))
+		if task.ID != TaskID(i) || task.Job != 7 {
+			t.Fatalf("task %d has ID %d job %d", i, task.ID, task.Job)
+		}
+	}
+}
+
+func TestAddDepErrors(t *testing.T) {
+	j := NewJob(1, 3)
+	if err := j.AddDep(0, 3); err == nil {
+		t.Error("out-of-range child accepted")
+	}
+	if err := j.AddDep(-1, 0); err == nil {
+		t.Error("out-of-range parent accepted")
+	}
+	if err := j.AddDep(1, 1); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := j.AddDep(0, 1); err != nil {
+		t.Fatalf("valid edge rejected: %v", err)
+	}
+	if err := j.AddDep(0, 1); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+	if j.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1", j.NumEdges())
+	}
+}
+
+func TestTopoOrderDiamond(t *testing.T) {
+	j := diamond(t)
+	order, err := j.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[TaskID]int)
+	for i, id := range order {
+		pos[id] = i
+	}
+	for p := 0; p < 4; p++ {
+		for _, c := range j.Children(TaskID(p)) {
+			if pos[TaskID(p)] >= pos[c] {
+				t.Errorf("parent %d not before child %d in %v", p, c, order)
+			}
+		}
+	}
+	if len(order) != 4 {
+		t.Fatalf("order has %d tasks, want 4", len(order))
+	}
+}
+
+func TestTopoOrderDeterministic(t *testing.T) {
+	j := NewJob(1, 6)
+	j.MustDep(5, 2)
+	j.MustDep(5, 0)
+	j.MustDep(3, 1)
+	a, _ := j.TopoOrder()
+	j2 := j.Clone()
+	b, _ := j2.TopoOrder()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("orders differ at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	j := NewJob(1, 3)
+	j.MustDep(0, 1)
+	j.MustDep(1, 2)
+	j.MustDep(2, 0)
+	if err := j.Validate(); err != ErrCycle {
+		t.Fatalf("Validate = %v, want ErrCycle", err)
+	}
+	if _, err := j.Levels(); err != ErrCycle {
+		t.Fatalf("Levels err = %v, want ErrCycle", err)
+	}
+}
+
+func TestRootsLeaves(t *testing.T) {
+	j := diamond(t)
+	roots := j.Roots()
+	if len(roots) != 1 || roots[0] != 0 {
+		t.Errorf("Roots = %v, want [0]", roots)
+	}
+	leaves := j.Leaves()
+	if len(leaves) != 1 || leaves[0] != 3 {
+		t.Errorf("Leaves = %v, want [3]", leaves)
+	}
+	empty := NewJob(2, 3)
+	if got := len(empty.Roots()); got != 3 {
+		t.Errorf("independent job has %d roots, want 3", got)
+	}
+}
+
+func TestDependsOn(t *testing.T) {
+	j := diamond(t)
+	cases := []struct {
+		a, b TaskID
+		want bool
+	}{
+		{3, 0, true},  // 3 transitively depends on 0
+		{1, 0, true},  // direct
+		{0, 3, false}, // reversed
+		{1, 2, false}, // siblings
+		{2, 2, false}, // self
+	}
+	for _, c := range cases {
+		if got := j.DependsOn(c.a, c.b); got != c.want {
+			t.Errorf("DependsOn(%d,%d) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	j := diamond(t)
+	j.Deadline = 42
+	j.Production = true
+	j.Task(0).Size = 100
+	c := j.Clone()
+	if c.Deadline != 42 || !c.Production || c.NumEdges() != 4 {
+		t.Fatalf("clone lost metadata: %+v", c)
+	}
+	c.Task(0).Size = 7
+	if j.Task(0).Size != 100 {
+		t.Error("clone shares task structs with original")
+	}
+	if err := c.AddDep(1, 2); err != nil {
+		t.Fatalf("AddDep on clone: %v", err)
+	}
+	if j.NumEdges() != 4 {
+		t.Error("adding edge to clone mutated original")
+	}
+}
+
+func TestTotalSize(t *testing.T) {
+	j := NewJob(1, 3)
+	j.Task(0).Size = 1.5
+	j.Task(1).Size = 2.5
+	j.Task(2).Size = 4
+	if got := j.TotalSize(); got != 8 {
+		t.Errorf("TotalSize = %v, want 8", got)
+	}
+}
+
+func TestResources(t *testing.T) {
+	a := Resources{CPU: 1, Mem: 2, DiskMB: 3, Bandwidth: 4}
+	b := Resources{CPU: 0.5, Mem: 1, DiskMB: 1, Bandwidth: 1}
+	sum := a.Add(b)
+	if sum.CPU != 1.5 || sum.Mem != 3 || sum.DiskMB != 4 || sum.Bandwidth != 5 {
+		t.Errorf("Add = %+v", sum)
+	}
+	diff := a.Sub(b)
+	if diff.CPU != 0.5 || diff.Mem != 1 {
+		t.Errorf("Sub = %+v", diff)
+	}
+	if !b.Fits(a) {
+		t.Error("b should fit in a")
+	}
+	if a.Fits(b) {
+		t.Error("a should not fit in b")
+	}
+	if got := a.Dot(b); got != 1*0.5+2*1 {
+		t.Errorf("Dot = %v", got)
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	k := Key{Job: 3, Task: 17}
+	if k.String() != "J3.T17" {
+		t.Errorf("Key.String = %q", k.String())
+	}
+	task := &Task{ID: 2, Job: 9}
+	if task.Key() != (Key{Job: 9, Task: 2}) {
+		t.Errorf("Task.Key = %v", task.Key())
+	}
+}

@@ -1,0 +1,153 @@
+package dag
+
+// Levels returns the level of each task, 1-based: root tasks (no
+// precedents) are at level 1 and every other task is one level below its
+// deepest parent, so leaves of the longest chain sit at level L =
+// NumLevels(). This matches the level structure in Figure 3 of the paper,
+// where the job deadline attaches to the last (deepest) level.
+//
+// Levels returns ErrCycle if the graph is cyclic.
+func (j *Job) Levels() ([]int, error) {
+	if j.levels != nil {
+		return j.levels, nil
+	}
+	order, err := j.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	levels := make([]int, len(j.Tasks))
+	for _, t := range order {
+		lvl := 1
+		for _, p := range j.parents[t] {
+			if levels[p]+1 > lvl {
+				lvl = levels[p] + 1
+			}
+		}
+		levels[t] = lvl
+	}
+	j.levels = levels
+	return levels, nil
+}
+
+// NumLevels returns L, the total number of levels in the DAG (the length
+// of the longest chain). An empty job has zero levels.
+func (j *Job) NumLevels() (int, error) {
+	levels, err := j.Levels()
+	if err != nil {
+		return 0, err
+	}
+	max := 0
+	for _, l := range levels {
+		if l > max {
+			max = l
+		}
+	}
+	return max, nil
+}
+
+// TasksAtLevel returns the IDs of the tasks at the given 1-based level, in
+// ascending ID order.
+func (j *Job) TasksAtLevel(level int) ([]TaskID, error) {
+	levels, err := j.Levels()
+	if err != nil {
+		return nil, err
+	}
+	var out []TaskID
+	for i, l := range levels {
+		if l == level {
+			out = append(out, TaskID(i))
+		}
+	}
+	return out, nil
+}
+
+// DescendantCounts returns, for each task, the number of distinct tasks
+// that transitively depend on it. A task with more descendants unlocks
+// more work when it finishes; DSP's priority favours such tasks.
+func (j *Job) DescendantCounts() ([]int, error) {
+	if j.desc != nil {
+		return j.desc, nil
+	}
+	order, err := j.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	n := len(j.Tasks)
+	counts := make([]int, n)
+	// For exact distinct-descendant counts we propagate bitsets in
+	// reverse topological order. Words are packed uint64s; n is at most a
+	// few thousand per the paper, so this stays cheap.
+	words := (n + 63) / 64
+	sets := make([][]uint64, n)
+	for i := len(order) - 1; i >= 0; i-- {
+		t := order[i]
+		set := make([]uint64, words)
+		for _, c := range j.children[t] {
+			set[int(c)/64] |= 1 << (uint(c) % 64)
+			for w, v := range sets[c] {
+				set[w] |= v
+			}
+		}
+		sets[t] = set
+		cnt := 0
+		for _, v := range set {
+			cnt += popcount(v)
+		}
+		counts[t] = cnt
+	}
+	j.desc = counts
+	return counts, nil
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// DescendantsAtDepth returns how many distinct tasks are exactly d edges
+// of shortest dependency distance below task t (d=1 gives the direct
+// dependents). The paper's Figure 3 discussion compares tasks by their
+// dependent counts in the first level, then the second level, and so on.
+func (j *Job) DescendantsAtDepth(t TaskID, d int) int {
+	if d <= 0 {
+		return 0
+	}
+	depth := make(map[TaskID]int)
+	queue := []TaskID{t}
+	depth[t] = 0
+	count := 0
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if depth[cur] == d {
+			count++
+			continue
+		}
+		if depth[cur] > d {
+			continue
+		}
+		for _, c := range j.children[cur] {
+			if _, ok := depth[c]; !ok {
+				depth[c] = depth[cur] + 1
+				queue = append(queue, c)
+			}
+		}
+	}
+	return count
+}
+
+// MaxOutDegree returns the largest number of direct dependents any task
+// has; the paper's generated DAGs cap this at fifteen.
+func (j *Job) MaxOutDegree() int {
+	max := 0
+	for _, cs := range j.children {
+		if len(cs) > max {
+			max = len(cs)
+		}
+	}
+	return max
+}

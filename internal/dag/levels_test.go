@@ -1,0 +1,130 @@
+package dag
+
+import "testing"
+
+// figure3 builds a DAG shaped like the paper's Figure 3 discussion:
+// three root tasks with different dependent structures.
+//
+//	T0 -> T1..T4                         (4 children, no grandchildren)
+//	T5 -> T6,T7 ; T6 -> T8,T9            (2 children, 2 grandchildren)
+//	T10 -> T11,T12 ; T11 -> T13,T14 ; T12 -> T15,T16
+func figure3() *Job {
+	j := NewJob(3, 17)
+	j.MustDep(0, 1)
+	j.MustDep(0, 2)
+	j.MustDep(0, 3)
+	j.MustDep(0, 4)
+	j.MustDep(5, 6)
+	j.MustDep(5, 7)
+	j.MustDep(6, 8)
+	j.MustDep(6, 9)
+	j.MustDep(10, 11)
+	j.MustDep(10, 12)
+	j.MustDep(11, 13)
+	j.MustDep(11, 14)
+	j.MustDep(12, 15)
+	j.MustDep(12, 16)
+	return j
+}
+
+func TestLevelsDiamond(t *testing.T) {
+	j := diamond(t)
+	levels, err := j.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 2, 3}
+	for i, w := range want {
+		if levels[i] != w {
+			t.Errorf("level[%d] = %d, want %d", i, levels[i], w)
+		}
+	}
+	L, _ := j.NumLevels()
+	if L != 3 {
+		t.Errorf("NumLevels = %d, want 3", L)
+	}
+}
+
+func TestTasksAtLevel(t *testing.T) {
+	j := diamond(t)
+	mid, err := j.TasksAtLevel(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mid) != 2 || mid[0] != 1 || mid[1] != 2 {
+		t.Errorf("TasksAtLevel(2) = %v, want [1 2]", mid)
+	}
+	none, _ := j.TasksAtLevel(9)
+	if len(none) != 0 {
+		t.Errorf("TasksAtLevel(9) = %v, want empty", none)
+	}
+}
+
+func TestDescendantCounts(t *testing.T) {
+	j := figure3()
+	counts, err := j.DescendantCounts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 4 {
+		t.Errorf("T0 descendants = %d, want 4", counts[0])
+	}
+	if counts[5] != 4 {
+		t.Errorf("T5 descendants = %d, want 4", counts[5])
+	}
+	if counts[10] != 6 {
+		t.Errorf("T10 descendants = %d, want 6", counts[10])
+	}
+	if counts[1] != 0 {
+		t.Errorf("leaf T1 descendants = %d, want 0", counts[1])
+	}
+}
+
+func TestDescendantCountsDiamondDistinct(t *testing.T) {
+	// Diamond: T0's descendants are {1,2,3} — task 3 must be counted once
+	// even though it is reachable along two paths.
+	j := diamond(t)
+	counts, err := j.DescendantCounts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 3 {
+		t.Errorf("diamond root descendants = %d, want 3 (distinct)", counts[0])
+	}
+}
+
+func TestDescendantsAtDepth(t *testing.T) {
+	j := figure3()
+	// T0: 4 at depth 1, 0 at depth 2.
+	if got := j.DescendantsAtDepth(0, 1); got != 4 {
+		t.Errorf("T0 depth-1 = %d, want 4", got)
+	}
+	if got := j.DescendantsAtDepth(0, 2); got != 0 {
+		t.Errorf("T0 depth-2 = %d, want 0", got)
+	}
+	// T5: 2 at depth 1, 2 at depth 2.
+	if got := j.DescendantsAtDepth(5, 1); got != 2 {
+		t.Errorf("T5 depth-1 = %d, want 2", got)
+	}
+	if got := j.DescendantsAtDepth(5, 2); got != 2 {
+		t.Errorf("T5 depth-2 = %d, want 2", got)
+	}
+	// T10: 2 at depth 1, 4 at depth 2 — more than T5, so per the paper's
+	// Figure 3 argument T10 should end up with higher priority.
+	if got := j.DescendantsAtDepth(10, 2); got != 4 {
+		t.Errorf("T10 depth-2 = %d, want 4", got)
+	}
+	if got := j.DescendantsAtDepth(0, 0); got != 0 {
+		t.Errorf("depth-0 = %d, want 0", got)
+	}
+}
+
+func TestMaxOutDegree(t *testing.T) {
+	j := figure3()
+	if got := j.MaxOutDegree(); got != 4 {
+		t.Errorf("MaxOutDegree = %d, want 4", got)
+	}
+	if got := NewJob(1, 2).MaxOutDegree(); got != 0 {
+		t.Errorf("edgeless MaxOutDegree = %d, want 0", got)
+	}
+}

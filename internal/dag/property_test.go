@@ -1,0 +1,202 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomDAG builds a random DAG with edges oriented from lower to higher
+// task IDs (hence acyclic by construction).
+func randomDAG(r *rand.Rand, n, maxEdges int) *Job {
+	j := NewJob(JobID(r.Intn(1000)), n)
+	for e := 0; e < maxEdges; e++ {
+		a := r.Intn(n)
+		b := r.Intn(n)
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		_ = j.AddDep(TaskID(a), TaskID(b)) // duplicate edges rejected, fine
+	}
+	for i := 0; i < n; i++ {
+		j.Task(TaskID(i)).Size = 1 + r.Float64()*999
+	}
+	return j
+}
+
+func TestPropertyTopoRespectsEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(40)
+		j := randomDAG(r, n, 3*n)
+		order, err := j.TopoOrder()
+		if err != nil {
+			return false
+		}
+		pos := make([]int, n)
+		for i, id := range order {
+			pos[id] = i
+		}
+		for p := 0; p < n; p++ {
+			for _, c := range j.Children(TaskID(p)) {
+				if pos[p] >= pos[c] {
+					return false
+				}
+			}
+		}
+		return len(order) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyLevelsIncreaseAlongEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(40)
+		j := randomDAG(r, n, 3*n)
+		levels, err := j.Levels()
+		if err != nil {
+			return false
+		}
+		for p := 0; p < n; p++ {
+			if levels[p] < 1 {
+				return false
+			}
+			for _, c := range j.Children(TaskID(p)) {
+				if levels[c] <= levels[p] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDescendantCountsBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(30)
+		j := randomDAG(r, n, 3*n)
+		counts, err := j.DescendantCounts()
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			id := TaskID(i)
+			if counts[i] < j.OutDegree(id) || counts[i] > n-1 {
+				return false
+			}
+			// Cross-check against DependsOn for one random other task.
+			o := TaskID(r.Intn(n))
+			if o != id && j.DependsOn(o, id) && counts[i] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyChainsAreValidPaths(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(12)
+		j := randomDAG(r, n, 2*n)
+		chains, err := j.Chains(64)
+		if err != nil {
+			return false
+		}
+		for _, c := range chains {
+			if len(c) == 0 {
+				return false
+			}
+			if j.InDegree(c[0]) != 0 {
+				return false // must start at a root
+			}
+			for i := 0; i+1 < len(c); i++ {
+				edge := false
+				for _, ch := range j.Children(c[i]) {
+					if ch == c[i+1] {
+						edge = true
+						break
+					}
+				}
+				if !edge {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDeadlinesMonotoneInLevel(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(25)
+		j := randomDAG(r, n, 3*n)
+		exec := func(id TaskID) float64 { return j.Task(id).Size / 100 }
+		deadlines, err := j.TaskDeadlines(1e6, exec)
+		if err != nil {
+			return false
+		}
+		levels, _ := j.Levels()
+		for p := 0; p < n; p++ {
+			for _, c := range j.Children(TaskID(p)) {
+				// A deeper level can never have an earlier deadline.
+				if levels[c] > levels[p] && deadlines[c] < deadlines[p] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCriticalPathDominatesBottomLevels(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(25)
+		j := randomDAG(r, n, 3*n)
+		exec := func(id TaskID) float64 { return j.Task(id).Size / 100 }
+		_, cp, err := j.CriticalPath(exec)
+		if err != nil {
+			return false
+		}
+		bl, err := j.BottomLevel(exec)
+		if err != nil {
+			return false
+		}
+		const eps = 1e-9
+		maxBL := 0.0
+		for i, v := range bl {
+			if v < exec(TaskID(i))-eps {
+				return false // bottom level includes the task itself
+			}
+			if v > maxBL {
+				maxBL = v
+			}
+		}
+		// The max bottom level over roots equals the critical path length.
+		return maxBL <= cp+eps && cp <= maxBL+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,88 @@
+// Package dag models data-parallel jobs as directed acyclic graphs of
+// tasks, following the model in Section III of the DSP paper (Liu et al.,
+// CLUSTER 2018). A job is split into m tasks; dependency edges constrain
+// execution order (a task cannot start until every precedent task has
+// finished). The package provides structural analyses used by both the
+// offline scheduler and the online preemption policy: topological order,
+// level assignment, chains, per-level descendant counts and per-task
+// deadline derivation.
+package dag
+
+import "fmt"
+
+// TaskID identifies a task within its job (0-based dense index).
+type TaskID int
+
+// JobID identifies a job within a workload.
+type JobID int
+
+// Resources describes a task's peak resource demand. CPU and Mem are in
+// abstract normalized units (a node's capacity is expressed in the same
+// units); Disk is in MB and Bandwidth in MB/s, matching the constants used
+// in the paper's evaluation (0.02 MB and 0.02 MB/s per task).
+type Resources struct {
+	CPU       float64
+	Mem       float64
+	DiskMB    float64
+	Bandwidth float64
+}
+
+// Add returns the component-wise sum r + o.
+func (r Resources) Add(o Resources) Resources {
+	return Resources{
+		CPU:       r.CPU + o.CPU,
+		Mem:       r.Mem + o.Mem,
+		DiskMB:    r.DiskMB + o.DiskMB,
+		Bandwidth: r.Bandwidth + o.Bandwidth,
+	}
+}
+
+// Sub returns the component-wise difference r - o.
+func (r Resources) Sub(o Resources) Resources {
+	return Resources{
+		CPU:       r.CPU - o.CPU,
+		Mem:       r.Mem - o.Mem,
+		DiskMB:    r.DiskMB - o.DiskMB,
+		Bandwidth: r.Bandwidth - o.Bandwidth,
+	}
+}
+
+// Fits reports whether demand r fits within capacity c on every dimension.
+func (r Resources) Fits(c Resources) bool {
+	return r.CPU <= c.CPU && r.Mem <= c.Mem &&
+		r.DiskMB <= c.DiskMB && r.Bandwidth <= c.Bandwidth
+}
+
+// Dot returns the weighted dot product of two resource vectors over the
+// CPU and memory dimensions; Tetris' alignment score uses this.
+func (r Resources) Dot(o Resources) float64 {
+	return r.CPU*o.CPU + r.Mem*o.Mem
+}
+
+// Task is one unit of work within a job. Size is the task length l_ij in
+// millions of instructions (MI); executing it on a node with processing
+// rate g(k) MIPS takes l_ij / g(k) seconds (Equation 2 in the paper).
+type Task struct {
+	ID  TaskID
+	Job JobID
+	// Size is the task length in millions of instructions.
+	Size float64
+	// Demand is the task's peak resource demand.
+	Demand Resources
+	// Preferred is the node holding the task's input data (data
+	// locality, the paper's first future-work item); negative means no
+	// preference. Running elsewhere may incur a remote-input penalty.
+	Preferred int
+}
+
+// Key globally identifies a task across jobs.
+type Key struct {
+	Job  JobID
+	Task TaskID
+}
+
+// String renders a task key as "J3.T17".
+func (k Key) String() string { return fmt.Sprintf("J%d.T%d", k.Job, k.Task) }
+
+// Key returns the global key of t.
+func (t *Task) Key() Key { return Key{Job: t.Job, Task: t.ID} }

@@ -1,0 +1,162 @@
+// Package eventq provides the discrete-event core of the cluster
+// simulator: a priority queue of timestamped events and a simulation
+// clock. Events at equal timestamps pop in insertion order (FIFO), which
+// keeps simulations fully deterministic.
+package eventq
+
+import (
+	"container/heap"
+
+	"dsp/internal/units"
+)
+
+// Event is anything scheduled to happen at a point in simulated time.
+type Event interface {
+	// Fire executes the event at its scheduled time.
+	Fire(now units.Time)
+}
+
+// Func adapts a plain function to the Event interface.
+type Func func(now units.Time)
+
+// Fire calls f.
+func (f Func) Fire(now units.Time) { f(now) }
+
+type item struct {
+	at  units.Time
+	seq uint64
+	ev  Event
+	// index in heap, -1 if removed
+	index int
+}
+
+// Handle allows cancelling a scheduled event.
+type Handle struct{ it *item }
+
+// Cancelled reports whether the event was cancelled or already fired.
+func (h Handle) Cancelled() bool { return h.it == nil || h.it.index == -1 }
+
+type pq []*item
+
+func (p pq) Len() int { return len(p) }
+func (p pq) Less(i, j int) bool {
+	if p[i].at != p[j].at {
+		return p[i].at < p[j].at
+	}
+	return p[i].seq < p[j].seq
+}
+func (p pq) Swap(i, j int) {
+	p[i], p[j] = p[j], p[i]
+	p[i].index = i
+	p[j].index = j
+}
+func (p *pq) Push(x any) {
+	it := x.(*item)
+	it.index = len(*p)
+	*p = append(*p, it)
+}
+func (p *pq) Pop() any {
+	old := *p
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.index = -1
+	*p = old[:n-1]
+	return it
+}
+
+// Queue is a deterministic discrete-event queue with a clock.
+type Queue struct {
+	h   pq
+	seq uint64
+	now units.Time
+}
+
+// New returns an empty queue with the clock at zero.
+func New() *Queue { return &Queue{} }
+
+// Now returns the current simulated time.
+func (q *Queue) Now() units.Time { return q.now }
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// At schedules ev to fire at absolute time at. Scheduling in the past
+// (before the current clock) clamps to the current clock so causality is
+// preserved.
+func (q *Queue) At(at units.Time, ev Event) Handle {
+	if at < q.now {
+		at = q.now
+	}
+	it := &item{at: at, seq: q.seq, ev: ev}
+	q.seq++
+	heap.Push(&q.h, it)
+	return Handle{it: it}
+}
+
+// After schedules ev to fire d after the current clock.
+func (q *Queue) After(d units.Time, ev Event) Handle {
+	return q.At(q.now+d, ev)
+}
+
+// Cancel removes a scheduled event; firing an already-fired or cancelled
+// handle is a no-op and returns false.
+func (q *Queue) Cancel(h Handle) bool {
+	if h.it == nil || h.it.index == -1 {
+		return false
+	}
+	heap.Remove(&q.h, h.it.index)
+	h.it.index = -1
+	return true
+}
+
+// Step pops and fires the earliest event, advancing the clock to its
+// timestamp. It returns false when the queue is empty.
+func (q *Queue) Step() bool {
+	if len(q.h) == 0 {
+		return false
+	}
+	it := heap.Pop(&q.h).(*item)
+	q.now = it.at
+	it.ev.Fire(q.now)
+	return true
+}
+
+// RunUntil fires events in order until the clock would pass limit or the
+// queue drains. Events scheduled exactly at limit still fire. It returns
+// the number of events fired.
+func (q *Queue) RunUntil(limit units.Time) int {
+	fired := 0
+	for len(q.h) > 0 && q.h[0].at <= limit {
+		q.Step()
+		fired++
+	}
+	if q.now < limit && len(q.h) == 0 {
+		q.now = limit
+	}
+	return fired
+}
+
+// Run drains the queue completely, returning the number of events fired
+// and whether the queue actually drained. A safety cap guards against
+// runaway self-rescheduling loops: when maxEvents > 0 and the cap is
+// reached, Run stops firing and returns drained=false with events still
+// pending.
+func (q *Queue) Run(maxEvents int) (fired int, drained bool) {
+	for q.Step() {
+		fired++
+		if maxEvents > 0 && fired >= maxEvents {
+			return fired, q.Len() == 0
+		}
+	}
+	return fired, true
+}
+
+// PeekTime returns the timestamp of the earliest pending event, or
+// units.Forever if the queue is empty.
+func (q *Queue) PeekTime() units.Time {
+	if len(q.h) == 0 {
+		return units.Forever
+	}
+	return q.h[0].at
+}

@@ -1,0 +1,190 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"dsp/internal/units"
+)
+
+func TestFiresInTimeOrder(t *testing.T) {
+	q := New()
+	var got []units.Time
+	rec := func(now units.Time) { got = append(got, now) }
+	q.At(30, Func(rec))
+	q.At(10, Func(rec))
+	q.At(20, Func(rec))
+	q.Run(0)
+	want := []units.Time{10, 20, 30}
+	for i, w := range want {
+		if got[i] != w {
+			t.Fatalf("fire order %v, want %v", got, want)
+		}
+	}
+	if q.Now() != 30 {
+		t.Errorf("clock = %v, want 30", q.Now())
+	}
+}
+
+func TestEqualTimesFIFO(t *testing.T) {
+	q := New()
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		q.At(100, Func(func(units.Time) { got = append(got, i) }))
+	}
+	q.Run(0)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("equal-time events fired out of insertion order: %v", got)
+		}
+	}
+}
+
+func TestAfterAndClockAdvance(t *testing.T) {
+	q := New()
+	var at units.Time = -1
+	q.At(50, Func(func(now units.Time) {
+		q.After(25, Func(func(n units.Time) { at = n }))
+	}))
+	q.Run(0)
+	if at != 75 {
+		t.Errorf("After fired at %v, want 75", at)
+	}
+}
+
+func TestPastSchedulingClamps(t *testing.T) {
+	q := New()
+	var fired units.Time = -1
+	q.At(100, Func(func(now units.Time) {
+		q.At(10, Func(func(n units.Time) { fired = n })) // in the past
+	}))
+	q.Run(0)
+	if fired != 100 {
+		t.Errorf("past event fired at %v, want clamped to 100", fired)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	q := New()
+	fired := false
+	h := q.At(10, Func(func(units.Time) { fired = true }))
+	if h.Cancelled() {
+		t.Error("fresh handle reports cancelled")
+	}
+	if !q.Cancel(h) {
+		t.Error("Cancel returned false for live event")
+	}
+	if !h.Cancelled() {
+		t.Error("handle not marked cancelled")
+	}
+	if q.Cancel(h) {
+		t.Error("double cancel returned true")
+	}
+	q.Run(0)
+	if fired {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	q := New()
+	count := 0
+	for _, at := range []units.Time{5, 10, 15, 20} {
+		q.At(at, Func(func(units.Time) { count++ }))
+	}
+	n := q.RunUntil(10)
+	if n != 2 || count != 2 {
+		t.Errorf("RunUntil(10) fired %d, want 2", count)
+	}
+	if q.Len() != 2 {
+		t.Errorf("%d events left, want 2", q.Len())
+	}
+	if q.PeekTime() != 15 {
+		t.Errorf("PeekTime = %v, want 15", q.PeekTime())
+	}
+	q.RunUntil(100)
+	if q.Now() != 100 {
+		t.Errorf("RunUntil should advance clock to limit when drained; now=%v", q.Now())
+	}
+}
+
+func TestRunCapStops(t *testing.T) {
+	q := New()
+	var reschedule func(units.Time)
+	reschedule = func(units.Time) { q.After(1, Func(reschedule)) }
+	q.At(0, Func(reschedule))
+	fired, drained := q.Run(100)
+	if fired != 100 {
+		t.Errorf("fired = %d, want exactly the cap", fired)
+	}
+	if drained {
+		t.Error("self-rescheduling loop cannot drain")
+	}
+	if q.Len() == 0 {
+		t.Error("pending event should remain after the cap")
+	}
+}
+
+func TestPeekEmptyIsForever(t *testing.T) {
+	q := New()
+	if q.PeekTime() != units.Forever {
+		t.Error("PeekTime on empty queue should be Forever")
+	}
+	if q.Step() {
+		t.Error("Step on empty queue should return false")
+	}
+}
+
+func TestPropertyPopsSorted(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := New()
+		n := 1 + r.Intn(200)
+		times := make([]units.Time, n)
+		for i := range times {
+			times[i] = units.Time(r.Intn(1000))
+		}
+		var got []units.Time
+		for _, at := range times {
+			q.At(at, Func(func(now units.Time) { got = append(got, now) }))
+		}
+		q.Run(0)
+		if len(got) != n {
+			return false
+		}
+		sorted := append([]units.Time(nil), times...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for i := range got {
+			if got[i] != sorted[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCancelRemovesExactlyOne(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := New()
+		n := 2 + r.Intn(50)
+		handles := make([]Handle, n)
+		fired := 0
+		for i := 0; i < n; i++ {
+			handles[i] = q.At(units.Time(r.Intn(100)), Func(func(units.Time) { fired++ }))
+		}
+		k := r.Intn(n)
+		q.Cancel(handles[k])
+		q.Run(0)
+		return fired == n-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

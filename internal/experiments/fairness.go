@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dsp/internal/metrics"
+	"dsp/internal/sched"
+	"dsp/internal/sim"
+)
+
+// Fairness — a paper future-work item — compares the preemption methods
+// on per-job slowdown fairness: for each method it reports Jain's index
+// over job slowdowns (1 = perfectly even slowdowns), the mean slowdown,
+// and the worst-case (max) slowdown. Aggressive shortest-first policies
+// trade fairness for mean performance; the index makes that visible.
+func Fairness(p Platform, h int, o Options) (*metrics.Table, error) {
+	// Rows: 1 = Jain index, 2 = mean slowdown, 3 = max slowdown; one
+	// column per preemption method.
+	t := metrics.NewTable(
+		fmt.Sprintf("Fairness of preemption methods (%d jobs, %s) — rows: 1=Jain index, 2=mean slowdown, 3=max slowdown", h, p),
+		"row", "", PreemptorNames()...)
+	for _, name := range PreemptorNames() {
+		pre, cp, err := NewPreemptor(name)
+		if err != nil {
+			return nil, err
+		}
+		w, err := workloadFor(h, o)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run(sim.Config{
+			Cluster:    p.Cluster(),
+			Scheduler:  sched.NewDSP(),
+			Preemptor:  pre,
+			Checkpoint: cp,
+			Period:     o.Period,
+			Epoch:      o.Epoch,
+		}, w)
+		if err != nil {
+			return nil, fmt.Errorf("fairness %s: %w", name, err)
+		}
+		slowdowns := make([]float64, 0, len(res.Jobs))
+		var mean, max float64
+		for _, r := range res.Jobs {
+			slowdowns = append(slowdowns, r.Slowdown)
+			mean += r.Slowdown
+			if r.Slowdown > max {
+				max = r.Slowdown
+			}
+		}
+		if len(slowdowns) > 0 {
+			mean /= float64(len(slowdowns))
+		}
+		t.Set(1, name, metrics.JainIndex(slowdowns))
+		t.Set(2, name, mean)
+		t.Set(3, name, max)
+	}
+	return t, nil
+}

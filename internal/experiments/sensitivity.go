@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dsp/internal/metrics"
+	"dsp/internal/preempt"
+	"dsp/internal/sched"
+	"dsp/internal/sim"
+	"dsp/internal/units"
+)
+
+// Parameter sensitivity — "We will also study the sensitivity of the
+// parameters" (paper Section VI). Each sweep fixes one workload cell and
+// varies one DSP parameter, reporting throughput, preemptions and
+// makespan per value.
+
+// SensitivityParam names a sweepable DSP parameter.
+type SensitivityParam string
+
+// Sweepable parameters.
+const (
+	ParamGamma  SensitivityParam = "gamma"  // level coefficient γ
+	ParamDelta  SensitivityParam = "delta"  // preempting-task window δ
+	ParamRho    SensitivityParam = "rho"    // PP normalized-priority factor ρ
+	ParamOmega1 SensitivityParam = "omega1" // remaining-time weight ω₁ (ω₂/ω₃ rescale)
+	ParamEpoch  SensitivityParam = "epoch"  // preemption epoch (seconds)
+)
+
+// SensitivityValues returns the default sweep grid for a parameter.
+func SensitivityValues(p SensitivityParam) []float64 {
+	switch p {
+	case ParamGamma:
+		return []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	case ParamDelta:
+		return []float64{0.1, 0.2, 0.35, 0.5, 0.75, 1.0}
+	case ParamRho:
+		return []float64{1.1, 1.5, 2, 3, 5}
+	case ParamOmega1:
+		return []float64{0.2, 0.35, 0.5, 0.65, 0.8}
+	case ParamEpoch:
+		return []float64{5, 10, 20, 40}
+	default:
+		return nil
+	}
+}
+
+// Sensitivity sweeps one DSP parameter on a fixed workload (h jobs on
+// the given platform) and tabulates throughput, preemption count and
+// makespan against the parameter value.
+func Sensitivity(param SensitivityParam, values []float64, p Platform, h int, o Options) (*metrics.Table, error) {
+	if len(values) == 0 {
+		values = SensitivityValues(param)
+	}
+	if len(values) == 0 {
+		return nil, fmt.Errorf("experiments: unknown sensitivity parameter %q", param)
+	}
+	t := metrics.NewTable(
+		fmt.Sprintf("Sensitivity of %s (DSP, %d jobs, %s)", param, h, p),
+		string(param), "",
+		"throughput(tasks/ms)", "preemptions", "makespan(s)", "avg-wait(s)")
+
+	for _, val := range values {
+		pre := preempt.NewDSP()
+		cfg := sim.Config{
+			Cluster:   p.Cluster(),
+			Scheduler: sched.NewDSP(),
+			Preemptor: pre,
+			Period:    o.Period,
+			Epoch:     o.Epoch,
+		}
+		switch param {
+		case ParamGamma:
+			pre.P.Gamma = val
+		case ParamDelta:
+			pre.P.Delta = val
+		case ParamRho:
+			pre.P.Rho = val
+		case ParamOmega1:
+			// Rescale ω₂, ω₃ to keep the weights summing to one while
+			// preserving their 3:2 ratio.
+			pre.P.Omega1 = val
+			rest := 1 - val
+			pre.P.Omega2 = rest * 0.6
+			pre.P.Omega3 = rest * 0.4
+		case ParamEpoch:
+			cfg.Epoch = units.FromSeconds(val)
+		default:
+			return nil, fmt.Errorf("experiments: unknown sensitivity parameter %q", param)
+		}
+		_, cp, err := NewPreemptor("DSP")
+		if err != nil {
+			return nil, err
+		}
+		cfg.Checkpoint = cp
+
+		w, err := workloadFor(h, o)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run(cfg, w)
+		if err != nil {
+			return nil, fmt.Errorf("sensitivity %s=%v: %w", param, val, err)
+		}
+		t.Set(val, "throughput(tasks/ms)", res.TaskThroughputPerMs)
+		t.Set(val, "preemptions", float64(res.Preemptions))
+		t.Set(val, "makespan(s)", res.Makespan.Seconds())
+		t.Set(val, "avg-wait(s)", res.AvgJobQueueing.Seconds())
+	}
+	return t, nil
+}

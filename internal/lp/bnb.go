@@ -1,0 +1,109 @@
+package lp
+
+import "math"
+
+const intTol = 1e-6
+
+// branchAndBound solves the mixed-integer model by depth-first branch and
+// bound over the LP relaxation. Branching variable: most fractional
+// integer variable; children explored floor-side first (a good heuristic
+// for scheduling models where small start slots are preferred).
+func (m *Model) branchAndBound(lo, hi []float64) *Solution {
+	maxNodes := m.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = 50000
+	}
+
+	type node struct {
+		lo, hi []float64
+	}
+	stack := []node{{lo: lo, hi: hi}}
+
+	var best *Solution
+	worse := func(obj float64) bool {
+		if best == nil {
+			return false
+		}
+		if m.sense == Minimize {
+			return obj >= best.Objective-1e-9
+		}
+		return obj <= best.Objective+1e-9
+	}
+
+	nodes := 0
+	for len(stack) > 0 {
+		if nodes >= maxNodes {
+			if best != nil {
+				best.Status = NodeLimit
+				best.Nodes = nodes
+				return best
+			}
+			return &Solution{Status: NodeLimit, Nodes: nodes}
+		}
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nodes++
+
+		rel := m.solveLP(nd.lo, nd.hi)
+		if rel.Status == Unbounded {
+			// A bounded-integer model with an unbounded relaxation: report
+			// unbounded (integrality cannot rescue a truly unbounded LP
+			// when the integer variables are bounded).
+			rel.Nodes = nodes
+			return rel
+		}
+		if rel.Status != Optimal {
+			continue // infeasible or iteration-limited node: prune
+		}
+		if worse(rel.Objective) {
+			continue
+		}
+		// Find most fractional integer variable.
+		branch := -1
+		bestFrac := intTol
+		for i, v := range m.vars {
+			if !v.integer {
+				continue
+			}
+			f := rel.X[i] - math.Floor(rel.X[i])
+			d := math.Min(f, 1-f)
+			if d > bestFrac {
+				bestFrac = d
+				branch = i
+			}
+		}
+		if branch == -1 {
+			// Integral (within tolerance): round and accept as incumbent.
+			xi := append([]float64(nil), rel.X...)
+			for i, v := range m.vars {
+				if v.integer {
+					xi[i] = math.Round(xi[i])
+				}
+			}
+			cand := &Solution{Status: Optimal, Objective: rel.Objective, X: xi}
+			if best == nil || !worse(cand.Objective) {
+				best = cand
+			}
+			continue
+		}
+		val := rel.X[branch]
+		// Ceil child pushed first so the floor child pops first (DFS).
+		upLo := append([]float64(nil), nd.lo...)
+		upHi := nd.hi
+		upLo[branch] = math.Ceil(val)
+		if upLo[branch] <= upHi[branch]+eps {
+			stack = append(stack, node{lo: upLo, hi: upHi})
+		}
+		dnLo := nd.lo
+		dnHi := append([]float64(nil), nd.hi...)
+		dnHi[branch] = math.Floor(val)
+		if dnLo[branch] <= dnHi[branch]+eps {
+			stack = append(stack, node{lo: dnLo, hi: dnHi})
+		}
+	}
+	if best == nil {
+		return &Solution{Status: Infeasible, Nodes: nodes}
+	}
+	best.Nodes = nodes
+	return best
+}

@@ -1,0 +1,51 @@
+package lp_test
+
+import (
+	"fmt"
+	"math"
+
+	"dsp/internal/lp"
+)
+
+// Solve a small production-planning LP.
+func Example() {
+	m := lp.NewModel("production", lp.Maximize)
+	x := m.AddVar(0, math.Inf(1), 3, "x")
+	y := m.AddVar(0, math.Inf(1), 5, "y")
+	m.AddConstraint([]lp.Term{{Var: x, Coef: 1}}, lp.LE, 4, "plant1")
+	m.AddConstraint([]lp.Term{{Var: y, Coef: 2}}, lp.LE, 12, "plant2")
+	m.AddConstraint([]lp.Term{{Var: x, Coef: 3}, {Var: y, Coef: 2}}, lp.LE, 18, "plant3")
+
+	s := m.Solve()
+	fmt.Printf("%v: objective %.0f at x=%.0f y=%.0f\n",
+		s.Status, s.Objective, s.Value(x), s.Value(y))
+	// Output:
+	// optimal: objective 36 at x=2 y=6
+}
+
+// Solve a 0/1 knapsack exactly with branch and bound.
+func ExampleModel_Solve_integer() {
+	m := lp.NewModel("knapsack", lp.Maximize)
+	items := []struct{ value, weight float64 }{
+		{60, 10}, {100, 20}, {120, 30},
+	}
+	var terms []lp.Term
+	var vars []lp.VarID
+	for _, it := range items {
+		v := m.AddBinVar(it.value, "")
+		vars = append(vars, v)
+		terms = append(terms, lp.Term{Var: v, Coef: it.weight})
+	}
+	m.AddConstraint(terms, lp.LE, 50, "capacity")
+
+	s := m.Solve()
+	fmt.Printf("take items:")
+	for i, v := range vars {
+		if s.Value(v) > 0.5 {
+			fmt.Printf(" %d", i)
+		}
+	}
+	fmt.Printf(" (value %.0f)\n", s.Objective)
+	// Output:
+	// take items: 1 2 (value 220)
+}

@@ -1,0 +1,286 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSimplexTextbookMax(t *testing.T) {
+	// max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0.
+	// Optimum (2,6) with objective 36.
+	m := NewModel("wyndor", Maximize)
+	x := m.AddVar(0, math.Inf(1), 3, "x")
+	y := m.AddVar(0, math.Inf(1), 5, "y")
+	m.AddConstraint([]Term{{x, 1}}, LE, 4, "c1")
+	m.AddConstraint([]Term{{y, 2}}, LE, 12, "c2")
+	m.AddConstraint([]Term{{x, 3}, {y, 2}}, LE, 18, "c3")
+	s := m.Solve()
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if !approx(s.Objective, 36, 1e-6) {
+		t.Errorf("objective = %v, want 36", s.Objective)
+	}
+	if !approx(s.Value(x), 2, 1e-6) || !approx(s.Value(y), 6, 1e-6) {
+		t.Errorf("x,y = %v,%v want 2,6", s.Value(x), s.Value(y))
+	}
+}
+
+func TestSimplexMinWithGE(t *testing.T) {
+	// min 2x + 3y s.t. x + y >= 10, x >= 2, y >= 0. Optimum x=10-y... obj
+	// minimized by max x: x=10, y=0 -> 20? 2*10=20 vs x=2,y=8 -> 4+24=28.
+	m := NewModel("ge", Minimize)
+	x := m.AddVar(2, math.Inf(1), 2, "x")
+	y := m.AddVar(0, math.Inf(1), 3, "y")
+	m.AddConstraint([]Term{{x, 1}, {y, 1}}, GE, 10, "cover")
+	s := m.Solve()
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if !approx(s.Objective, 20, 1e-6) {
+		t.Errorf("objective = %v, want 20", s.Objective)
+	}
+}
+
+func TestSimplexEquality(t *testing.T) {
+	// min x + 2y s.t. x + y = 5, x <= 3. Optimum x=3, y=2 -> 7.
+	m := NewModel("eq", Minimize)
+	x := m.AddVar(0, 3, 1, "x")
+	y := m.AddVar(0, math.Inf(1), 2, "y")
+	m.AddConstraint([]Term{{x, 1}, {y, 1}}, EQ, 5, "sum")
+	s := m.Solve()
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if !approx(s.Objective, 7, 1e-6) {
+		t.Errorf("objective = %v, want 7", s.Objective)
+	}
+	if !approx(s.Value(x), 3, 1e-6) || !approx(s.Value(y), 2, 1e-6) {
+		t.Errorf("x,y = %v,%v", s.Value(x), s.Value(y))
+	}
+}
+
+func TestSimplexInfeasible(t *testing.T) {
+	m := NewModel("inf", Minimize)
+	x := m.AddVar(0, math.Inf(1), 1, "x")
+	m.AddConstraint([]Term{{x, 1}}, LE, -1, "neg")
+	if s := m.Solve(); s.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", s.Status)
+	}
+
+	m2 := NewModel("inf2", Minimize)
+	y := m2.AddVar(0, 5, 1, "y")
+	m2.AddConstraint([]Term{{y, 1}}, GE, 10, "toohigh")
+	if s := m2.Solve(); s.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible (bound conflict)", s.Status)
+	}
+}
+
+func TestSimplexUnbounded(t *testing.T) {
+	m := NewModel("unb", Maximize)
+	x := m.AddVar(0, math.Inf(1), 1, "x")
+	m.AddConstraint([]Term{{x, 1}}, GE, 1, "atleast")
+	if s := m.Solve(); s.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestSimplexNegativeLowerBound(t *testing.T) {
+	// min x s.t. x >= -5 — shifted-variable handling.
+	m := NewModel("neglo", Minimize)
+	x := m.AddVar(-5, 10, 1, "x")
+	s := m.Solve()
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if !approx(s.Value(x), -5, 1e-6) || !approx(s.Objective, -5, 1e-6) {
+		t.Errorf("x = %v obj = %v, want -5", s.Value(x), s.Objective)
+	}
+}
+
+func TestSimplexNegativeRHS(t *testing.T) {
+	// min y s.t. -x - y <= -4 (i.e. x + y >= 4), x <= 1. y >= 3.
+	m := NewModel("negrhs", Minimize)
+	x := m.AddVar(0, 1, 0, "x")
+	y := m.AddVar(0, math.Inf(1), 1, "y")
+	m.AddConstraint([]Term{{x, -1}, {y, -1}}, LE, -4, "cover")
+	s := m.Solve()
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if !approx(s.Objective, 3, 1e-6) {
+		t.Errorf("objective = %v, want 3", s.Objective)
+	}
+}
+
+func TestKnapsackILP(t *testing.T) {
+	// max 60a + 100b + 120c s.t. 10a + 20b + 30c <= 50, binary.
+	// Optimum b=c=1 -> 220.
+	m := NewModel("knap", Maximize)
+	a := m.AddBinVar(60, "a")
+	b := m.AddBinVar(100, "b")
+	c := m.AddBinVar(120, "c")
+	m.AddConstraint([]Term{{a, 10}, {b, 20}, {c, 30}}, LE, 50, "cap")
+	s := m.Solve()
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if !approx(s.Objective, 220, 1e-6) {
+		t.Errorf("objective = %v, want 220", s.Objective)
+	}
+	if !approx(s.Value(a), 0, intTol) || !approx(s.Value(b), 1, intTol) || !approx(s.Value(c), 1, intTol) {
+		t.Errorf("a,b,c = %v,%v,%v", s.Value(a), s.Value(b), s.Value(c))
+	}
+}
+
+func TestILPFractionalRelaxation(t *testing.T) {
+	// max x + y s.t. 2x + 2y <= 3, binary. LP gives 1.5; ILP optimum 1.
+	m := NewModel("frac", Maximize)
+	x := m.AddBinVar(1, "x")
+	y := m.AddBinVar(1, "y")
+	m.AddConstraint([]Term{{x, 2}, {y, 2}}, LE, 3, "cap")
+	s := m.Solve()
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if !approx(s.Objective, 1, 1e-6) {
+		t.Errorf("objective = %v, want 1", s.Objective)
+	}
+	if s.Nodes < 2 {
+		t.Errorf("expected branching, nodes = %d", s.Nodes)
+	}
+}
+
+func TestILPGeneralInteger(t *testing.T) {
+	// max 5x + 4y s.t. 6x + 4y <= 24, x + 2y <= 6, integer.
+	// LP opt (3, 1.5) obj 21; ILP opt x=3 y=1 obj 19 or x=2,y=2 obj 18 ->
+	// check: x=3,y=1: 6*3+4=22<=24 ok, 3+2=5<=6 ok -> 19. x=4,y=0:24<=24,
+	// 4<=6 -> 20. So optimum 20.
+	m := NewModel("gen", Maximize)
+	x := m.AddIntVar(0, 100, 5, "x")
+	y := m.AddIntVar(0, 100, 4, "y")
+	m.AddConstraint([]Term{{x, 6}, {y, 4}}, LE, 24, "c1")
+	m.AddConstraint([]Term{{x, 1}, {y, 2}}, LE, 6, "c2")
+	s := m.Solve()
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if !approx(s.Objective, 20, 1e-6) {
+		t.Errorf("objective = %v, want 20 (x=4,y=0)", s.Objective)
+	}
+}
+
+func TestILPInfeasible(t *testing.T) {
+	m := NewModel("ilpinf", Minimize)
+	x := m.AddBinVar(1, "x")
+	y := m.AddBinVar(1, "y")
+	m.AddConstraint([]Term{{x, 1}, {y, 1}}, GE, 3, "impossible")
+	if s := m.Solve(); s.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestAssignmentProblem(t *testing.T) {
+	// 3x3 assignment, cost matrix; as a min-cost ILP. Totally unimodular,
+	// so LP = ILP. Costs: rows workers, cols tasks.
+	cost := [3][3]float64{{4, 2, 8}, {4, 3, 7}, {3, 1, 6}}
+	// Optimal assignment: w0->t1(2)? each worker one task, each task one
+	// worker. Enumerate: perms (0,1,2):4+3+6=13 (0,2,1):4+7+1=12
+	// (1,0,2):2+4+6=12 (1,2,0):2+7+3=12 (2,0,1):8+4+1=13 (2,1,0):8+3+3=14.
+	// Optimum 12.
+	m := NewModel("assign", Minimize)
+	var v [3][3]VarID
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			v[i][j] = m.AddBinVar(cost[i][j], "")
+		}
+	}
+	for i := 0; i < 3; i++ {
+		rowTerms := []Term{}
+		colTerms := []Term{}
+		for j := 0; j < 3; j++ {
+			rowTerms = append(rowTerms, Term{v[i][j], 1})
+			colTerms = append(colTerms, Term{v[j][i], 1})
+		}
+		m.AddConstraint(rowTerms, EQ, 1, "row")
+		m.AddConstraint(colTerms, EQ, 1, "col")
+	}
+	s := m.Solve()
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if !approx(s.Objective, 12, 1e-6) {
+		t.Errorf("objective = %v, want 12", s.Objective)
+	}
+}
+
+func TestMergedDuplicateTerms(t *testing.T) {
+	// x + x <= 4 should behave as 2x <= 4.
+	m := NewModel("dup", Maximize)
+	x := m.AddVar(0, math.Inf(1), 1, "x")
+	m.AddConstraint([]Term{{x, 1}, {x, 1}}, LE, 4, "dup")
+	s := m.Solve()
+	if s.Status != Optimal || !approx(s.Value(x), 2, 1e-6) {
+		t.Errorf("x = %v status %v, want 2", s.Value(x), s.Status)
+	}
+}
+
+func TestFixedVariable(t *testing.T) {
+	m := NewModel("fixed", Minimize)
+	x := m.AddVar(3, 3, 1, "x")
+	y := m.AddVar(0, 10, 1, "y")
+	m.AddConstraint([]Term{{x, 1}, {y, 1}}, GE, 5, "c")
+	s := m.Solve()
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if !approx(s.Value(x), 3, 1e-6) || !approx(s.Value(y), 2, 1e-6) {
+		t.Errorf("x,y = %v,%v want 3,2", s.Value(x), s.Value(y))
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	// A model that needs branching with MaxNodes=1 should report the limit.
+	m := NewModel("lim", Maximize)
+	x := m.AddBinVar(1, "x")
+	y := m.AddBinVar(1, "y")
+	m.AddConstraint([]Term{{x, 2}, {y, 2}}, LE, 3, "cap")
+	m.MaxNodes = 1
+	s := m.Solve()
+	if s.Status != NodeLimit {
+		t.Errorf("status = %v, want node-limit", s.Status)
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	for st, want := range map[Status]string{
+		Optimal: "optimal", Infeasible: "infeasible", Unbounded: "unbounded",
+		IterLimit: "iteration-limit", NodeLimit: "node-limit",
+	} {
+		if st.String() != want {
+			t.Errorf("Status(%d).String() = %q", st, st.String())
+		}
+	}
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Error("Op strings wrong")
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	m := NewModel("bad", Minimize)
+	mustPanic(t, func() { m.AddVar(math.Inf(-1), 1, 0, "free") })
+	mustPanic(t, func() { m.AddVar(2, 1, 0, "inverted") })
+	mustPanic(t, func() { m.AddConstraint([]Term{{VarID(9), 1}}, LE, 0, "ghost") })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}

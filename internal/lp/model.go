@@ -1,0 +1,205 @@
+// Package lp is a pure-Go linear and mixed-integer linear programming
+// solver. It replaces the CPLEX dependency of the DSP paper: the offline
+// dependency-aware scheduler formulates its makespan-minimization problem
+// as an ILP (Section III) and solves it here. The solver is a dense
+// two-phase primal simplex with Bland's anti-cycling rule, wrapped by a
+// depth-first branch-and-bound for integer variables. It is designed for
+// the small-to-medium instances the scheduler produces per period, with
+// exact results verified by the package tests; large instances fall back
+// to the scheduler's relax-and-round heuristic, mirroring the paper's own
+// relaxation approach.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sense is the optimization direction.
+type Sense int
+
+// Optimization senses.
+const (
+	Minimize Sense = iota
+	Maximize
+)
+
+// Op is a constraint comparison operator.
+type Op int
+
+// Constraint operators.
+const (
+	LE Op = iota // Σ aᵢxᵢ ≤ b
+	GE           // Σ aᵢxᵢ ≥ b
+	EQ           // Σ aᵢxᵢ = b
+)
+
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	default:
+		return "="
+	}
+}
+
+// VarID indexes a variable within its model.
+type VarID int
+
+// Term is one coefficient–variable product in a linear expression.
+type Term struct {
+	Var  VarID
+	Coef float64
+}
+
+type variable struct {
+	name    string
+	lo, hi  float64
+	obj     float64
+	integer bool
+}
+
+type constraint struct {
+	name  string
+	terms []Term
+	op    Op
+	rhs   float64
+}
+
+// Model is a linear program under construction. Build it with AddVar /
+// AddConstraint, then call Solve.
+type Model struct {
+	name  string
+	sense Sense
+	vars  []variable
+	cons  []constraint
+
+	// MaxIters caps simplex pivots per LP solve (0 = default).
+	MaxIters int
+	// MaxNodes caps branch-and-bound nodes (0 = default).
+	MaxNodes int
+}
+
+// NewModel creates an empty model.
+func NewModel(name string, sense Sense) *Model {
+	return &Model{name: name, sense: sense}
+}
+
+// NumVars returns the number of variables added so far.
+func (m *Model) NumVars() int { return len(m.vars) }
+
+// NumConstraints returns the number of constraints added so far.
+func (m *Model) NumConstraints() int { return len(m.cons) }
+
+// AddVar adds a continuous variable with bounds [lo,hi] and objective
+// coefficient obj. lo must be finite (use 0 for the usual nonnegative
+// variable); hi may be math.Inf(1).
+func (m *Model) AddVar(lo, hi, obj float64, name string) VarID {
+	return m.addVar(lo, hi, obj, false, name)
+}
+
+// AddIntVar adds an integer variable with bounds [lo,hi].
+func (m *Model) AddIntVar(lo, hi, obj float64, name string) VarID {
+	return m.addVar(lo, hi, obj, true, name)
+}
+
+// AddBinVar adds a 0/1 variable.
+func (m *Model) AddBinVar(obj float64, name string) VarID {
+	return m.addVar(0, 1, obj, true, name)
+}
+
+func (m *Model) addVar(lo, hi, obj float64, integer bool, name string) VarID {
+	if math.IsInf(lo, -1) || math.IsNaN(lo) {
+		panic(fmt.Sprintf("lp: variable %q must have a finite lower bound", name))
+	}
+	if hi < lo {
+		panic(fmt.Sprintf("lp: variable %q has hi %v < lo %v", name, hi, lo))
+	}
+	m.vars = append(m.vars, variable{name: name, lo: lo, hi: hi, obj: obj, integer: integer})
+	return VarID(len(m.vars) - 1)
+}
+
+// AddConstraint adds Σ terms (op) rhs. Terms referencing the same variable
+// twice are summed. Unknown variable IDs panic.
+func (m *Model) AddConstraint(terms []Term, op Op, rhs float64, name string) {
+	merged := make(map[VarID]float64, len(terms))
+	for _, t := range terms {
+		if int(t.Var) < 0 || int(t.Var) >= len(m.vars) {
+			panic(fmt.Sprintf("lp: constraint %q references unknown var %d", name, t.Var))
+		}
+		merged[t.Var] += t.Coef
+	}
+	out := make([]Term, 0, len(merged))
+	for v := VarID(0); int(v) < len(m.vars); v++ {
+		if c, ok := merged[v]; ok && c != 0 {
+			out = append(out, Term{Var: v, Coef: c})
+		}
+	}
+	m.cons = append(m.cons, constraint{name: name, terms: out, op: op, rhs: rhs})
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	IterLimit
+	NodeLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	default:
+		return "node-limit"
+	}
+}
+
+// Solution holds the result of a solve.
+type Solution struct {
+	Status    Status
+	Objective float64
+	X         []float64
+	// Nodes is the number of branch-and-bound nodes explored (0 for pure
+	// LPs).
+	Nodes int
+}
+
+// Value returns the solved value of v.
+func (s *Solution) Value(v VarID) float64 { return s.X[v] }
+
+// Solve optimizes the model. Pure LPs go straight to the simplex; models
+// with integer variables run branch-and-bound. The returned Solution is
+// valid whenever Status is Optimal; for IterLimit/NodeLimit the incumbent
+// (possibly none) is returned.
+func (m *Model) Solve() *Solution {
+	hasInt := false
+	for _, v := range m.vars {
+		if v.integer {
+			hasInt = true
+			break
+		}
+	}
+	lo := make([]float64, len(m.vars))
+	hi := make([]float64, len(m.vars))
+	for i, v := range m.vars {
+		lo[i] = v.lo
+		hi[i] = v.hi
+	}
+	if !hasInt {
+		return m.solveLP(lo, hi)
+	}
+	return m.branchAndBound(lo, hi)
+}

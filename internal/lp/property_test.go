@@ -1,0 +1,227 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteForceILP enumerates integer grids to find the optimum of a small
+// all-integer model with bounded variables; used as an oracle.
+func bruteForceILP(vars []variable, cons []constraint, sense Sense) (bool, float64) {
+	n := len(vars)
+	cur := make([]float64, n)
+	bestObj := math.Inf(1)
+	if sense == Maximize {
+		bestObj = math.Inf(-1)
+	}
+	found := false
+	var walk func(i int)
+	walk = func(i int) {
+		if i == n {
+			for _, c := range cons {
+				sum := 0.0
+				for _, t := range c.terms {
+					sum += t.Coef * cur[t.Var]
+				}
+				switch c.op {
+				case LE:
+					if sum > c.rhs+1e-9 {
+						return
+					}
+				case GE:
+					if sum < c.rhs-1e-9 {
+						return
+					}
+				case EQ:
+					if math.Abs(sum-c.rhs) > 1e-9 {
+						return
+					}
+				}
+			}
+			obj := 0.0
+			for k, v := range vars {
+				obj += v.obj * cur[k]
+			}
+			if !found ||
+				(sense == Minimize && obj < bestObj) ||
+				(sense == Maximize && obj > bestObj) {
+				bestObj = obj
+				found = true
+			}
+			return
+		}
+		for x := vars[i].lo; x <= vars[i].hi+1e-9; x++ {
+			cur[i] = x
+			walk(i + 1)
+		}
+	}
+	walk(0)
+	return found, bestObj
+}
+
+// feasible checks x against the model's constraints and bounds.
+func feasible(m *Model, x []float64) bool {
+	for i, v := range m.vars {
+		if x[i] < v.lo-1e-6 || x[i] > v.hi+1e-6 {
+			return false
+		}
+		if v.integer && math.Abs(x[i]-math.Round(x[i])) > 1e-6 {
+			return false
+		}
+	}
+	for _, c := range m.cons {
+		sum := 0.0
+		for _, t := range c.terms {
+			sum += t.Coef * x[t.Var]
+		}
+		switch c.op {
+		case LE:
+			if sum > c.rhs+1e-6 {
+				return false
+			}
+		case GE:
+			if sum < c.rhs-1e-6 {
+				return false
+			}
+		case EQ:
+			if math.Abs(sum-c.rhs) > 1e-6 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func randomILP(r *rand.Rand) *Model {
+	sense := Minimize
+	if r.Intn(2) == 0 {
+		sense = Maximize
+	}
+	m := NewModel("rand", sense)
+	n := 1 + r.Intn(4)
+	for i := 0; i < n; i++ {
+		lo := float64(r.Intn(3))
+		hi := lo + float64(r.Intn(4))
+		obj := float64(r.Intn(21) - 10)
+		m.AddIntVar(lo, hi, obj, "")
+	}
+	nc := r.Intn(4)
+	for c := 0; c < nc; c++ {
+		var terms []Term
+		for i := 0; i < n; i++ {
+			if r.Intn(2) == 0 {
+				terms = append(terms, Term{VarID(i), float64(r.Intn(11) - 5)})
+			}
+		}
+		if len(terms) == 0 {
+			continue
+		}
+		op := []Op{LE, GE}[r.Intn(2)]
+		rhs := float64(r.Intn(41) - 10)
+		m.AddConstraint(terms, op, rhs, "")
+	}
+	return m
+}
+
+func TestPropertyILPMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randomILP(r)
+		s := m.Solve()
+		ok, want := bruteForceILP(m.vars, m.cons, m.sense)
+		switch s.Status {
+		case Optimal:
+			if !ok {
+				t.Logf("seed %d: solver optimal %v but brute force infeasible", seed, s.Objective)
+				return false
+			}
+			if !feasible(m, s.X) {
+				t.Logf("seed %d: solver solution infeasible: %v", seed, s.X)
+				return false
+			}
+			if math.Abs(s.Objective-want) > 1e-5 {
+				t.Logf("seed %d: solver %v != brute force %v", seed, s.Objective, want)
+				return false
+			}
+			return true
+		case Infeasible:
+			if ok {
+				t.Logf("seed %d: solver infeasible but brute force found %v", seed, want)
+			}
+			return !ok
+		default:
+			t.Logf("seed %d: unexpected status %v", seed, s.Status)
+			return false
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyLPSolutionFeasible(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		sense := Minimize
+		if r.Intn(2) == 0 {
+			sense = Maximize
+		}
+		m := NewModel("randlp", sense)
+		n := 1 + r.Intn(5)
+		for i := 0; i < n; i++ {
+			m.AddVar(0, 1+float64(r.Intn(20)), float64(r.Intn(21)-10), "")
+		}
+		for c := 0; c < 1+r.Intn(5); c++ {
+			var terms []Term
+			for i := 0; i < n; i++ {
+				if r.Intn(2) == 0 {
+					terms = append(terms, Term{VarID(i), float64(r.Intn(11) - 5)})
+				}
+			}
+			if len(terms) == 0 {
+				continue
+			}
+			m.AddConstraint(terms, []Op{LE, GE, EQ}[r.Intn(3)], float64(r.Intn(21)-5), "")
+		}
+		s := m.Solve()
+		if s.Status != Optimal {
+			return true // infeasible/unbounded is legitimate for random input
+		}
+		return feasible(m, s.X)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyLPObjectiveMatchesX(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := NewModel("obj", Minimize)
+		n := 1 + r.Intn(4)
+		for i := 0; i < n; i++ {
+			m.AddVar(0, float64(1+r.Intn(10)), float64(r.Intn(9)-4), "")
+		}
+		for c := 0; c < r.Intn(3); c++ {
+			var terms []Term
+			for i := 0; i < n; i++ {
+				terms = append(terms, Term{VarID(i), float64(r.Intn(7) - 3)})
+			}
+			m.AddConstraint(terms, GE, float64(r.Intn(10)-5), "")
+		}
+		s := m.Solve()
+		if s.Status != Optimal {
+			return true
+		}
+		obj := 0.0
+		for i, v := range m.vars {
+			obj += v.obj * s.X[i]
+		}
+		return math.Abs(obj-s.Objective) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

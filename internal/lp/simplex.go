@@ -1,0 +1,340 @@
+package lp
+
+import "math"
+
+const (
+	eps      = 1e-9
+	pivotEps = 1e-9
+)
+
+// tableau is a dense simplex tableau for min c·x s.t. Ax = b, x ≥ 0 with
+// b ≥ 0 after normalization. rows[i] has n+1 entries (last is rhs);
+// basis[i] is the basic variable of row i.
+type tableau struct {
+	rows  [][]float64
+	basis []int
+	n     int // structural + slack + artificial columns
+}
+
+// solveLP solves the continuous relaxation with the given per-variable
+// bounds (overriding the model's own bounds; used by branch-and-bound).
+func (m *Model) solveLP(lo, hi []float64) *Solution {
+	nv := len(m.vars)
+
+	// Shift every variable by its lower bound: x = lo + y, y >= 0. Track
+	// the constant that the shift adds to the objective.
+	objConst := 0.0
+	c := make([]float64, nv)
+	sign := 1.0
+	if m.sense == Maximize {
+		sign = -1
+	}
+	for i, v := range m.vars {
+		c[i] = sign * v.obj
+		objConst += sign * v.obj * lo[i]
+	}
+
+	// Materialize rows: model constraints with shifted rhs, then upper
+	// bounds as y_i <= hi_i - lo_i.
+	type row struct {
+		coefs []float64 // length nv over structural vars
+		op    Op
+		rhs   float64
+	}
+	var rows []row
+	for _, con := range m.cons {
+		r := row{coefs: make([]float64, nv), op: con.op, rhs: con.rhs}
+		for _, t := range con.terms {
+			r.coefs[t.Var] += t.Coef
+			r.rhs -= t.Coef * lo[t.Var]
+		}
+		rows = append(rows, r)
+	}
+	for i := 0; i < nv; i++ {
+		if !math.IsInf(hi[i], 1) {
+			ub := hi[i] - lo[i]
+			if ub < 0 {
+				return &Solution{Status: Infeasible}
+			}
+			co := make([]float64, nv)
+			co[i] = 1
+			rows = append(rows, row{coefs: co, op: LE, rhs: ub})
+		}
+	}
+
+	mRows := len(rows)
+	// Column layout: [0,nv) structural, then one slack/surplus per
+	// inequality, then artificials as needed.
+	nSlack := 0
+	for _, r := range rows {
+		if r.op != EQ {
+			nSlack++
+		}
+	}
+	// Artificials: for rows where, after sign normalization (rhs >= 0), no
+	// trivially basic column exists. LE rows with rhs >= 0 can use their
+	// slack as the basic var; GE and EQ rows need artificials, as do LE
+	// rows whose rhs was negative (they flip to GE-like shape).
+	total := nv + nSlack
+	t := &tableau{n: total, basis: make([]int, mRows)}
+	t.rows = make([][]float64, mRows)
+	artCols := []int{}
+	slackIdx := 0
+	type pend struct{ rowIdx int }
+	var needArt []pend
+
+	for i, r := range rows {
+		tr := make([]float64, total+1)
+		copy(tr, r.coefs)
+		rhs := r.rhs
+		op := r.op
+		if op != EQ {
+			s := 1.0
+			if op == GE {
+				s = -1
+			}
+			tr[nv+slackIdx] = s
+			slackIdx++
+		}
+		// Normalize rhs >= 0.
+		if rhs < 0 {
+			for k := range tr {
+				tr[k] = -tr[k]
+			}
+			rhs = -rhs
+		}
+		tr[total] = rhs
+		t.rows[i] = tr
+		// Basic column: a slack with coefficient +1.
+		basic := -1
+		if op != EQ {
+			sc := nv + slackIdx - 1
+			if tr[sc] > 0.5 { // +1 after any sign flip
+				basic = sc
+			}
+		}
+		if basic >= 0 {
+			t.basis[i] = basic
+		} else {
+			needArt = append(needArt, pend{rowIdx: i})
+		}
+	}
+
+	// Append artificial columns.
+	if len(needArt) > 0 {
+		add := len(needArt)
+		for i := range t.rows {
+			nr := make([]float64, total+add+1)
+			copy(nr, t.rows[i][:total])
+			nr[total+add] = t.rows[i][total]
+			t.rows[i] = nr
+		}
+		for k, p := range needArt {
+			col := total + k
+			t.rows[p.rowIdx][col] = 1
+			t.basis[p.rowIdx] = col
+			artCols = append(artCols, col)
+		}
+		total += add
+		t.n = total
+	}
+
+	maxIters := m.MaxIters
+	if maxIters == 0 {
+		maxIters = 20000 + 200*(total+mRows)
+	}
+
+	// Phase 1: minimize the sum of artificials.
+	if len(artCols) > 0 {
+		c1 := make([]float64, total)
+		for _, a := range artCols {
+			c1[a] = 1
+		}
+		st, obj1 := t.iterate(c1, maxIters)
+		if st == IterLimit {
+			return &Solution{Status: IterLimit}
+		}
+		if obj1 > 1e-7 {
+			return &Solution{Status: Infeasible}
+		}
+		// Pivot artificials out of the basis where possible.
+		isArt := make([]bool, total)
+		for _, a := range artCols {
+			isArt[a] = true
+		}
+		for i, b := range t.basis {
+			if !isArt[b] {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < total; j++ {
+				if isArt[j] {
+					continue
+				}
+				if math.Abs(t.rows[i][j]) > pivotEps {
+					t.pivot(i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row: the artificial stays basic at value 0.
+				// Zero the row so it cannot interfere.
+				for j := 0; j < total; j++ {
+					if !isArt[j] {
+						t.rows[i][j] = 0
+					}
+				}
+				t.rows[i][total] = 0
+			}
+		}
+		// Forbid artificials from re-entering by zeroing their columns.
+		for _, a := range artCols {
+			for i := range t.rows {
+				if t.basis[i] == a {
+					continue
+				}
+				t.rows[i][a] = 0
+			}
+		}
+	}
+
+	// Phase 2: original objective over all columns (zero for slacks).
+	c2 := make([]float64, total)
+	copy(c2, c)
+	// Artificials get a huge cost so they never re-enter.
+	for _, a := range artCols {
+		c2[a] = math.Inf(1)
+	}
+	st, obj := t.iterate(c2, maxIters)
+	switch st {
+	case IterLimit:
+		return &Solution{Status: IterLimit}
+	case Unbounded:
+		return &Solution{Status: Unbounded}
+	}
+
+	// Extract structural values, un-shift.
+	x := make([]float64, nv)
+	for i, b := range t.basis {
+		if b < nv {
+			x[b] = t.rows[i][len(t.rows[i])-1]
+		}
+	}
+	for i := range x {
+		x[i] += lo[i]
+		// Clean tiny negatives from rounding.
+		if x[i] < lo[i] && x[i] > lo[i]-1e-7 {
+			x[i] = lo[i]
+		}
+	}
+	objective := obj + objConst
+	if m.sense == Maximize {
+		objective = -objective
+	}
+	return &Solution{Status: Optimal, Objective: objective, X: x}
+}
+
+// iterate runs primal simplex pivots minimizing cost over the current
+// basis. It returns the final status and objective value.
+func (t *tableau) iterate(cost []float64, maxIters int) (Status, float64) {
+	mRows := len(t.rows)
+	total := t.n
+	// Reduced costs: z_j - c_j computed via the current basis. Maintain a
+	// price row: start from cost and eliminate basic columns.
+	z := make([]float64, total+1)
+	for j := 0; j <= total; j++ {
+		if j < total {
+			if math.IsInf(cost[j], 1) {
+				z[j] = 0 // artificial columns handled by exclusion below
+				continue
+			}
+			z[j] = -cost[j]
+		}
+	}
+	// Make reduced costs of basic variables zero.
+	for i := 0; i < mRows; i++ {
+		b := t.basis[i]
+		cb := cost[b]
+		if math.IsInf(cb, 1) {
+			cb = 0
+		}
+		if cb == 0 {
+			continue
+		}
+		for j := 0; j <= total; j++ {
+			z[j] += cb * t.rows[i][j]
+		}
+	}
+
+	inf := func(j int) bool { return j < total && math.IsInf(cost[j], 1) }
+
+	for iter := 0; iter < maxIters; iter++ {
+		// Entering: Bland's rule — smallest index with positive reduced
+		// cost improvement (z_j > eps means decreasing objective since we
+		// store z = cB·B⁻¹A - c).
+		enter := -1
+		for j := 0; j < total; j++ {
+			if inf(j) {
+				continue
+			}
+			if z[j] > eps {
+				enter = j
+				break
+			}
+		}
+		if enter == -1 {
+			return Optimal, z[total]
+		}
+		// Ratio test: smallest rhs/col over positive col entries; Bland tie
+		// break on basis index.
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < mRows; i++ {
+			a := t.rows[i][enter]
+			if a > pivotEps {
+				r := t.rows[i][total] / a
+				if r < best-eps || (r < best+eps && (leave == -1 || t.basis[i] < t.basis[leave])) {
+					best = r
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			return Unbounded, 0
+		}
+		t.pivot(leave, enter)
+		// Update price row.
+		piv := z[enter]
+		if piv != 0 {
+			for j := 0; j <= total; j++ {
+				z[j] -= piv * t.rows[leave][j]
+			}
+			z[enter] = 0
+		}
+	}
+	return IterLimit, 0
+}
+
+// pivot makes column col basic in row r.
+func (t *tableau) pivot(r, col int) {
+	row := t.rows[r]
+	p := row[col]
+	for j := range row {
+		row[j] /= p
+	}
+	for i := range t.rows {
+		if i == r {
+			continue
+		}
+		f := t.rows[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := range t.rows[i] {
+			t.rows[i][j] -= f * row[j]
+		}
+		t.rows[i][col] = 0
+	}
+	t.basis[r] = col
+}

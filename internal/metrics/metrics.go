@@ -1,0 +1,228 @@
+// Package metrics provides the statistics and tabulation helpers used by
+// the experiment harness: online mean/variance accumulation (Welford),
+// experiment series keyed by an x-axis value with one column per method,
+// and plain-text table rendering for the figure reproductions.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Stats accumulates a stream of float64 samples using Welford's online
+// algorithm, giving numerically stable mean and variance.
+type Stats struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds one sample into the accumulator.
+func (s *Stats) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the sample count.
+func (s *Stats) N() int { return s.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (s *Stats) Mean() float64 { return s.mean }
+
+// Var returns the unbiased sample variance.
+func (s *Stats) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (s *Stats) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest sample (0 with no samples).
+func (s *Stats) Min() float64 { return s.min }
+
+// Max returns the largest sample (0 with no samples).
+func (s *Stats) Max() float64 { return s.max }
+
+// JainIndex returns Jain's fairness index over the given allocations
+// (e.g. per-job slowdowns): (Σx)² / (n·Σx²), which is 1 when all values
+// are equal and approaches 1/n under maximal unfairness. The paper lists
+// fairness as future work; the simulator reports per-job slowdowns so
+// this index can be computed for any policy.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumsq float64
+	for _, x := range xs {
+		sum += x
+		sumsq += x * x
+	}
+	if sumsq == 0 {
+		return 1 // all zeros: trivially equal
+	}
+	return sum * sum / (float64(len(xs)) * sumsq)
+}
+
+// Table is one experiment series: an x column plus one y column per
+// method, as plotted in the paper's figures.
+type Table struct {
+	Title   string
+	XLabel  string
+	YLabel  string
+	Methods []string
+	rows    map[float64][]float64
+	xs      []float64
+}
+
+// NewTable creates an empty table for the given methods.
+func NewTable(title, xLabel, yLabel string, methods ...string) *Table {
+	return &Table{
+		Title:   title,
+		XLabel:  xLabel,
+		YLabel:  yLabel,
+		Methods: methods,
+		rows:    make(map[float64][]float64),
+	}
+}
+
+// Set records method's y value at x. Unknown methods panic — they
+// indicate a harness bug.
+func (t *Table) Set(x float64, method string, y float64) {
+	idx := -1
+	for i, m := range t.Methods {
+		if m == method {
+			idx = i
+			break
+		}
+	}
+	if idx == -1 {
+		panic(fmt.Sprintf("metrics: unknown method %q in table %q", method, t.Title))
+	}
+	row, ok := t.rows[x]
+	if !ok {
+		row = make([]float64, len(t.Methods))
+		for i := range row {
+			row[i] = math.NaN()
+		}
+		t.rows[x] = row
+		t.xs = append(t.xs, x)
+		sort.Float64s(t.xs)
+	}
+	row[idx] = y
+}
+
+// Get returns method's y value at x (NaN if unset).
+func (t *Table) Get(x float64, method string) float64 {
+	row, ok := t.rows[x]
+	if !ok {
+		return math.NaN()
+	}
+	for i, m := range t.Methods {
+		if m == method {
+			return row[i]
+		}
+	}
+	return math.NaN()
+}
+
+// Xs returns the x values in ascending order.
+func (t *Table) Xs() []float64 { return append([]float64(nil), t.xs...) }
+
+// Column returns method's series in x order.
+func (t *Table) Column(method string) []float64 {
+	out := make([]float64, 0, len(t.xs))
+	for _, x := range t.xs {
+		out = append(out, t.Get(x, method))
+	}
+	return out
+}
+
+// Render formats the table as aligned plain text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", t.Title)
+	if t.YLabel != "" {
+		fmt.Fprintf(&b, "# y: %s\n", t.YLabel)
+	}
+	widths := make([]int, len(t.Methods)+1)
+	header := append([]string{t.XLabel}, t.Methods...)
+	cells := make([][]string, 0, len(t.xs)+1)
+	cells = append(cells, header)
+	for _, x := range t.xs {
+		row := make([]string, len(t.Methods)+1)
+		row[0] = trimFloat(x)
+		for i := range t.Methods {
+			row[i+1] = trimFloat(t.rows[x][i])
+		}
+		cells = append(cells, row)
+	}
+	for _, row := range cells {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for _, row := range cells {
+		for i, c := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(t.XLabel)
+	for _, m := range t.Methods {
+		b.WriteString(",")
+		b.WriteString(m)
+	}
+	b.WriteString("\n")
+	for _, x := range t.xs {
+		b.WriteString(trimFloat(x))
+		for i := range t.Methods {
+			b.WriteString(",")
+			b.WriteString(trimFloat(t.rows[x][i]))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func trimFloat(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	if av := math.Abs(v); av < 0.01 {
+		// Small magnitudes (e.g. tasks/ms) need significant digits, not
+		// fixed decimals.
+		return fmt.Sprintf("%.4g", v)
+	}
+	return fmt.Sprintf("%.3f", v)
+}

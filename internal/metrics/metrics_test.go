@@ -1,0 +1,167 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStatsBasics(t *testing.T) {
+	var s Stats
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Errorf("Mean = %v, want 5", s.Mean())
+	}
+	// Population variance is 4; sample variance = 32/7.
+	if math.Abs(s.Var()-32.0/7.0) > 1e-12 {
+		t.Errorf("Var = %v, want %v", s.Var(), 32.0/7.0)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestStatsDegenerate(t *testing.T) {
+	var s Stats
+	if s.Mean() != 0 || s.Var() != 0 || s.Std() != 0 {
+		t.Error("empty stats should be zero")
+	}
+	s.Add(3)
+	if s.Var() != 0 {
+		t.Error("single-sample variance should be 0")
+	}
+}
+
+func TestStatsMatchesNaive(t *testing.T) {
+	f := func(xs []float64) bool {
+		var ok []float64
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				ok = append(ok, x)
+			}
+		}
+		if len(ok) < 2 {
+			return true
+		}
+		var s Stats
+		sum := 0.0
+		for _, x := range ok {
+			s.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(ok))
+		var ss float64
+		for _, x := range ok {
+			ss += (x - mean) * (x - mean)
+		}
+		naive := ss / float64(len(ok)-1)
+		scale := math.Max(1, naive)
+		return math.Abs(s.Var()-naive)/scale < 1e-9 && math.Abs(s.Mean()-mean) < 1e-9*math.Max(1, math.Abs(mean))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableSetGet(t *testing.T) {
+	tb := NewTable("Fig X", "jobs", "makespan (s)", "DSP", "Aalo")
+	tb.Set(150, "DSP", 10)
+	tb.Set(150, "Aalo", 12)
+	tb.Set(300, "DSP", 20)
+	if got := tb.Get(150, "DSP"); got != 10 {
+		t.Errorf("Get = %v", got)
+	}
+	if got := tb.Get(300, "Aalo"); !math.IsNaN(got) {
+		t.Errorf("unset cell = %v, want NaN", got)
+	}
+	if got := tb.Get(999, "DSP"); !math.IsNaN(got) {
+		t.Errorf("missing row = %v, want NaN", got)
+	}
+	xs := tb.Xs()
+	if len(xs) != 2 || xs[0] != 150 || xs[1] != 300 {
+		t.Errorf("Xs = %v", xs)
+	}
+	col := tb.Column("DSP")
+	if len(col) != 2 || col[0] != 10 || col[1] != 20 {
+		t.Errorf("Column = %v", col)
+	}
+}
+
+func TestTableUnknownMethodPanics(t *testing.T) {
+	tb := NewTable("T", "x", "y", "A")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	tb.Set(1, "B", 2)
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Fig 5(a)", "jobs", "makespan", "DSP", "TetrisW/oDep")
+	tb.Set(150, "DSP", 100.5)
+	tb.Set(150, "TetrisW/oDep", 130)
+	out := tb.Render()
+	for _, want := range []string{"Fig 5(a)", "jobs", "DSP", "TetrisW/oDep", "100.500", "130"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title, ylabel, header, one row
+		t.Errorf("Render produced %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("T", "x", "y", "A", "B")
+	tb.Set(1, "A", 2)
+	out := tb.CSV()
+	if !strings.HasPrefix(out, "x,A,B\n") {
+		t.Errorf("CSV header wrong: %q", out)
+	}
+	if !strings.Contains(out, "1,2,-") {
+		t.Errorf("CSV row wrong: %q", out)
+	}
+}
+
+func TestTableRowsSorted(t *testing.T) {
+	tb := NewTable("T", "x", "y", "A")
+	for _, x := range []float64{750, 150, 450, 300, 600} {
+		tb.Set(x, "A", x)
+	}
+	xs := tb.Xs()
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1] {
+			t.Fatalf("Xs not sorted: %v", xs)
+		}
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex([]float64{1, 1, 1, 1}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("equal allocations index = %v, want 1", got)
+	}
+	// One user hogging everything: index -> 1/n.
+	if got := JainIndex([]float64{1, 0, 0, 0}); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("max-unfair index = %v, want 0.25", got)
+	}
+	if got := JainIndex(nil); got != 0 {
+		t.Errorf("empty index = %v, want 0", got)
+	}
+	if got := JainIndex([]float64{0, 0}); got != 1 {
+		t.Errorf("all-zero index = %v, want 1", got)
+	}
+	// Index is scale invariant.
+	a := JainIndex([]float64{1, 2, 3})
+	b := JainIndex([]float64{10, 20, 30})
+	if math.Abs(a-b) > 1e-12 {
+		t.Errorf("not scale invariant: %v vs %v", a, b)
+	}
+}

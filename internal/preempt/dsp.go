@@ -1,0 +1,214 @@
+package preempt
+
+import (
+	"math"
+	"sort"
+
+	"dsp/internal/cluster"
+	"dsp/internal/sim"
+	"dsp/internal/units"
+)
+
+// DSP is the dependency-aware preemption policy of Algorithm 1. Every
+// epoch, for every node queue:
+//
+//  1. Urgent tasks (allowable wait ≤ ε, or waiting ≥ τ) preempt the
+//     lowest-priority preemptable running task they do not depend on,
+//     unconditionally.
+//  2. The first δ·|A| waiting tasks (preempting tasks) each scan the
+//     preemptable running tasks in ascending priority and preempt the
+//     first victim satisfying C1 (higher priority than the victim) and
+//     C2 (no dependency on the victim). With the normalized-priority
+//     filter (PP) enabled, the priority difference must additionally
+//     exceed ρ·P̄, the scaled average neighboring-task gap, so that the
+//     throughput gain covers the context-switch cost.
+//
+// A running task is preemptable only if its allowable waiting time
+// exceeds the epoch, guaranteeing preemption never pushes a running task
+// past its own deadline.
+type DSP struct {
+	P Params
+	// UsePP enables the normalized-priority filter; DSPW/oPP (the
+	// ablation the paper evaluates as "DSPW/oPP") disables it.
+	UsePP bool
+
+	name string
+}
+
+// NewDSP returns the full DSP policy with Table II parameters.
+func NewDSP() *DSP {
+	return &DSP{P: DefaultParams(), UsePP: true, name: "DSP"}
+}
+
+// NewDSPWithoutPP returns the DSPW/oPP ablation: identical except
+// preemption uses the absolute priority comparison only.
+func NewDSPWithoutPP() *DSP {
+	return &DSP{P: DefaultParams(), UsePP: false, name: "DSPW/oPP"}
+}
+
+// Name implements sim.Preemptor.
+func (d *DSP) Name() string {
+	if d.name != "" {
+		return d.name
+	}
+	if d.UsePP {
+		return "DSP"
+	}
+	return "DSPW/oPP"
+}
+
+// Epoch implements sim.Preemptor.
+func (d *DSP) Epoch(now units.Time, v *sim.View) []sim.Action {
+	calc := NewCalculator(d.P, now, v)
+	var out []sim.Action
+	considered, fired := 0, 0
+	for k := 0; k < v.Cluster().Len(); k++ {
+		node := cluster.NodeID(k)
+		c, f := d.epochNode(node, now, v, calc, &out)
+		considered += c
+		fired += f
+	}
+	if d.P.AdaptDelta && considered > 0 {
+		rate := float64(fired) / float64(considered)
+		switch {
+		case rate > 0.75:
+			d.P.Delta = math.Min(1, d.P.Delta*1.2)
+		case rate < 0.25:
+			d.P.Delta = math.Max(0.05, d.P.Delta*0.8)
+		}
+	}
+	return out
+}
+
+// epochNode runs Algorithm 1 for one node and appends actions. It
+// returns how many preempting tasks were considered and how many
+// preempted, feeding the dynamic δ adjustment.
+func (d *DSP) epochNode(node cluster.NodeID, now units.Time, v *sim.View, calc *Calculator, out *[]sim.Action) (considered, fired int) {
+	speed := v.Speed(node)
+	epoch := v.Epoch()
+
+	waiting := v.Queue(node) // ascending planned-start order
+	running := v.Running(node)
+	if len(waiting) == 0 || len(running) == 0 {
+		return 0, 0
+	}
+
+	// Preemptable running tasks: those whose own deadline tolerates
+	// sitting out at least one epoch.
+	type cand struct {
+		t  *sim.TaskState
+		pr float64
+	}
+	var preemptable []cand
+	for _, r := range running {
+		if d.P.MaxVictimPreemptions > 0 && r.Preemptions >= d.P.MaxVictimPreemptions {
+			continue // fairness guard: this task has suffered enough
+		}
+		if r.Deadline == units.Forever || r.AllowableWait(now, speed) > epoch {
+			preemptable = append(preemptable, cand{t: r, pr: calc.Priority(r)})
+		}
+	}
+	if len(preemptable) == 0 {
+		return 0, 0
+	}
+	sort.Slice(preemptable, func(a, b int) bool {
+		if preemptable[a].pr != preemptable[b].pr {
+			return preemptable[a].pr < preemptable[b].pr
+		}
+		return lessKey(preemptable[a].t, preemptable[b].t)
+	})
+
+	// P̄ over all tasks on this node (waiting ∪ running).
+	var all []float64
+	for _, t := range waiting {
+		all = append(all, calc.Priority(t))
+	}
+	for _, t := range running {
+		all = append(all, calc.Priority(t))
+	}
+	avgGap := AvgNeighborGap(all)
+
+	victimUsed := make(map[*sim.TaskState]bool)
+	starterUsed := make(map[*sim.TaskState]bool)
+
+	dependsOn := func(a, b *sim.TaskState) bool {
+		return a.Job == b.Job && a.Job.Dag.DependsOn(a.Task.ID, b.Task.ID)
+	}
+
+	take := func(starter *sim.TaskState, requireC1, requirePP bool) bool {
+		sp := calc.Priority(starter)
+		for _, vc := range preemptable {
+			if victimUsed[vc.t] {
+				continue
+			}
+			if dependsOn(starter, vc.t) {
+				continue // condition C2
+			}
+			if requireC1 {
+				diff := sp - vc.pr
+				if diff <= 0 {
+					return false // victims only get higher-priority from here
+				}
+				if requirePP && d.UsePP {
+					if avgGap <= 0 || diff/avgGap <= d.P.Rho {
+						return false
+					}
+				}
+			}
+			victimUsed[vc.t] = true
+			starterUsed[starter] = true
+			*out = append(*out, sim.Action{Node: node, Victim: vc.t, Starter: starter})
+			return true
+		}
+		return false
+	}
+
+	// Pass 1 — urgent tasks anywhere in the queue: t^a ≤ ε or t^w ≥ τ.
+	// Deadline urgency only applies while the deadline is still
+	// rescuable: once a task is hopelessly late, preempting for it cannot
+	// recover the deadline and would only thrash.
+	for _, w := range waiting {
+		if starterUsed[w] {
+			continue
+		}
+		urgent := w.WaitingTime(now) >= d.P.Tau
+		if !urgent && w.Deadline != units.Forever {
+			aw := w.AllowableWait(now, speed)
+			urgent = aw <= d.P.Epsilon && aw >= -epoch
+		}
+		if !urgent {
+			continue
+		}
+		if !w.DepsMet() {
+			continue // cannot run yet regardless of urgency
+		}
+		take(w, false, false)
+	}
+
+	// Pass 2 — the δ-window of preempting tasks at the head of the queue.
+	window := int(math.Ceil(d.P.Delta * float64(len(waiting))))
+	if window < 1 {
+		window = 1
+	}
+	for i := 0; i < window && i < len(waiting); i++ {
+		w := waiting[i]
+		if starterUsed[w] {
+			continue
+		}
+		if !w.DepsMet() {
+			continue // starting it would violate its own dependencies
+		}
+		considered++
+		if take(w, true, true) {
+			fired++
+		}
+	}
+	return considered, fired
+}
+
+func lessKey(a, b *sim.TaskState) bool {
+	if a.Task.Job != b.Task.Job {
+		return a.Task.Job < b.Task.Job
+	}
+	return a.Task.ID < b.Task.ID
+}

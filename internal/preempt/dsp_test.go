@@ -1,0 +1,251 @@
+package preempt
+
+import (
+	"testing"
+
+	"dsp/internal/cluster"
+	"dsp/internal/dag"
+	"dsp/internal/sim"
+	"dsp/internal/trace"
+	"dsp/internal/units"
+)
+
+func testCluster(n, slots int) *cluster.Cluster {
+	c := &cluster.Cluster{Theta1: 0.5, Theta2: 0.5}
+	for i := 0; i < n; i++ {
+		c.Nodes = append(c.Nodes, &cluster.Node{
+			ID: cluster.NodeID(i), Name: "t", SCPU: 1000, SMem: 1000, Slots: slots,
+			Capacity: dag.Resources{CPU: float64(slots), Mem: 16, DiskMB: 1e6, Bandwidth: 1e3},
+		})
+	}
+	return c
+}
+
+// rrScheduler assigns pending tasks round-robin at start = now.
+type rrScheduler struct{}
+
+func (rrScheduler) Name() string { return "rr" }
+func (rrScheduler) Schedule(now units.Time, pending []*sim.JobState, v *sim.View) []sim.Assignment {
+	var out []sim.Assignment
+	i := 0
+	n := v.Cluster().Len()
+	for _, j := range pending {
+		for _, t := range j.PendingTasks() {
+			out = append(out, sim.Assignment{Task: t, Node: cluster.NodeID(i % n), Start: now})
+			i++
+		}
+	}
+	return out
+}
+
+func sizedJob(id dag.JobID, sizes ...float64) *dag.Job {
+	j := dag.NewJob(id, len(sizes))
+	for i, s := range sizes {
+		j.Task(dag.TaskID(i)).Size = s
+	}
+	return j
+}
+
+func workload(jobs ...*dag.Job) *trace.Workload {
+	w := &trace.Workload{ArrivalRate: 3}
+	for _, j := range jobs {
+		w.Jobs = append(w.Jobs, &trace.Job{Arrival: 0, DAG: j})
+	}
+	return w
+}
+
+func runWith(t *testing.T, p sim.Preemptor, cp cluster.CheckpointPolicy, jobs ...*dag.Job) *sim.Result {
+	t.Helper()
+	res, err := sim.Run(sim.Config{
+		Cluster:    testCluster(1, 1),
+		Scheduler:  rrScheduler{},
+		Preemptor:  p,
+		Checkpoint: cp,
+		Epoch:      10 * units.Second,
+	}, workload(jobs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestDSPPreemptsForDependencyRichTask(t *testing.T) {
+	big := sizedJob(0, 20000) // 20 s leaf
+	star := sizedJob(1, 1000, 1000, 1000, 1000, 1000)
+	for i := 1; i <= 4; i++ {
+		star.MustDep(0, dag.TaskID(i))
+	}
+	res := runWith(t, NewDSP(), cluster.DefaultCheckpoint(), big, star)
+	if res.Preemptions == 0 {
+		t.Error("DSP should preempt the dependency-poor task for the star root")
+	}
+	if res.Disorders != 0 {
+		t.Errorf("DSP caused %d disorders, want 0", res.Disorders)
+	}
+	if res.TasksCompleted != 6 {
+		t.Errorf("completed %d tasks, want 6", res.TasksCompleted)
+	}
+}
+
+func TestPPFilterSuppressesMarginalPreemption(t *testing.T) {
+	// Two leaf tasks only: the priority difference always equals the
+	// average neighbor gap, so the normalized difference is 1 < ρ and PP
+	// must suppress the preemption; DSPW/oPP performs it.
+	big := sizedJob(0, 20000)
+	small := sizedJob(1, 1000)
+
+	withPP := runWith(t, NewDSP(), cluster.DefaultCheckpoint(), big, small)
+	if withPP.Preemptions != 0 {
+		t.Errorf("DSP (PP) preempted %d times, want 0 (marginal gain)", withPP.Preemptions)
+	}
+	withoutPP := runWith(t, NewDSPWithoutPP(), cluster.DefaultCheckpoint(), big, small)
+	if withoutPP.Preemptions == 0 {
+		t.Error("DSPW/oPP should preempt on raw priority difference")
+	}
+}
+
+func TestUrgentTaskBypassesPP(t *testing.T) {
+	// Same two-task scenario, but the small job has a deadline that
+	// becomes urgent at the first epoch: urgency must override PP.
+	big := sizedJob(0, 40000)
+	small := sizedJob(1, 1000)
+	small.Deadline = 15 // allowable wait at t=10s is 15-10-1 = 4 s ≤ ε
+	res := runWith(t, NewDSP(), cluster.DefaultCheckpoint(), big, small)
+	if res.Preemptions == 0 {
+		t.Fatal("urgent task did not preempt")
+	}
+	if res.JobsMetDeadline < 1 {
+		t.Error("urgent job should have met its deadline after preempting")
+	}
+}
+
+func TestUrgentSkipsUnreadyTasks(t *testing.T) {
+	// The urgent waiting task depends on the running task: C2 forbids the
+	// preemption even under urgency, so no disorder ever occurs.
+	chain := sizedJob(0, 20000, 1000)
+	chain.MustDep(0, 1)
+	chain.Deadline = 12 // child is urgent almost immediately
+	res := runWith(t, NewDSP(), cluster.DefaultCheckpoint(), chain)
+	if res.Disorders != 0 {
+		t.Errorf("disorders = %d, want 0", res.Disorders)
+	}
+	if res.Preemptions != 0 {
+		t.Errorf("preemptions = %d, want 0 (only runnable tasks preempt)", res.Preemptions)
+	}
+}
+
+func TestDeadlineProtectedVictimNotPreempted(t *testing.T) {
+	// The running task's own deadline is tight: it is not preemptable, so
+	// even a high-priority waiting task must not evict it.
+	runningJob := sizedJob(0, 20000)
+	runningJob.Deadline = 21 // allowable wait ≈ 21-20 = 1 s < epoch
+	star := sizedJob(1, 1000, 1000, 1000, 1000, 1000)
+	for i := 1; i <= 4; i++ {
+		star.MustDep(0, dag.TaskID(i))
+	}
+	res := runWith(t, NewDSP(), cluster.DefaultCheckpoint(), runningJob, star)
+	if res.Preemptions != 0 {
+		t.Errorf("preemptions = %d, want 0 (victim deadline-protected)", res.Preemptions)
+	}
+	if res.JobsMetDeadline < 1 {
+		t.Error("protected job should meet its deadline")
+	}
+}
+
+func TestDSPOnGeneratedWorkloadNoDisorders(t *testing.T) {
+	spec := trace.DefaultSpec(6, 17)
+	spec.TaskScale = 0.05
+	w, err := trace.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(sim.Config{
+		Cluster:    cluster.RealCluster(5),
+		Scheduler:  rrScheduler{},
+		Preemptor:  NewDSP(),
+		Checkpoint: cluster.DefaultCheckpoint(),
+	}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Disorders != 0 {
+		t.Errorf("DSP caused %d disorders on generated workload", res.Disorders)
+	}
+	if res.JobsCompleted != 6 {
+		t.Errorf("completed %d jobs, want 6", res.JobsCompleted)
+	}
+}
+
+func TestAdaptDeltaStaysBounded(t *testing.T) {
+	spec := trace.DefaultSpec(6, 23)
+	spec.TaskScale = 0.05
+	w, err := trace.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDSP()
+	d.P.AdaptDelta = true
+	_, err = sim.Run(sim.Config{
+		Cluster:    cluster.RealCluster(4),
+		Scheduler:  rrScheduler{},
+		Preemptor:  d,
+		Checkpoint: cluster.DefaultCheckpoint(),
+	}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.P.Delta < 0.05 || d.P.Delta > 1 {
+		t.Errorf("adaptive delta out of bounds: %v", d.P.Delta)
+	}
+}
+
+func TestNames(t *testing.T) {
+	if NewDSP().Name() != "DSP" {
+		t.Errorf("Name = %q", NewDSP().Name())
+	}
+	if NewDSPWithoutPP().Name() != "DSPW/oPP" {
+		t.Errorf("Name = %q", NewDSPWithoutPP().Name())
+	}
+	anon := &DSP{P: DefaultParams(), UsePP: true}
+	if anon.Name() != "DSP" {
+		t.Errorf("anonymous Name = %q", anon.Name())
+	}
+	anon.UsePP = false
+	if anon.Name() != "DSPW/oPP" {
+		t.Errorf("anonymous Name = %q", anon.Name())
+	}
+}
+
+func TestMaxVictimPreemptionsGuard(t *testing.T) {
+	// A long deadline-free task shares one slot with dependency-rich star
+	// jobs whose own deadlines are tight enough that their tasks are
+	// never preemptable — so the long task is the only possible victim.
+	// With the fairness guard at 1 it is suspended at most once; without
+	// the guard it is victimized repeatedly.
+	mkJobs := func() []*dag.Job {
+		big := sizedJob(0, 60000)
+		jobs := []*dag.Job{big}
+		for i := 1; i <= 4; i++ {
+			s := sizedJob(dag.JobID(i), 2000, 2000, 2000, 2000, 2000)
+			for c := 1; c <= 4; c++ {
+				s.MustDep(0, dag.TaskID(c))
+			}
+			s.Deadline = 13 // root task deadline 11 s: unpreemptable while running
+			jobs = append(jobs, s)
+		}
+		return jobs
+	}
+	run := func(max int) *sim.Result {
+		d := NewDSP()
+		d.P.MaxVictimPreemptions = max
+		return runWith(t, d, cluster.DefaultCheckpoint(), mkJobs()...)
+	}
+	unguarded := run(0)
+	if unguarded.Preemptions < 2 {
+		t.Fatalf("scenario produced only %d preemptions; guard not exercised", unguarded.Preemptions)
+	}
+	guarded := run(1)
+	if guarded.Preemptions > 1 {
+		t.Errorf("guard=1 allowed %d preemptions of the single victim", guarded.Preemptions)
+	}
+}

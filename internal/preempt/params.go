@@ -1,0 +1,65 @@
+// Package preempt implements the online phase of DSP (Section IV of the
+// paper): dependency-aware task priority (Formulas 12 and 13) and the
+// preemption procedure of Algorithm 1, including urgent-task handling,
+// the δ-fraction preempting-task window, conditions C1/C2, and the
+// normalized-priority filter (PP) that suppresses preemptions whose
+// throughput gain would not cover the context-switch overhead. The
+// package also provides the paper's baseline preemption policies —
+// Amoeba, Natjam and SRPT — for the Figure 6/7 comparisons.
+package preempt
+
+import "dsp/internal/units"
+
+// Params carries the preemption parameters of Table II.
+type Params struct {
+	// Omega1, Omega2, Omega3 weight remaining time, waiting time and
+	// allowable waiting time in the leaf priority (Formula 13); they sum
+	// to one. Table II: 0.5, 0.3, 0.2.
+	Omega1, Omega2, Omega3 float64
+	// Gamma is the level coefficient γ ∈ (0,1) of the recursive priority
+	// (Formula 12). Table II: 0.5.
+	Gamma float64
+	// Delta is the fraction δ of each waiting queue considered as
+	// preempting tasks. Table II: 0.35.
+	Delta float64
+	// Tau is the starvation threshold: a task waiting longer than τ
+	// preempts regardless of condition C1. (Table II lists 0.05 s, which
+	// would make every queued task "starving" within one epoch; that
+	// value matches σ, the post-selection start latency, so we default τ
+	// to a starvation-scale 30 minutes and expose it as a parameter.)
+	Tau units.Time
+	// Epsilon is the urgency threshold ε: a waiting task whose allowable
+	// waiting time has shrunk to ε or below must run immediately.
+	Epsilon units.Time
+	// Rho is the normalized-priority factor ρ > 1: a preemption happens
+	// only when the priority difference exceeds ρ times the average
+	// neighboring-task priority gap.
+	Rho float64
+	// AdaptDelta enables the paper's dynamic δ adjustment: δ grows when
+	// most considered tasks actually preempt (the offline schedule needs
+	// many corrections) and shrinks when few do.
+	AdaptDelta bool
+	// FlatPriority is an ablation switch: it disables the recursive
+	// dependency term of Formula 12 and ranks every task by the leaf
+	// Formula 13 alone, isolating how much of DSP's gain comes from
+	// dependency awareness.
+	FlatPriority bool
+	// MaxVictimPreemptions, when positive, protects any task from being
+	// preempted more than this many times — a fairness guard for
+	// long-running tasks (the paper lists fairness as future work).
+	MaxVictimPreemptions int
+}
+
+// DefaultParams returns the Table II settings.
+func DefaultParams() Params {
+	return Params{
+		Omega1:  0.5,
+		Omega2:  0.3,
+		Omega3:  0.2,
+		Gamma:   0.5,
+		Delta:   0.35,
+		Tau:     30 * units.Minute,
+		Epsilon: 10 * units.Second,
+		Rho:     1.5,
+	}
+}

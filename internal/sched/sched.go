@@ -1,0 +1,135 @@
+// Package sched implements the offline phase of DSP (Section III of the
+// paper): the periodic dependency-aware scheduler that derives a target
+// node and start time for every task, minimizing makespan subject to
+// dependency and deadline constraints.
+//
+// Two interchangeable engines implement the derivation:
+//
+//   - ILP: the paper's integer-linear-programming formulation
+//     (Equations 3–11), built with assignment binaries x_{ij,k}, ordering
+//     binaries y_{ij,uv,k} linearized with big-M disjunctive constraints,
+//     and solved exactly with the pure-Go branch-and-bound in
+//     internal/lp. Exact solving is exponential, so this engine is used
+//     for small instances (the paper uses CPLEX and likewise relaxes and
+//     rounds at scale).
+//   - List: a dependency-aware list scheduler that mirrors the relaxation
+//     heuristic: tasks are ranked by a dependency score (descendants
+//     weighted by level, as in the priority of Section IV-A) plus their
+//     bottom level, then placed earliest-finish-time-first onto node
+//     slots, respecting precedence. This is the engine used at the scale
+//     of the paper's experiments.
+//
+// The DSP scheduler picks automatically: ILP when the instance fits
+// within ILPTaskLimit, the list engine otherwise.
+package sched
+
+import (
+	"dsp/internal/sim"
+	"dsp/internal/units"
+)
+
+// Mode selects the offline engine.
+type Mode int
+
+// Scheduler engine modes.
+const (
+	// Auto uses ILP for small instances and the list engine otherwise.
+	Auto Mode = iota
+	// ILPOnly always builds and solves the ILP.
+	ILPOnly
+	// ListOnly always uses the list heuristic.
+	ListOnly
+)
+
+// DSP is the dependency-aware offline scheduler.
+type DSP struct {
+	// Mode selects between the exact ILP and the list heuristic.
+	Mode Mode
+	// ILPTaskLimit is the largest pending-task count solved exactly in
+	// Auto mode.
+	ILPTaskLimit int
+	// ILPNodeLimit caps the number of (node × slot) virtual machines
+	// offered to the ILP.
+	ILPNodeLimit int
+	// Gamma is the level coefficient γ ∈ (0,1) of the dependency score
+	// (Table II sets 0.5).
+	Gamma float64
+	// Sigma is the per-preemption wait threshold σ used in the estimated
+	// preemption cost of the deadline constraint (0.05 s in the paper).
+	Sigma units.Time
+	// LocalityPenalty, when positive, makes the list engine
+	// locality-aware (a paper future-work extension): placing a task off
+	// its preferred data node adds this much to its estimated finish
+	// time, steering ties — and near-ties — toward local placement. It
+	// should match sim.Config.RemoteInputPenalty.
+	LocalityPenalty units.Time
+}
+
+// NewDSP returns the scheduler with the paper's defaults.
+func NewDSP() *DSP {
+	return &DSP{
+		Mode:         Auto,
+		ILPTaskLimit: 10,
+		ILPNodeLimit: 4,
+		Gamma:        0.5,
+		Sigma:        50 * units.Millisecond,
+	}
+}
+
+// Name implements sim.Scheduler.
+func (d *DSP) Name() string {
+	switch d.Mode {
+	case ILPOnly:
+		return "DSP-ILP"
+	case ListOnly:
+		return "DSP-List"
+	default:
+		return "DSP"
+	}
+}
+
+// Schedule implements sim.Scheduler.
+func (d *DSP) Schedule(now units.Time, pending []*sim.JobState, v *sim.View) []sim.Assignment {
+	nTasks := 0
+	for _, j := range pending {
+		nTasks += len(j.PendingTasks())
+	}
+	useILP := false
+	switch d.Mode {
+	case ILPOnly:
+		useILP = true
+	case Auto:
+		useILP = nTasks > 0 && nTasks <= d.ILPTaskLimit &&
+			v.Cluster().Len() <= d.ILPNodeLimit
+	}
+	if useILP {
+		if out, ok := d.scheduleILP(now, pending, v); ok {
+			return out
+		}
+		// Exact solve failed (node limit, infeasible deadlines):
+		// fall back to the heuristic rather than dropping the period.
+	}
+	return d.scheduleList(now, pending, v)
+}
+
+// EstimatePreemptions estimates N^p, the number of preemptions a task
+// will experience, from the cluster load factor (outstanding work per
+// slot per period) and the task's relative size, following the spirit of
+// the checkpoint-scheduling estimator the paper cites ([29]): longer
+// tasks under higher contention are preempted more.
+func EstimatePreemptions(sizeMI, meanSizeMI, loadFactor float64) int {
+	if meanSizeMI <= 0 || loadFactor <= 0 {
+		return 0
+	}
+	est := loadFactor * sizeMI / meanSizeMI
+	switch {
+	case est < 0.5:
+		return 0
+	case est < 1.5:
+		return 1
+	case est < 3:
+		return 2
+	default:
+		return 3
+	}
+}

@@ -1,0 +1,650 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"dsp/internal/cluster"
+	"dsp/internal/dag"
+	"dsp/internal/eventq"
+	"dsp/internal/trace"
+	"dsp/internal/units"
+)
+
+// Config configures a simulation run.
+type Config struct {
+	Cluster   *cluster.Cluster
+	Scheduler Scheduler
+	// Preemptor may be nil (no online phase), as in the Figure 5
+	// scheduling-method comparison.
+	Preemptor Preemptor
+	// Checkpoint is the preemption cost model.
+	Checkpoint cluster.CheckpointPolicy
+	// Period is the offline scheduling interval (the paper runs
+	// scheduling every 5 minutes).
+	Period units.Time
+	// Epoch is the online preemption interval.
+	Epoch units.Time
+	// BlindTimeout is how long a dependency-blind scheduler's task may
+	// occupy a slot waiting for unfinished precedents before the node
+	// gives up and requeues it (models launch-retry behaviour of real
+	// runtimes; only relevant when the scheduler is DependencyBlind).
+	BlindTimeout units.Time
+	// MaxEvents caps the event count as a runaway guard (0 = default).
+	MaxEvents int
+	// Faults optionally injects node failures and stragglers.
+	Faults *FaultPlan
+	// RemoteInputPenalty is the extra startup time charged the first
+	// time a task runs on a node other than its preferred (data-holding)
+	// node. Zero disables data-locality effects.
+	RemoteInputPenalty units.Time
+	// Growth optionally adds tasks to running jobs mid-simulation
+	// (dynamic DAG extension).
+	Growth []TaskGrowth
+	// Observer, when non-nil, receives lifecycle events.
+	Observer Observer
+}
+
+func (c *Config) fillDefaults() {
+	if c.Period <= 0 {
+		c.Period = 5 * units.Minute
+	}
+	if c.Epoch <= 0 {
+		c.Epoch = 10 * units.Second
+	}
+	if c.BlindTimeout <= 0 {
+		c.BlindTimeout = units.Minute
+	}
+	if c.MaxEvents == 0 {
+		c.MaxEvents = 200_000_000
+	}
+}
+
+// DependencyBlind is an optional interface for schedulers that ignore
+// task dependencies entirely (TetrisW/oDep in the paper). Nodes serving
+// such a scheduler dispatch their queues in planned order without
+// checking precedents: a task whose inputs are not ready occupies its
+// slot uselessly until the inputs appear or the BlindTimeout expires —
+// the resource waste the paper attributes to dependency-oblivious
+// scheduling.
+type DependencyBlind interface {
+	DependencyBlind() bool
+}
+
+// nodeState is the engine's per-node bookkeeping.
+type nodeState struct {
+	node    *cluster.Node
+	running []*TaskState
+	// queue holds Queued and Suspended tasks in ascending
+	// (PlannedStart, job, task) order.
+	queue []*TaskState
+	// down marks a crashed node; speedFactor models stragglers.
+	down        bool
+	speedFactor float64
+}
+
+// Engine runs one simulation.
+type Engine struct {
+	cfg   Config
+	q     *eventq.Queue
+	nodes []*nodeState
+	jobs  []*JobState
+	view  *View
+	blind bool
+
+	jobsRemaining int
+	metrics       Result
+	lastDone      units.Time
+	firstArrival  units.Time
+}
+
+// Run simulates the workload to completion and returns the collected
+// metrics.
+func Run(cfg Config, w *trace.Workload) (*Result, error) {
+	cfg.fillDefaults()
+	if cfg.Cluster == nil || cfg.Cluster.Len() == 0 {
+		return nil, fmt.Errorf("sim: config needs a non-empty cluster")
+	}
+	if cfg.Scheduler == nil {
+		return nil, fmt.Errorf("sim: config needs a scheduler")
+	}
+	if len(w.Jobs) == 0 {
+		return nil, fmt.Errorf("sim: empty workload")
+	}
+	e := &Engine{cfg: cfg, q: eventq.New()}
+	e.view = &View{engine: e}
+	if db, ok := cfg.Scheduler.(DependencyBlind); ok && db.DependencyBlind() {
+		e.blind = true
+	}
+	for _, n := range cfg.Cluster.Nodes {
+		e.nodes = append(e.nodes, &nodeState{node: n, speedFactor: 1})
+	}
+	e.installFaults(cfg.Faults)
+	meanSpeed := cfg.Cluster.MeanSpeed()
+
+	e.firstArrival = units.Forever
+	for _, tj := range w.Jobs {
+		js := &JobState{
+			Dag:       tj.DAG,
+			Arrival:   tj.Arrival,
+			DoneAt:    -1,
+			remaining: tj.DAG.Len(),
+		}
+		if tj.DAG.Deadline > 0 {
+			js.Deadline = tj.Arrival + units.FromSeconds(tj.DAG.Deadline)
+		}
+		// Per-task deadlines via the per-level backward rule, at nominal
+		// (mean) cluster speed.
+		exec := func(id dag.TaskID) float64 { return tj.DAG.Task(id).Size / meanSpeed }
+		if _, cp, err := tj.DAG.CriticalPath(exec); err == nil {
+			js.ideal = units.FromSeconds(cp)
+		}
+		var taskDeadlines []float64
+		if tj.DAG.Deadline > 0 {
+			var err error
+			taskDeadlines, err = tj.DAG.TaskDeadlines(tj.DAG.Deadline, exec)
+			if err != nil {
+				return nil, fmt.Errorf("sim: job %d: %w", tj.DAG.ID, err)
+			}
+		}
+		for _, task := range tj.DAG.Tasks {
+			ts := &TaskState{
+				Task:       task,
+				Job:        js,
+				Phase:      Pending,
+				Node:       -1,
+				FirstStart: -1,
+				DoneAt:     -1,
+				Deadline:   units.Forever,
+			}
+			if taskDeadlines != nil {
+				ts.Deadline = tj.Arrival + units.FromSeconds(taskDeadlines[task.ID])
+			}
+			js.Tasks = append(js.Tasks, ts)
+		}
+		e.jobs = append(e.jobs, js)
+		e.jobsRemaining++
+		if tj.Arrival < e.firstArrival {
+			e.firstArrival = tj.Arrival
+		}
+		e.q.At(tj.Arrival, eventq.Func(func(units.Time) {
+			// Arrival is implicit: pending tasks become visible to the
+			// next scheduling period via arrivedPending.
+		}))
+	}
+
+	// Resolve cross-job dependencies and reject cycles (a cyclic job
+	// graph can never finish).
+	byID := make(map[dag.JobID]*JobState, len(e.jobs))
+	for _, js := range e.jobs {
+		byID[js.Dag.ID] = js
+	}
+	for i, tj := range w.Jobs {
+		for _, dep := range tj.WaitsFor {
+			pre, ok := byID[dep]
+			if !ok {
+				return nil, fmt.Errorf("sim: job %d waits for unknown job %d", tj.DAG.ID, dep)
+			}
+			if pre == e.jobs[i] {
+				return nil, fmt.Errorf("sim: job %d waits for itself", tj.DAG.ID)
+			}
+			e.jobs[i].waitsFor = append(e.jobs[i].waitsFor, pre)
+		}
+	}
+	if err := validateJobGraph(e.jobs); err != nil {
+		return nil, err
+	}
+	if err := e.installGrowth(cfg.Growth); err != nil {
+		return nil, err
+	}
+
+	// First scheduling period fires at the first arrival.
+	e.q.At(e.firstArrival, eventq.Func(e.periodTick))
+	if cfg.Preemptor != nil {
+		e.q.At(e.firstArrival+cfg.Epoch, eventq.Func(e.epochTick))
+	}
+
+	fired, drained := e.q.Run(cfg.MaxEvents)
+	if !drained {
+		return nil, fmt.Errorf("sim: event cap %d exceeded at t=%v with %d jobs incomplete (policy live-lock?)",
+			fired, e.q.Now(), e.jobsRemaining)
+	}
+	if e.jobsRemaining > 0 {
+		return nil, fmt.Errorf("sim: %d jobs incomplete after event queue drained (scheduler %q never assigned their tasks?)",
+			e.jobsRemaining, cfg.Scheduler.Name())
+	}
+	e.finalize()
+	return &e.metrics, nil
+}
+
+// arrivedPending returns jobs that have arrived by now, have every
+// cross-job prerequisite completed, and still have unassigned tasks.
+func (e *Engine) arrivedPending(now units.Time) []*JobState {
+	var out []*JobState
+	for _, j := range e.jobs {
+		if j.Arrival <= now && j.assigned < len(j.Tasks) && j.Eligible() {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// validateJobGraph rejects cyclic cross-job dependencies.
+func validateJobGraph(jobs []*JobState) error {
+	const (
+		white = iota
+		grey
+		black
+	)
+	color := make(map[*JobState]int, len(jobs))
+	var visit func(j *JobState) error
+	visit = func(j *JobState) error {
+		switch color[j] {
+		case grey:
+			return fmt.Errorf("sim: cross-job dependency cycle involving job %d", j.Dag.ID)
+		case black:
+			return nil
+		}
+		color[j] = grey
+		for _, p := range j.waitsFor {
+			if err := visit(p); err != nil {
+				return err
+			}
+		}
+		color[j] = black
+		return nil
+	}
+	for _, j := range jobs {
+		if err := visit(j); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// periodTick runs the offline scheduler and re-arms itself while work
+// remains.
+func (e *Engine) periodTick(now units.Time) {
+	pending := e.arrivedPending(now)
+	if len(pending) > 0 {
+		assignments := e.cfg.Scheduler.Schedule(now, pending, e.view)
+		for _, a := range assignments {
+			e.applyAssignment(a, now)
+		}
+		for k := range e.nodes {
+			e.tryFill(cluster.NodeID(k), now)
+		}
+	}
+	if e.jobsRemaining > 0 {
+		e.q.After(e.cfg.Period, eventq.Func(e.periodTick))
+	}
+}
+
+// applyAssignment moves a pending task into its node's waiting queue.
+func (e *Engine) applyAssignment(a Assignment, now units.Time) {
+	t := a.Task
+	if t.Phase != Pending {
+		return // schedulers must only assign pending tasks; ignore others
+	}
+	if int(a.Node) < 0 || int(a.Node) >= len(e.nodes) {
+		return
+	}
+	if e.nodes[a.Node].down {
+		return // stays pending; the next period re-places it
+	}
+	t.Phase = Queued
+	t.Node = a.Node
+	t.PlannedStart = units.Max(a.Start, now)
+	t.QueuedAt = now
+	t.Job.assigned++
+	e.enqueue(a.Node, t)
+}
+
+// enqueue inserts t into the node queue keeping ascending
+// (PlannedStart, JobID, TaskID) order.
+func (e *Engine) enqueue(k cluster.NodeID, t *TaskState) {
+	ns := e.nodes[k]
+	i := sort.Search(len(ns.queue), func(i int) bool {
+		q := ns.queue[i]
+		if q.PlannedStart != t.PlannedStart {
+			return q.PlannedStart > t.PlannedStart
+		}
+		if q.Task.Job != t.Task.Job {
+			return q.Task.Job > t.Task.Job
+		}
+		return q.Task.ID > t.Task.ID
+	})
+	ns.queue = append(ns.queue, nil)
+	copy(ns.queue[i+1:], ns.queue[i:])
+	ns.queue[i] = t
+}
+
+// dequeue removes t from its node's queue.
+func (e *Engine) dequeue(k cluster.NodeID, t *TaskState) {
+	ns := e.nodes[k]
+	for i, q := range ns.queue {
+		if q == t {
+			ns.queue = append(ns.queue[:i], ns.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// tryFill starts queued tasks while the node has free slots. With a
+// dependency-aware scheduler the engine picks the first *runnable* task
+// in planned order; with a DependencyBlind scheduler it dispatches
+// strictly in planned order — blocked tasks then occupy slots uselessly.
+func (e *Engine) tryFill(k cluster.NodeID, now units.Time) {
+	ns := e.nodes[k]
+	if ns.down {
+		return
+	}
+	for len(ns.running) < ns.node.Slots {
+		var pick *TaskState
+		if e.blind {
+			if len(ns.queue) > 0 {
+				pick = ns.queue[0]
+			}
+		} else {
+			for _, t := range ns.queue {
+				if t.DepsMet() {
+					pick = t
+					break
+				}
+			}
+		}
+		if pick == nil {
+			return
+		}
+		e.start(k, pick, now)
+	}
+}
+
+// start moves a waiting task into a slot. If its precedents are
+// unfinished (possible only under a DependencyBlind scheduler) the task
+// blocks in the slot: no progress, a timeout to requeue it, and real work
+// begins only when the last precedent completes.
+func (e *Engine) start(k cluster.NodeID, t *TaskState, now units.Time) {
+	e.dequeue(k, t)
+	ns := e.nodes[k]
+	t.Phase = Running
+	ns.running = append(ns.running, t)
+	if now > t.QueuedAt {
+		t.totalWait += now - t.QueuedAt
+	}
+	if t.FirstStart < 0 {
+		t.FirstStart = now
+		// Waiting metric: from readiness (deps met, queued) to first start.
+		ready := t.ReadyAt()
+		if now > ready {
+			e.metrics.totalTaskWait += now - ready
+		}
+		e.metrics.taskWaitSamples++
+	}
+	if e.cfg.Observer != nil {
+		e.cfg.Observer.TaskStarted(now, t, k)
+	}
+	if !t.DepsMet() {
+		t.blocked = true
+		t.effStart = now // occupancy start, for blocked-time accounting
+		e.metrics.BlindStarts++
+		t.blockEv = e.q.After(e.cfg.BlindTimeout, eventq.Func(func(at units.Time) {
+			e.kickBlocked(k, t, at)
+		}))
+		t.hasBlockEv = true
+		return
+	}
+	e.beginWork(k, t, now)
+}
+
+// beginWork schedules the completion of a task occupying a slot whose
+// precedents have all finished.
+func (e *Engine) beginWork(k cluster.NodeID, t *TaskState, now units.Time) {
+	speed := e.speedOf(k)
+	penalty := t.resumePenalty
+	t.resumePenalty = 0
+	t.blocked = false
+	if !t.everRan && t.Task.Preferred >= 0 {
+		if int(k) == t.Task.Preferred {
+			e.metrics.LocalityHits++
+		} else {
+			e.metrics.LocalityMisses++
+			penalty += e.cfg.RemoteInputPenalty
+		}
+	}
+	t.everRan = true
+	t.effStart = now + penalty
+	dur := penalty + t.RemainingTime(speed)
+	t.doneEv = e.q.At(now+dur, eventq.Func(func(at units.Time) {
+		e.complete(k, t, at)
+	}))
+	t.hasDoneEv = true
+}
+
+// kickBlocked requeues a blind-started task that spent BlindTimeout in a
+// slot without its inputs appearing; the wasted occupancy is recorded.
+func (e *Engine) kickBlocked(k cluster.NodeID, t *TaskState, now units.Time) {
+	t.hasBlockEv = false
+	if !t.blocked || t.Phase != Running {
+		return
+	}
+	ns := e.nodes[k]
+	for i, r := range ns.running {
+		if r == t {
+			ns.running = append(ns.running[:i], ns.running[i+1:]...)
+			break
+		}
+	}
+	e.metrics.BlockedSlotTime += e.cfg.BlindTimeout
+	t.blocked = false
+	t.Phase = Queued
+	t.QueuedAt = now
+	// Demote behind currently planned work so the slot tries something
+	// else first.
+	t.PlannedStart = now + e.cfg.Period
+	e.enqueue(k, t)
+	e.tryFill(k, now)
+}
+
+// suspend preempts a running task: progress rolls back to the last
+// checkpoint, the resume penalty is armed, and the task rejoins the
+// queue.
+func (e *Engine) suspend(k cluster.NodeID, t *TaskState, now units.Time) {
+	ns := e.nodes[k]
+	for i, r := range ns.running {
+		if r == t {
+			ns.running = append(ns.running[:i], ns.running[i+1:]...)
+			break
+		}
+	}
+	if t.hasDoneEv {
+		e.q.Cancel(t.doneEv)
+		t.hasDoneEv = false
+	}
+	if t.hasBlockEv {
+		e.q.Cancel(t.blockEv)
+		t.hasBlockEv = false
+	}
+	if t.blocked {
+		// A blocked blind-start never began work: nothing to roll back
+		// and no state to restore on resume.
+		e.metrics.BlockedSlotTime += now - t.effStart
+		t.blocked = false
+	} else {
+		speed := e.speedOf(k)
+		if now > t.effStart {
+			worked := now - t.effStart
+			retained := e.cfg.Checkpoint.RetainedProgress(worked)
+			t.doneMI += retained.Seconds() * speed
+			if t.doneMI > t.Task.Size {
+				t.doneMI = t.Task.Size
+			}
+		}
+		t.resumePenalty = e.cfg.Checkpoint.ResumePenalty()
+	}
+	t.Phase = Suspended
+	t.Preemptions++
+	t.QueuedAt = now
+	e.metrics.Preemptions++
+	e.enqueue(k, t)
+}
+
+// complete finishes a task, updates job state and refills the slot.
+func (e *Engine) complete(k cluster.NodeID, t *TaskState, now units.Time) {
+	ns := e.nodes[k]
+	for i, r := range ns.running {
+		if r == t {
+			ns.running = append(ns.running[:i], ns.running[i+1:]...)
+			break
+		}
+	}
+	t.hasDoneEv = false
+	t.Phase = Done
+	t.DoneAt = now
+	t.doneMI = t.Task.Size
+	e.metrics.TasksCompleted++
+	if e.cfg.Observer != nil {
+		e.cfg.Observer.TaskCompleted(now, t, k)
+	}
+	if t.Deadline != units.Forever && now > t.Deadline {
+		e.metrics.TaskDeadlineMisses++
+	}
+	j := t.Job
+	j.remaining--
+	if j.remaining == 0 {
+		j.DoneAt = now
+		e.jobsRemaining--
+		e.metrics.JobsCompleted++
+		if j.MetDeadline() {
+			e.metrics.JobsMetDeadline++
+		}
+		// Job waiting time: submission to first task start.
+		first := units.Forever
+		for _, ts := range j.Tasks {
+			if ts.FirstStart >= 0 && ts.FirstStart < first {
+				first = ts.FirstStart
+			}
+		}
+		if first != units.Forever && first > j.Arrival {
+			e.metrics.totalJobWait += first - j.Arrival
+		}
+		e.metrics.jobWaitSamples++
+
+		rec := JobRecord{
+			Job:         j.Dag.ID,
+			Arrival:     j.Arrival,
+			DoneAt:      now,
+			FirstStart:  first,
+			Ideal:       j.ideal,
+			MetDeadline: j.MetDeadline(),
+		}
+		if j.ideal > 0 {
+			rec.Slowdown = (now - j.Arrival).Seconds() / j.ideal.Seconds()
+		}
+		var queueWait units.Time
+		for _, ts := range j.Tasks {
+			queueWait += ts.totalWait
+		}
+		rec.AvgTaskQueueWait = queueWait / units.Time(len(j.Tasks))
+		e.metrics.totalJobQueueWait += rec.AvgTaskQueueWait
+		e.metrics.Jobs = append(e.metrics.Jobs, rec)
+		if e.cfg.Observer != nil {
+			e.cfg.Observer.JobCompleted(now, j)
+		}
+	}
+	if now > e.lastDone {
+		e.lastDone = now
+	}
+	e.tryFill(k, now)
+	// Completing t may have unblocked dependents: blind-started tasks
+	// spinning in slots can begin real work, and runnable tasks queued on
+	// other nodes can be dispatched.
+	for _, c := range j.Dag.Children(t.Task.ID) {
+		cs := j.Tasks[c]
+		if !cs.DepsMet() {
+			continue
+		}
+		switch {
+		case cs.blocked && cs.Phase == Running:
+			if cs.hasBlockEv {
+				e.q.Cancel(cs.blockEv)
+				cs.hasBlockEv = false
+			}
+			e.metrics.BlockedSlotTime += now - cs.effStart
+			e.beginWork(cs.Node, cs, now)
+		case (cs.Phase == Queued || cs.Phase == Suspended) && cs.Node != k:
+			e.tryFill(cs.Node, now)
+		}
+	}
+}
+
+// epochTick runs the online preemption policy and re-arms itself.
+func (e *Engine) epochTick(now units.Time) {
+	actions := e.cfg.Preemptor.Epoch(now, e.view)
+	for _, a := range actions {
+		e.applyAction(a, now)
+	}
+	for k := range e.nodes {
+		e.tryFill(cluster.NodeID(k), now)
+	}
+	if e.jobsRemaining > 0 {
+		e.q.After(e.cfg.Epoch, eventq.Func(e.epochTick))
+	}
+}
+
+// applyAction validates and executes one preemption. A starter whose
+// precedents have not finished is a dependency disorder: the policy
+// ordered an execution inconsistent with the dependency relation. The
+// attempt is counted, but the node's launcher refuses to evict the
+// victim for a task whose inputs do not exist — evicting anyway would,
+// under a no-checkpoint policy, let a child suspend its own unfinished
+// parent every epoch and live-lock the pair forever.
+func (e *Engine) applyAction(a Action, now units.Time) {
+	if a.Victim == nil || a.Starter == nil {
+		return
+	}
+	if a.Victim.Phase != Running || a.Victim.Node != a.Node {
+		return
+	}
+	if (a.Starter.Phase != Queued && a.Starter.Phase != Suspended) || a.Starter.Node != a.Node {
+		return
+	}
+	if !a.Starter.DepsMet() {
+		e.metrics.Disorders++
+		return
+	}
+	e.suspend(a.Node, a.Victim, now)
+	if e.cfg.Observer != nil {
+		e.cfg.Observer.TaskPreempted(now, a.Victim, a.Starter, a.Node)
+	}
+	e.start(a.Node, a.Starter, now)
+}
+
+// finalize computes derived metrics after the run.
+func (e *Engine) finalize() {
+	m := &e.metrics
+	if e.lastDone > e.firstArrival {
+		m.Makespan = e.lastDone - e.firstArrival
+	}
+	if m.Makespan > 0 {
+		m.TaskThroughputPerMs = float64(m.TasksCompleted) / m.Makespan.Milliseconds()
+		m.JobThroughputPerMin = float64(m.JobsMetDeadline) / (m.Makespan.Seconds() / 60)
+	}
+	if m.jobWaitSamples > 0 {
+		m.AvgJobWait = m.totalJobWait / units.Time(m.jobWaitSamples)
+	}
+	if len(m.Jobs) > 0 {
+		var total units.Time
+		for _, r := range m.Jobs {
+			q := (r.DoneAt - r.Arrival) - r.Ideal
+			if q > 0 {
+				total += q
+			}
+		}
+		m.AvgJobQueueing = total / units.Time(len(m.Jobs))
+		m.AvgJobWaiting = m.totalJobQueueWait / units.Time(len(m.Jobs))
+	}
+	if m.taskWaitSamples > 0 {
+		m.AvgTaskWait = m.totalTaskWait / units.Time(m.taskWaitSamples)
+	}
+}

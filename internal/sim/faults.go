@@ -1,0 +1,212 @@
+package sim
+
+import (
+	"sort"
+
+	"dsp/internal/cluster"
+	"dsp/internal/eventq"
+	"dsp/internal/units"
+)
+
+// The paper's future work (Section VI) names fault tolerance — handling
+// node failures/crashes and stragglers — as the next extension of DSP.
+// This file implements both as first-class simulation events:
+//
+//   - NodeFailure crashes a node at a point in time. Everything running
+//     there is evicted (progress rolls back to the last checkpoint, as a
+//     crash loses the uncheckpointed state) and everything assigned to
+//     its queue returns to the Pending pool, so the next offline
+//     scheduling period re-places the work on surviving nodes. An
+//     optional recovery brings the node back.
+//   - Straggler degrades a node's effective speed by a factor for a
+//     window, re-pacing the tasks running there.
+
+// NodeFailure describes one crash (and optional recovery).
+type NodeFailure struct {
+	Node cluster.NodeID
+	// At is when the node fails.
+	At units.Time
+	// RecoverAfter is how long until the node returns; zero or negative
+	// means it never does.
+	RecoverAfter units.Time
+}
+
+// Straggler describes a transient slowdown of one node.
+type Straggler struct {
+	Node cluster.NodeID
+	// At is when the slowdown begins.
+	At units.Time
+	// Factor scales the node's speed (e.g. 0.1 = 10× slower). Must be
+	// positive.
+	Factor float64
+	// Duration is how long the slowdown lasts; zero or negative means it
+	// persists to the end of the run.
+	Duration units.Time
+}
+
+// FaultPlan is the set of injected faults for a run.
+type FaultPlan struct {
+	Failures   []NodeFailure
+	Stragglers []Straggler
+}
+
+// installFaults schedules the plan's events.
+func (e *Engine) installFaults(plan *FaultPlan) {
+	if plan == nil {
+		return
+	}
+	for _, f := range plan.Failures {
+		f := f
+		if int(f.Node) < 0 || int(f.Node) >= len(e.nodes) {
+			continue
+		}
+		e.q.At(f.At, eventq.Func(func(now units.Time) {
+			e.failNode(f.Node, now)
+		}))
+		if f.RecoverAfter > 0 {
+			e.q.At(f.At+f.RecoverAfter, eventq.Func(func(now units.Time) {
+				e.recoverNode(f.Node, now)
+			}))
+		}
+	}
+	for _, s := range plan.Stragglers {
+		s := s
+		if int(s.Node) < 0 || int(s.Node) >= len(e.nodes) || s.Factor <= 0 {
+			continue
+		}
+		e.q.At(s.At, eventq.Func(func(now units.Time) {
+			e.setSpeedFactor(s.Node, s.Factor, now)
+		}))
+		if s.Duration > 0 {
+			e.q.At(s.At+s.Duration, eventq.Func(func(now units.Time) {
+				e.setSpeedFactor(s.Node, 1, now)
+			}))
+		}
+	}
+}
+
+// speedOf returns the node's current effective speed (profile speed ×
+// straggler factor; zero while the node is down).
+func (e *Engine) speedOf(k cluster.NodeID) float64 {
+	ns := e.nodes[k]
+	if ns.down {
+		return 0
+	}
+	return e.cfg.Cluster.Speed(k) * ns.speedFactor
+}
+
+// failNode crashes a node: running tasks are evicted with crash
+// semantics (state since the last checkpoint is lost; the checkpoint
+// itself survives in shared storage) and all assigned work returns to
+// Pending for rescheduling elsewhere.
+func (e *Engine) failNode(k cluster.NodeID, now units.Time) {
+	ns := e.nodes[k]
+	if ns.down {
+		return
+	}
+	e.metrics.Failures++
+	speed := e.speedOf(k)
+	ns.down = true
+
+	running := append([]*TaskState(nil), ns.running...)
+	ns.running = ns.running[:0]
+	for _, t := range running {
+		if t.hasDoneEv {
+			e.q.Cancel(t.doneEv)
+			t.hasDoneEv = false
+		}
+		if t.hasBlockEv {
+			e.q.Cancel(t.blockEv)
+			t.hasBlockEv = false
+		}
+		if t.blocked {
+			e.metrics.BlockedSlotTime += now - t.effStart
+			t.blocked = false
+		} else if now > t.effStart {
+			retained := e.cfg.Checkpoint.RetainedProgress(now - t.effStart)
+			t.doneMI += retained.Seconds() * speed
+			if t.doneMI > t.Task.Size {
+				t.doneMI = t.Task.Size
+			}
+		}
+		t.resumePenalty = e.cfg.Checkpoint.ResumePenalty()
+		e.evictToPending(t)
+	}
+	queued := append([]*TaskState(nil), ns.queue...)
+	ns.queue = ns.queue[:0]
+	for _, t := range queued {
+		e.evictToPending(t)
+	}
+}
+
+// evictToPending returns a task to the unassigned pool.
+func (e *Engine) evictToPending(t *TaskState) {
+	t.Phase = Pending
+	t.Node = -1
+	t.Job.assigned--
+	e.metrics.FailureEvictions++
+}
+
+// recoverNode brings a failed node back into service.
+func (e *Engine) recoverNode(k cluster.NodeID, now units.Time) {
+	ns := e.nodes[k]
+	if !ns.down {
+		return
+	}
+	ns.down = false
+	e.tryFill(k, now)
+}
+
+// setSpeedFactor re-paces a node: running tasks bank the progress they
+// made at the old speed and their completions are rescheduled at the new
+// one.
+func (e *Engine) setSpeedFactor(k cluster.NodeID, factor float64, now units.Time) {
+	ns := e.nodes[k]
+	if ns.down || ns.speedFactor == factor {
+		ns.speedFactor = factor
+		return
+	}
+	oldSpeed := e.speedOf(k)
+	for _, t := range ns.running {
+		if t.blocked || !t.hasDoneEv {
+			continue
+		}
+		if now > t.effStart {
+			t.doneMI += (now - t.effStart).Seconds() * oldSpeed
+			if t.doneMI > t.Task.Size {
+				t.doneMI = t.Task.Size
+			}
+		}
+		e.q.Cancel(t.doneEv)
+		t.hasDoneEv = false
+	}
+	ns.speedFactor = factor
+	newSpeed := e.speedOf(k)
+	// Reschedule in deterministic order.
+	resched := append([]*TaskState(nil), ns.running...)
+	sort.Slice(resched, func(a, b int) bool { return lessTaskState(resched[a], resched[b]) })
+	for _, t := range resched {
+		if t.blocked {
+			continue
+		}
+		t.effStart = now
+		var dur units.Time
+		if newSpeed > 0 {
+			dur = t.RemainingTime(newSpeed)
+		} else {
+			dur = units.Forever
+		}
+		tt := t
+		t.doneEv = e.q.At(now+dur, eventq.Func(func(at units.Time) {
+			e.complete(k, tt, at)
+		}))
+		t.hasDoneEv = true
+	}
+}
+
+func lessTaskState(a, b *TaskState) bool {
+	if a.Task.Job != b.Task.Job {
+		return a.Task.Job < b.Task.Job
+	}
+	return a.Task.ID < b.Task.ID
+}

@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"dsp/internal/cluster"
+	"dsp/internal/units"
+)
+
+// Observer receives simulation lifecycle events; attach one via
+// Config.Observer to trace a run (debugging, visualization, custom
+// metrics). All callbacks run synchronously inside the event loop — keep
+// them cheap and do not mutate simulator state.
+type Observer interface {
+	// TaskStarted fires when a task occupies a slot (including resume
+	// after preemption and blind starts of blocked tasks).
+	TaskStarted(now units.Time, t *TaskState, node cluster.NodeID)
+	// TaskPreempted fires when a running task is suspended.
+	TaskPreempted(now units.Time, victim, starter *TaskState, node cluster.NodeID)
+	// TaskCompleted fires when a task finishes.
+	TaskCompleted(now units.Time, t *TaskState, node cluster.NodeID)
+	// JobCompleted fires when a job's last task finishes.
+	JobCompleted(now units.Time, j *JobState)
+}
+
+// Observers composes multiple observers.
+type Observers []Observer
+
+// TaskStarted implements Observer.
+func (os Observers) TaskStarted(now units.Time, t *TaskState, node cluster.NodeID) {
+	for _, o := range os {
+		o.TaskStarted(now, t, node)
+	}
+}
+
+// TaskPreempted implements Observer.
+func (os Observers) TaskPreempted(now units.Time, victim, starter *TaskState, node cluster.NodeID) {
+	for _, o := range os {
+		o.TaskPreempted(now, victim, starter, node)
+	}
+}
+
+// TaskCompleted implements Observer.
+func (os Observers) TaskCompleted(now units.Time, t *TaskState, node cluster.NodeID) {
+	for _, o := range os {
+		o.TaskCompleted(now, t, node)
+	}
+}
+
+// JobCompleted implements Observer.
+func (os Observers) JobCompleted(now units.Time, j *JobState) {
+	for _, o := range os {
+		o.JobCompleted(now, j)
+	}
+}
+
+// LogObserver writes one line per event, suitable for debugging small
+// simulations.
+type LogObserver struct {
+	W io.Writer
+}
+
+// TaskStarted implements Observer.
+func (l *LogObserver) TaskStarted(now units.Time, t *TaskState, node cluster.NodeID) {
+	fmt.Fprintf(l.W, "%-12v start    %-8v node%d\n", now, t.Key(), node)
+}
+
+// TaskPreempted implements Observer.
+func (l *LogObserver) TaskPreempted(now units.Time, victim, starter *TaskState, node cluster.NodeID) {
+	skey := "-"
+	if starter != nil {
+		skey = starter.Key().String()
+	}
+	fmt.Fprintf(l.W, "%-12v preempt  %-8v by %-8s node%d\n", now, victim.Key(), skey, node)
+}
+
+// TaskCompleted implements Observer.
+func (l *LogObserver) TaskCompleted(now units.Time, t *TaskState, node cluster.NodeID) {
+	fmt.Fprintf(l.W, "%-12v complete %-8v node%d\n", now, t.Key(), node)
+}
+
+// JobCompleted implements Observer.
+func (l *LogObserver) JobCompleted(now units.Time, j *JobState) {
+	fmt.Fprintf(l.W, "%-12v job-done J%d met=%v\n", now, j.Dag.ID, j.MetDeadline())
+}

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"dsp/internal/cluster"
+	"dsp/internal/units"
+)
+
+// countingObserver tallies events.
+type countingObserver struct {
+	starts, preempts, completes, jobs int
+	lastPreemptStarter                *TaskState
+}
+
+func (c *countingObserver) TaskStarted(units.Time, *TaskState, cluster.NodeID) { c.starts++ }
+func (c *countingObserver) TaskPreempted(_ units.Time, _, s *TaskState, _ cluster.NodeID) {
+	c.preempts++
+	c.lastPreemptStarter = s
+}
+func (c *countingObserver) TaskCompleted(units.Time, *TaskState, cluster.NodeID) { c.completes++ }
+func (c *countingObserver) JobCompleted(units.Time, *JobState)                   { c.jobs++ }
+
+func TestObserverReceivesEvents(t *testing.T) {
+	j := sizedJob(0, 10000, 1000)
+	obs := &countingObserver{}
+	pre := &onceActor{act: func(now units.Time, v *View) []Action {
+		return []Action{{Node: 0, Victim: v.Running(0)[0], Starter: v.Queue(0)[0]}}
+	}}
+	_, err := Run(Config{
+		Cluster:    testCluster(1, 1),
+		Scheduler:  rrScheduler{},
+		Preemptor:  pre,
+		Checkpoint: cluster.DefaultCheckpoint(),
+		Epoch:      2 * units.Second,
+		Observer:   obs,
+	}, mkWorkload([]units.Time{0}, j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Starts: task A, then starter B via preemption, then A resumes = 3.
+	if obs.starts != 3 {
+		t.Errorf("starts = %d, want 3", obs.starts)
+	}
+	if obs.preempts != 1 {
+		t.Errorf("preempts = %d, want 1", obs.preempts)
+	}
+	if obs.completes != 2 {
+		t.Errorf("completes = %d, want 2", obs.completes)
+	}
+	if obs.jobs != 1 {
+		t.Errorf("jobs = %d, want 1", obs.jobs)
+	}
+	if obs.lastPreemptStarter == nil || obs.lastPreemptStarter.Task.ID != 1 {
+		t.Error("preempt starter not reported")
+	}
+}
+
+func TestObserversCompose(t *testing.T) {
+	a := &countingObserver{}
+	b := &countingObserver{}
+	j := sizedJob(0, 1000)
+	_, err := Run(Config{
+		Cluster:   testCluster(1, 1),
+		Scheduler: rrScheduler{},
+		Observer:  Observers{a, b},
+	}, mkWorkload([]units.Time{0}, j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.starts != 1 || b.starts != 1 || a.jobs != 1 || b.jobs != 1 {
+		t.Errorf("composed observers missed events: a=%+v b=%+v", a, b)
+	}
+}
+
+func TestLogObserverOutput(t *testing.T) {
+	var sb strings.Builder
+	j := sizedJob(0, 1000)
+	_, err := Run(Config{
+		Cluster:   testCluster(1, 1),
+		Scheduler: rrScheduler{},
+		Observer:  &LogObserver{W: &sb},
+	}, mkWorkload([]units.Time{0}, j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"start", "complete", "job-done J0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log missing %q:\n%s", want, out)
+		}
+	}
+}

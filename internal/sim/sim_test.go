@@ -1,0 +1,335 @@
+package sim
+
+import (
+	"testing"
+
+	"dsp/internal/cluster"
+	"dsp/internal/dag"
+	"dsp/internal/trace"
+	"dsp/internal/units"
+)
+
+// testCluster returns n nodes at 1000 MIPS with the given slots.
+func testCluster(n, slots int) *cluster.Cluster {
+	c := &cluster.Cluster{Theta1: 0.5, Theta2: 0.5}
+	for i := 0; i < n; i++ {
+		c.Nodes = append(c.Nodes, &cluster.Node{
+			ID: cluster.NodeID(i), Name: "test", SCPU: 1000, SMem: 1000, Slots: slots,
+			Capacity: dag.Resources{CPU: float64(slots), Mem: 16, DiskMB: 1e6, Bandwidth: 1e3},
+		})
+	}
+	return c
+}
+
+// rrScheduler assigns every pending task round-robin with start = now.
+type rrScheduler struct{}
+
+func (rrScheduler) Name() string { return "rr" }
+func (rrScheduler) Schedule(now units.Time, pending []*JobState, v *View) []Assignment {
+	var out []Assignment
+	i := 0
+	n := v.Cluster().Len()
+	for _, j := range pending {
+		for _, t := range j.PendingTasks() {
+			out = append(out, Assignment{Task: t, Node: cluster.NodeID(i % n), Start: now})
+			i++
+		}
+	}
+	return out
+}
+
+// onceActor fires a fixed set of preemption actions on its first epoch.
+type onceActor struct {
+	fired bool
+	act   func(now units.Time, v *View) []Action
+}
+
+func (o *onceActor) Name() string { return "once" }
+func (o *onceActor) Epoch(now units.Time, v *View) []Action {
+	if o.fired {
+		return nil
+	}
+	o.fired = true
+	return o.act(now, v)
+}
+
+// mkWorkload wraps DAG jobs into a workload with the given arrivals.
+func mkWorkload(arrivals []units.Time, jobs ...*dag.Job) *trace.Workload {
+	w := &trace.Workload{ArrivalRate: 3}
+	for i, j := range jobs {
+		w.Jobs = append(w.Jobs, &trace.Job{Class: trace.Small, Arrival: arrivals[i], DAG: j})
+	}
+	return w
+}
+
+func sizedJob(id dag.JobID, sizes ...float64) *dag.Job {
+	j := dag.NewJob(id, len(sizes))
+	for i, s := range sizes {
+		j.Task(dag.TaskID(i)).Size = s
+		j.Task(dag.TaskID(i)).Demand = dag.Resources{CPU: 0.5, Mem: 0.5, DiskMB: 0.02, Bandwidth: 0.02}
+	}
+	return j
+}
+
+func TestSerialExecutionOnOneSlot(t *testing.T) {
+	j := sizedJob(0, 5000, 5000) // two 5 s tasks at 1000 MIPS
+	res, err := Run(Config{
+		Cluster:   testCluster(1, 1),
+		Scheduler: rrScheduler{},
+	}, mkWorkload([]units.Time{0}, j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 10*units.Second {
+		t.Errorf("makespan = %v, want 10s", res.Makespan)
+	}
+	if res.TasksCompleted != 2 || res.JobsCompleted != 1 {
+		t.Errorf("completed tasks=%d jobs=%d", res.TasksCompleted, res.JobsCompleted)
+	}
+	if res.Preemptions != 0 || res.Disorders != 0 {
+		t.Errorf("unexpected preemptions=%d disorders=%d", res.Preemptions, res.Disorders)
+	}
+}
+
+func TestParallelSlotsShortenMakespan(t *testing.T) {
+	j := sizedJob(0, 5000, 5000)
+	res, err := Run(Config{
+		Cluster:   testCluster(1, 2),
+		Scheduler: rrScheduler{},
+	}, mkWorkload([]units.Time{0}, j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 5*units.Second {
+		t.Errorf("makespan = %v, want 5s with two slots", res.Makespan)
+	}
+}
+
+func TestDependencyGatesExecution(t *testing.T) {
+	j := sizedJob(0, 1000, 1000, 1000)
+	j.MustDep(0, 1)
+	j.MustDep(1, 2)
+	res, err := Run(Config{
+		Cluster:   testCluster(1, 3), // slots available, deps must gate
+		Scheduler: rrScheduler{},
+	}, mkWorkload([]units.Time{0}, j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 3*units.Second {
+		t.Errorf("makespan = %v, want 3s (chain forces serial execution)", res.Makespan)
+	}
+}
+
+func TestCrossNodeDependency(t *testing.T) {
+	// Chain 0->1 with rr placing task0 on node0 and task1 on node1: node1
+	// must idle until task0 completes.
+	j := sizedJob(0, 2000, 1000)
+	j.MustDep(0, 1)
+	res, err := Run(Config{
+		Cluster:   testCluster(2, 1),
+		Scheduler: rrScheduler{},
+	}, mkWorkload([]units.Time{0}, j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 3*units.Second {
+		t.Errorf("makespan = %v, want 3s", res.Makespan)
+	}
+}
+
+func TestPreemptionAccounting(t *testing.T) {
+	// One slot: A = 10 s, B = 1 s. At the first epoch (2 s) a custom
+	// preemptor suspends A for B. Checkpoint interval 10 s means A's 2 s
+	// of progress roll back; resume penalty is 100 ms.
+	j := sizedJob(0, 10000, 1000)
+	pre := &onceActor{act: func(now units.Time, v *View) []Action {
+		running := v.Running(0)
+		queue := v.Queue(0)
+		if len(running) != 1 || len(queue) != 1 {
+			t.Fatalf("unexpected state at epoch: run=%d queue=%d", len(running), len(queue))
+		}
+		return []Action{{Node: 0, Victim: running[0], Starter: queue[0]}}
+	}}
+	cp := cluster.DefaultCheckpoint()
+	cp.Interval = 10 * units.Second
+	res, err := Run(Config{
+		Cluster:    testCluster(1, 1),
+		Scheduler:  rrScheduler{},
+		Preemptor:  pre,
+		Checkpoint: cp,
+		Epoch:      2 * units.Second,
+	}, mkWorkload([]units.Time{0}, j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Preemptions != 1 {
+		t.Errorf("preemptions = %d, want 1", res.Preemptions)
+	}
+	if res.Disorders != 0 {
+		t.Errorf("disorders = %d, want 0", res.Disorders)
+	}
+	// Timeline: A runs [0,2), preempted (progress lost, <1 checkpoint).
+	// B runs [2,3). A resumes at 3 with the 2.05 s resume penalty, full
+	// 10 s left: completes at 15.05 s.
+	want := 15*units.Second + 50*units.Millisecond
+	if res.Makespan != want {
+		t.Errorf("makespan = %v, want %v", res.Makespan, want)
+	}
+}
+
+func TestCheckpointPreservesProgress(t *testing.T) {
+	// Same scenario but with a 1 s checkpoint interval: A keeps 2 s of
+	// work, so it completes at 3 + 2.05 + 8 = 13.05 s.
+	j := sizedJob(0, 10000, 1000)
+	pre := &onceActor{act: func(now units.Time, v *View) []Action {
+		return []Action{{Node: 0, Victim: v.Running(0)[0], Starter: v.Queue(0)[0]}}
+	}}
+	cp := cluster.DefaultCheckpoint()
+	cp.Interval = units.Second
+	res, err := Run(Config{
+		Cluster:    testCluster(1, 1),
+		Scheduler:  rrScheduler{},
+		Preemptor:  pre,
+		Checkpoint: cp,
+		Epoch:      2 * units.Second,
+	}, mkWorkload([]units.Time{0}, j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 13*units.Second + 50*units.Millisecond
+	if res.Makespan != want {
+		t.Errorf("makespan = %v, want %v", res.Makespan, want)
+	}
+}
+
+func TestDisorderedPreemptionCounted(t *testing.T) {
+	// Chain 0->1 on one slot. A bad preemptor orders task1 to preempt its
+	// own precedent task0: the disorder is counted, but the launcher
+	// refuses the eviction (starting task1 is impossible), so task0 runs
+	// on undisturbed.
+	j := sizedJob(0, 5000, 1000)
+	j.MustDep(0, 1)
+	pre := &onceActor{act: func(now units.Time, v *View) []Action {
+		return []Action{{Node: 0, Victim: v.Running(0)[0], Starter: v.Queue(0)[0]}}
+	}}
+	res, err := Run(Config{
+		Cluster:    testCluster(1, 1),
+		Scheduler:  rrScheduler{},
+		Preemptor:  pre,
+		Checkpoint: cluster.DefaultCheckpoint(),
+		Epoch:      2 * units.Second,
+	}, mkWorkload([]units.Time{0}, j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Disorders != 1 {
+		t.Errorf("disorders = %d, want 1", res.Disorders)
+	}
+	if res.Preemptions != 0 {
+		t.Errorf("preemptions = %d, want 0 (refused eviction)", res.Preemptions)
+	}
+	// Undisturbed: 5 s + 1 s.
+	if res.Makespan != 6*units.Second {
+		t.Errorf("makespan = %v, want 6s", res.Makespan)
+	}
+}
+
+func TestDeadlineMetricsAndWaiting(t *testing.T) {
+	j := sizedJob(0, 5000, 5000)
+	j.Deadline = 7 // 7 s deadline but serial execution needs 10 s
+	res, err := Run(Config{
+		Cluster:   testCluster(1, 1),
+		Scheduler: rrScheduler{},
+	}, mkWorkload([]units.Time{0}, j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JobsMetDeadline != 0 {
+		t.Errorf("JobsMetDeadline = %d, want 0", res.JobsMetDeadline)
+	}
+	if res.TaskDeadlineMisses == 0 {
+		t.Error("expected task deadline misses")
+	}
+	// Second task waited 5 s ready-in-queue; first waited 0.
+	wantAvg := 2500 * units.Millisecond
+	if res.AvgTaskWait != wantAvg {
+		t.Errorf("AvgTaskWait = %v, want %v", res.AvgTaskWait, wantAvg)
+	}
+}
+
+func TestLateArrivalSchedulesNextPeriod(t *testing.T) {
+	j1 := sizedJob(0, 1000)
+	j2 := sizedJob(1, 1000)
+	res, err := Run(Config{
+		Cluster:   testCluster(1, 1),
+		Scheduler: rrScheduler{},
+		Period:    10 * units.Second,
+	}, mkWorkload([]units.Time{0, 2 * units.Second}, j1, j2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// j2 arrives at 2 s but is only scheduled at the 10 s period tick,
+	// finishing at 11 s: makespan 11 s from first arrival.
+	if res.Makespan != 11*units.Second {
+		t.Errorf("makespan = %v, want 11s", res.Makespan)
+	}
+	if res.JobsCompleted != 2 {
+		t.Errorf("jobs completed = %d", res.JobsCompleted)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	j := sizedJob(0, 100)
+	w := mkWorkload([]units.Time{0}, j)
+	if _, err := Run(Config{Scheduler: rrScheduler{}}, w); err == nil {
+		t.Error("nil cluster accepted")
+	}
+	if _, err := Run(Config{Cluster: testCluster(1, 1)}, w); err == nil {
+		t.Error("nil scheduler accepted")
+	}
+	if _, err := Run(Config{Cluster: testCluster(1, 1), Scheduler: rrScheduler{}}, &trace.Workload{}); err == nil {
+		t.Error("empty workload accepted")
+	}
+}
+
+func TestTaskStateHelpers(t *testing.T) {
+	j := sizedJob(0, 2000)
+	ts := &TaskState{Task: j.Task(0), Job: &JobState{Dag: j}, Phase: Queued, QueuedAt: 5 * units.Second, Deadline: 100 * units.Second}
+	ts.Job.Tasks = []*TaskState{ts}
+	if got := ts.RemainingMI(); got != 2000 {
+		t.Errorf("RemainingMI = %v", got)
+	}
+	if got := ts.RemainingTime(1000); got != 2*units.Second {
+		t.Errorf("RemainingTime = %v", got)
+	}
+	if got := ts.RemainingTime(0); got != units.Forever {
+		t.Errorf("RemainingTime(0) = %v", got)
+	}
+	if got := ts.WaitingTime(8 * units.Second); got != 3*units.Second {
+		t.Errorf("WaitingTime = %v", got)
+	}
+	ts.Phase = Running
+	if got := ts.WaitingTime(8 * units.Second); got != 0 {
+		t.Errorf("running WaitingTime = %v, want 0", got)
+	}
+	ts.Phase = Queued
+	// AllowableWait = 100 - 10 - 2 = 88 s.
+	if got := ts.AllowableWait(10*units.Second, 1000); got != 88*units.Second {
+		t.Errorf("AllowableWait = %v", got)
+	}
+	if !ts.DepsMet() {
+		t.Error("task with no parents should have deps met")
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	for p, want := range map[Phase]string{
+		Pending: "pending", Queued: "queued", Running: "running",
+		Suspended: "suspended", Done: "done",
+	} {
+		if p.String() != want {
+			t.Errorf("Phase(%d) = %q", p, p.String())
+		}
+	}
+}

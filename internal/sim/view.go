@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"dsp/internal/cluster"
+	"dsp/internal/units"
+)
+
+// Assignment is one offline scheduling decision: run the task on Node,
+// planned to start at Start. The engine enqueues the task in the node's
+// waiting queue ordered by Start.
+type Assignment struct {
+	Task  *TaskState
+	Node  cluster.NodeID
+	Start units.Time
+}
+
+// Scheduler is the offline phase plug point, invoked every scheduling
+// period with the jobs that have arrived and still have unassigned
+// tasks. Implementations include the DSP ILP/list scheduler, Tetris (with
+// and without dependency handling) and Aalo.
+type Scheduler interface {
+	Name() string
+	Schedule(now units.Time, pending []*JobState, view *View) []Assignment
+}
+
+// Action is one preemption decision: suspend Victim (running on Node) and
+// start Starter (waiting on Node) in its place.
+type Action struct {
+	Node    cluster.NodeID
+	Victim  *TaskState
+	Starter *TaskState
+}
+
+// Preemptor is the online phase plug point, invoked every epoch.
+// Implementations include DSP's Algorithm 1 (with and without the
+// normalized-priority filter), Amoeba, Natjam and SRPT.
+type Preemptor interface {
+	Name() string
+	Epoch(now units.Time, view *View) []Action
+}
+
+// View gives schedulers and preemptors read access to the simulator
+// state.
+type View struct {
+	engine *Engine
+}
+
+// Cluster returns the simulated cluster.
+func (v *View) Cluster() *cluster.Cluster { return v.engine.cfg.Cluster }
+
+// Speed returns node k's current effective speed: g(k) scaled by any
+// active straggler factor, and zero while the node is down. Schedulers
+// and preemptors should use this rather than Cluster().Speed so their
+// estimates track injected faults.
+func (v *View) Speed(k cluster.NodeID) float64 { return v.engine.speedOf(k) }
+
+// Queue returns node k's waiting tasks (queued and suspended) in
+// ascending planned-start order. The slice is shared with the engine;
+// callers must not mutate it.
+func (v *View) Queue(k cluster.NodeID) []*TaskState { return v.engine.nodes[k].queue }
+
+// Running returns the tasks currently occupying slots on node k, in
+// start order. The slice is shared with the engine; callers must not
+// mutate it.
+func (v *View) Running(k cluster.NodeID) []*TaskState { return v.engine.nodes[k].running }
+
+// Jobs returns every job the simulator knows about (arrived or not).
+func (v *View) Jobs() []*JobState { return v.engine.jobs }
+
+// BusyUntil estimates when node k next frees a slot if nothing is
+// preempted: the earliest completion among running tasks, or now when a
+// slot is already free.
+func (v *View) BusyUntil(k cluster.NodeID, now units.Time) units.Time {
+	ns := v.engine.nodes[k]
+	if len(ns.running) < ns.node.Slots {
+		return now
+	}
+	earliest := units.Forever
+	speed := v.Speed(k)
+	for _, t := range ns.running {
+		fin := now + t.LiveRemainingTime(now, speed)
+		if fin < earliest {
+			earliest = fin
+		}
+	}
+	return earliest
+}
+
+// QueuedWork returns the total remaining work (in execution time at node
+// k's speed) sitting in node k's queue.
+func (v *View) QueuedWork(k cluster.NodeID, now units.Time) units.Time {
+	ns := v.engine.nodes[k]
+	speed := v.Speed(k)
+	var total units.Time
+	for _, t := range ns.queue {
+		total += t.RemainingTime(speed)
+	}
+	return total
+}
+
+// EarliestFree estimates when a slot on node k will accept a new task,
+// accounting for both running tasks and the queue drained at full slot
+// parallelism. Schedulers use this for earliest-finish-time placement.
+func (v *View) EarliestFree(k cluster.NodeID, now units.Time) units.Time {
+	ns := v.engine.nodes[k]
+	speed := v.Speed(k)
+	slots := ns.node.Slots
+	if slots <= 0 {
+		return units.Forever
+	}
+	free := len(ns.running) < slots && len(ns.queue) == 0
+	if free {
+		return now
+	}
+	// Total outstanding work divided across slots is a serviceable
+	// estimate of when the backlog drains.
+	var backlog units.Time
+	for _, t := range ns.running {
+		backlog += t.LiveRemainingTime(now, speed)
+	}
+	for _, t := range ns.queue {
+		backlog += t.RemainingTime(speed)
+	}
+	return now + backlog/units.Time(slots)
+}
+
+// Epoch returns the configured preemption epoch.
+func (v *View) Epoch() units.Time { return v.engine.cfg.Epoch }
+
+// Checkpoint returns the active checkpoint policy.
+func (v *View) Checkpoint() cluster.CheckpointPolicy { return v.engine.cfg.Checkpoint }

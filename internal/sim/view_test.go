@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"testing"
+
+	"dsp/internal/cluster"
+	"dsp/internal/units"
+)
+
+// viewScheduler captures the view during scheduling so tests can probe
+// the estimation helpers mid-simulation.
+type viewScheduler struct {
+	inner  rrScheduler
+	probes []func(now units.Time, v *View)
+	call   int
+}
+
+func (s *viewScheduler) Name() string { return "view-probe" }
+func (s *viewScheduler) Schedule(now units.Time, pending []*JobState, v *View) []Assignment {
+	if s.call < len(s.probes) {
+		s.probes[s.call](now, v)
+	}
+	s.call++
+	return s.inner.Schedule(now, pending, v)
+}
+
+func TestViewEstimators(t *testing.T) {
+	// Job 1 arrives at 0 (two 10 s tasks, 1 slot). Job 2 arrives at 5 s;
+	// the probe at the second period inspects the busy node.
+	j1 := sizedJob(0, 10000, 10000)
+	j2 := sizedJob(1, 1000)
+	var checked bool
+	s := &viewScheduler{probes: []func(units.Time, *View){
+		func(now units.Time, v *View) {}, // first period: empty cluster
+		func(now units.Time, v *View) {
+			checked = true
+			if now != 8*units.Second {
+				t.Errorf("second period at %v, want 8s", now)
+			}
+			// Task A started at 0, has 2 s left; task B waits in queue.
+			busy := v.BusyUntil(0, now)
+			if busy != 10*units.Second {
+				t.Errorf("BusyUntil = %v, want 10s (live remaining)", busy)
+			}
+			qw := v.QueuedWork(0, now)
+			if qw != 10*units.Second {
+				t.Errorf("QueuedWork = %v, want 10s", qw)
+			}
+			// Backlog estimate: 2 s running + 10 s queued on one slot.
+			ef := v.EarliestFree(0, now)
+			if ef != now+12*units.Second {
+				t.Errorf("EarliestFree = %v, want %v", ef, now+12*units.Second)
+			}
+			if v.Epoch() != 10*units.Second {
+				t.Errorf("Epoch = %v", v.Epoch())
+			}
+			if len(v.Jobs()) != 2 {
+				t.Errorf("Jobs = %d", len(v.Jobs()))
+			}
+			if v.Checkpoint().Enabled {
+				t.Error("checkpoint should be zero-valued (disabled)")
+			}
+		},
+	}}
+	_, err := Run(Config{
+		Cluster:   testCluster(1, 1),
+		Scheduler: s,
+		Period:    8 * units.Second,
+	}, mkWorkload([]units.Time{0, 5 * units.Second}, j1, j2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !checked {
+		t.Fatal("probe never ran")
+	}
+}
+
+func TestViewEarliestFreeIdleNode(t *testing.T) {
+	var got units.Time = -1
+	s := &viewScheduler{probes: []func(units.Time, *View){
+		func(now units.Time, v *View) {
+			got = v.EarliestFree(0, now)
+		},
+	}}
+	j := sizedJob(0, 1000)
+	if _, err := Run(Config{Cluster: testCluster(1, 2), Scheduler: s},
+		mkWorkload([]units.Time{3 * units.Second}, j)); err != nil {
+		t.Fatal(err)
+	}
+	if got != 3*units.Second {
+		t.Errorf("EarliestFree on idle node = %v, want now (3s)", got)
+	}
+}
+
+func TestLiveRemainingTime(t *testing.T) {
+	// Probe a running task mid-flight via a preemptor.
+	j := sizedJob(0, 10000)
+	var live, stale units.Time
+	pre := &onceActor{act: func(now units.Time, v *View) []Action {
+		r := v.Running(0)[0]
+		live = r.LiveRemainingTime(now, 1000)
+		stale = r.RemainingTime(1000)
+		return nil
+	}}
+	_, err := Run(Config{
+		Cluster:   testCluster(1, 1),
+		Scheduler: rrScheduler{},
+		Preemptor: pre,
+		Epoch:     4 * units.Second,
+	}, mkWorkload([]units.Time{0}, j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stale != 10*units.Second {
+		t.Errorf("RemainingTime = %v, want full 10s (checkpointed view)", stale)
+	}
+	if live != 6*units.Second {
+		t.Errorf("LiveRemainingTime = %v, want 6s after 4 s of running", live)
+	}
+}
+
+func TestBlindSchedulerWastesSlots(t *testing.T) {
+	// blindRR ignores dependencies: it enqueues the chain's child first.
+	j := sizedJob(0, 5000, 5000)
+	j.MustDep(0, 1)
+	res, err := Run(Config{
+		Cluster:      testCluster(1, 1),
+		Scheduler:    blindRR{},
+		BlindTimeout: 2 * units.Second,
+	}, mkWorkload([]units.Time{0}, j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BlindStarts == 0 {
+		t.Fatal("expected blind starts")
+	}
+	if res.BlockedSlotTime == 0 {
+		t.Fatal("expected wasted slot time")
+	}
+	// Child blind-starts at 0, is kicked at 2 s, parent runs [2,7),
+	// child runs [7,12): makespan 12 s vs 10 s for a dependency-aware
+	// order.
+	if res.Makespan != 12*units.Second {
+		t.Errorf("makespan = %v, want 12s", res.Makespan)
+	}
+	if res.BlockedSlotTime != 2*units.Second {
+		t.Errorf("BlockedSlotTime = %v, want 2s", res.BlockedSlotTime)
+	}
+}
+
+func TestBlindStartUnblocksWhenParentCompletes(t *testing.T) {
+	// Two nodes: parent on node 0, child blind-started on node 1. The
+	// child blocks until the parent finishes, then runs without a kick.
+	j := sizedJob(0, 5000, 2000)
+	j.MustDep(0, 1)
+	res, err := Run(Config{
+		Cluster:      testCluster(2, 1),
+		Scheduler:    blindRR{},
+		BlindTimeout: 30 * units.Second,
+	}, mkWorkload([]units.Time{0}, j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parent [0,5) on node 0; child blocks on node 1 [0,5), runs [5,7).
+	if res.Makespan != 7*units.Second {
+		t.Errorf("makespan = %v, want 7s", res.Makespan)
+	}
+	if res.BlindStarts != 1 {
+		t.Errorf("BlindStarts = %d, want 1", res.BlindStarts)
+	}
+	if res.BlockedSlotTime != 5*units.Second {
+		t.Errorf("BlockedSlotTime = %v, want 5s", res.BlockedSlotTime)
+	}
+}
+
+// blindRR is rrScheduler plus the DependencyBlind marker, and enqueues
+// children before parents to exercise blocking.
+type blindRR struct{}
+
+func (blindRR) Name() string          { return "blind-rr" }
+func (blindRR) DependencyBlind() bool { return true }
+func (blindRR) Schedule(now units.Time, pending []*JobState, v *View) []Assignment {
+	var out []Assignment
+	i := 0
+	n := v.Cluster().Len()
+	for _, j := range pending {
+		tasks := j.PendingTasks()
+		for k := len(tasks) - 1; k >= 0; k-- { // reverse: children first
+			out = append(out, Assignment{Task: tasks[k], Node: cluster.NodeID(i % n), Start: now + units.Time(len(out))})
+			i++
+		}
+	}
+	return out
+}

@@ -1,0 +1,229 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"dsp/internal/dag"
+	"dsp/internal/rng"
+	"dsp/internal/units"
+)
+
+// Generate produces a deterministic workload from the spec. Jobs cycle
+// through the three classes so every workload contains (as nearly as
+// possible) equal numbers of small, medium and large jobs, as in the
+// paper's evaluation.
+func Generate(spec Spec) (*Workload, error) {
+	if spec.NumJobs <= 0 {
+		return nil, fmt.Errorf("trace: NumJobs must be positive, got %d", spec.NumJobs)
+	}
+	if spec.TaskScale <= 0 {
+		return nil, fmt.Errorf("trace: TaskScale must be positive, got %v", spec.TaskScale)
+	}
+	if spec.MaxLevels < 1 {
+		return nil, fmt.Errorf("trace: MaxLevels must be >= 1, got %d", spec.MaxLevels)
+	}
+	root := rng.New(spec.Seed)
+	arrivalRNG := root.Split(1)
+	classRNG := root.Split(2)
+
+	w := &Workload{}
+	w.ArrivalRate = arrivalRNG.Uniform(spec.ArrivalRateMin, spec.ArrivalRateMax)
+	if w.ArrivalRate <= 0 {
+		w.ArrivalRate = 1
+	}
+	meanGapSec := 60.0 / w.ArrivalRate
+
+	var at units.Time
+	for i := 0; i < spec.NumJobs; i++ {
+		class := JobClass(i % 3)
+		jobRNG := classRNG.Split(int64(i + 10))
+		j, err := generateJob(spec, dag.JobID(i), class, jobRNG)
+		if err != nil {
+			return nil, err
+		}
+		j.Production = jobRNG.Bool(spec.ProductionFraction)
+		if i > 0 {
+			at += units.FromSeconds(arrivalRNG.Exp(meanGapSec))
+		}
+		w.Jobs = append(w.Jobs, &Job{Class: class, Arrival: at, DAG: j})
+	}
+	return w, nil
+}
+
+// taskCount returns the scaled number of tasks for a job of the given
+// class.
+func taskCount(spec Spec, class JobClass, r *rng.RNG) int {
+	var n int
+	switch class {
+	case Small:
+		n = r.UniformInt(spec.SmallTasksMin, spec.SmallTasksMax)
+	case Medium:
+		n = spec.MediumTasks
+	default:
+		n = spec.LargeTasks
+	}
+	n = int(float64(n) * spec.TaskScale)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// generateJob builds one DAG job: task sizes and resources are sampled
+// from trace-like distributions, and dependency edges are derived with
+// the paper's interval non-overlap rule (see BuildDepsFromIntervals).
+func generateJob(spec Spec, id dag.JobID, class JobClass, r *rng.RNG) (*dag.Job, error) {
+	n := taskCount(spec, class, r)
+	j := dag.NewJob(id, n)
+
+	// Sample sizes and synthetic trace execution intervals. The interval
+	// start offsets emulate the observed task start times in the trace;
+	// the duration is the task's nominal execution time.
+	type interval struct {
+		id         dag.TaskID
+		start, end float64
+	}
+	ivs := make([]interval, n)
+	// Spread starts over a window proportional to the would-be serial
+	// span divided by the parallelism hint, so that a realistic fraction
+	// of task pairs overlap.
+	meanExec := spec.MeanTaskSizeMI / spec.RefSpeedMIPS
+	window := meanExec * float64(n) / maxf(spec.ParallelismHint, 1)
+	if window <= 0 {
+		window = meanExec
+	}
+	for i := 0; i < n; i++ {
+		size := r.LogNormalMeanCV(spec.MeanTaskSizeMI, spec.TaskSizeCV)
+		if size < 1 {
+			size = 1
+		}
+		t := j.Task(dag.TaskID(i))
+		t.Size = size
+		t.Demand = dag.Resources{
+			CPU:       r.Uniform(spec.CPUMin, spec.CPUMax),
+			Mem:       r.Uniform(spec.MemMin, spec.MemMax),
+			DiskMB:    TaskDiskMB,
+			Bandwidth: TaskBandwidthMBps,
+		}
+		if spec.LocalityNodes > 0 && r.Bool(spec.LocalityFraction) {
+			t.Preferred = r.Intn(spec.LocalityNodes)
+		}
+		start := r.Uniform(0, window)
+		ivs[i] = interval{
+			id:    dag.TaskID(i),
+			start: start,
+			end:   start + size/spec.RefSpeedMIPS,
+		}
+	}
+
+	starts := make([]float64, n)
+	ends := make([]float64, n)
+	for _, iv := range ivs {
+		starts[iv.id] = iv.start
+		ends[iv.id] = iv.end
+	}
+	if err := BuildDepsFromIntervals(j, starts, ends, spec.MaxLevels, spec.MaxDependents, spec.EdgeDensity, r); err != nil {
+		return nil, err
+	}
+
+	// Deadline: slack × (critical path + residual-work drain time at the
+	// parallelism hint).
+	exec := func(t dag.TaskID) float64 { return j.Task(t).Size / spec.RefSpeedMIPS }
+	_, cp, err := j.CriticalPath(exec)
+	if err != nil {
+		return nil, err
+	}
+	drain := (j.TotalSize() / spec.RefSpeedMIPS) / maxf(spec.ParallelismHint, 1)
+	j.Deadline = spec.DeadlineSlack * (cp + drain)
+	return j, nil
+}
+
+// BuildDepsFromIntervals derives dependency edges using the paper's rule:
+// when the execution intervals of two tasks of a job do not overlap, a
+// dependency can be created from the earlier to the later task. Edges are
+// added for tasks in start-time order, choosing as parents the
+// latest-finishing candidates whose interval ends no later than the
+// child's start, subject to the structural caps (maxLevels DAG levels,
+// maxDependents children per task) and thinned by density in (0,1].
+func BuildDepsFromIntervals(j *dag.Job, starts, ends []float64, maxLevels, maxDependents int, density float64, r *rng.RNG) error {
+	n := j.Len()
+	if len(starts) != n || len(ends) != n {
+		return fmt.Errorf("trace: interval slices must have %d entries", n)
+	}
+	order := make([]dag.TaskID, n)
+	for i := range order {
+		order[i] = dag.TaskID(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if starts[order[a]] != starts[order[b]] {
+			return starts[order[a]] < starts[order[b]]
+		}
+		return order[a] < order[b]
+	})
+
+	level := make([]int, n)
+	for i := range level {
+		level[i] = 1
+	}
+	outDeg := make([]int, n)
+
+	for pos, child := range order {
+		if density < 1 && !r.Bool(density) {
+			continue
+		}
+		// Candidate parents: earlier tasks whose interval ended before the
+		// child's start. Prefer latest-ending candidates (tightest
+		// dependency), as those are the most plausible producer tasks.
+		type cand struct {
+			id  dag.TaskID
+			end float64
+		}
+		var cands []cand
+		for _, p := range order[:pos] {
+			if ends[p] <= starts[child] &&
+				outDeg[p] < maxDependents &&
+				level[p] < maxLevels {
+				cands = append(cands, cand{id: p, end: ends[p]})
+			}
+		}
+		if len(cands) == 0 {
+			continue
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].end != cands[b].end {
+				return cands[a].end > cands[b].end
+			}
+			return cands[a].id < cands[b].id
+		})
+		nParents := 1 + r.Intn(minInt(3, len(cands)))
+		for k := 0; k < nParents && k < len(cands); k++ {
+			p := cands[k].id
+			if level[p] >= maxLevels {
+				continue
+			}
+			if err := j.AddDep(p, child); err != nil {
+				return err
+			}
+			outDeg[p]++
+			if level[p]+1 > level[child] {
+				level[child] = level[p] + 1
+			}
+		}
+	}
+	return j.Validate()
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

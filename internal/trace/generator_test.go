@@ -1,0 +1,262 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dsp/internal/rng"
+)
+
+func smallSpec(numJobs int, seed int64) Spec {
+	s := DefaultSpec(numJobs, seed)
+	s.TaskScale = 0.05 // 5-25 / 50 / 100 tasks per class
+	return s
+}
+
+func TestGenerateBasics(t *testing.T) {
+	w, err := Generate(smallSpec(9, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Jobs) != 9 {
+		t.Fatalf("got %d jobs, want 9", len(w.Jobs))
+	}
+	classes := map[JobClass]int{}
+	for _, j := range w.Jobs {
+		classes[j.Class]++
+		if err := j.DAG.Validate(); err != nil {
+			t.Fatalf("job %d invalid: %v", j.DAG.ID, err)
+		}
+		if j.DAG.Deadline <= 0 {
+			t.Errorf("job %d has non-positive deadline %v", j.DAG.ID, j.DAG.Deadline)
+		}
+	}
+	if classes[Small] != 3 || classes[Medium] != 3 || classes[Large] != 3 {
+		t.Errorf("class mix = %v, want equal thirds", classes)
+	}
+	if w.ArrivalRate < 2 || w.ArrivalRate > 5 {
+		t.Errorf("arrival rate = %v, want in [2,5]", w.ArrivalRate)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallSpec(6, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallSpec(6, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Jobs {
+		ja, jb := a.Jobs[i], b.Jobs[i]
+		if ja.Arrival != jb.Arrival || ja.DAG.Len() != jb.DAG.Len() ||
+			ja.DAG.NumEdges() != jb.DAG.NumEdges() || ja.DAG.Deadline != jb.DAG.Deadline {
+			t.Fatalf("job %d differs between identical seeds", i)
+		}
+		for k := 0; k < ja.DAG.Len(); k++ {
+			if ja.DAG.Tasks[k].Size != jb.DAG.Tasks[k].Size {
+				t.Fatalf("task size differs at job %d task %d", i, k)
+			}
+		}
+	}
+	c, err := Generate(smallSpec(6, 43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Jobs {
+		if a.Jobs[i].DAG.NumEdges() != c.Jobs[i].DAG.NumEdges() ||
+			a.Jobs[i].Arrival != c.Jobs[i].Arrival {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestGenerateRespectsStructuralCaps(t *testing.T) {
+	spec := smallSpec(12, 7)
+	w, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range w.Jobs {
+		L, err := j.DAG.NumLevels()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if L > spec.MaxLevels {
+			t.Errorf("job %d has %d levels, cap %d", j.DAG.ID, L, spec.MaxLevels)
+		}
+		if d := j.DAG.MaxOutDegree(); d > spec.MaxDependents {
+			t.Errorf("job %d has out-degree %d, cap %d", j.DAG.ID, d, spec.MaxDependents)
+		}
+	}
+}
+
+func TestGenerateTaskProperties(t *testing.T) {
+	spec := smallSpec(3, 11)
+	w, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range w.Jobs {
+		for _, task := range j.DAG.Tasks {
+			if task.Size < 1 {
+				t.Fatalf("task size %v < 1", task.Size)
+			}
+			d := task.Demand
+			if d.CPU < spec.CPUMin || d.CPU > spec.CPUMax {
+				t.Errorf("cpu demand %v out of range", d.CPU)
+			}
+			if d.Mem < spec.MemMin || d.Mem > spec.MemMax {
+				t.Errorf("mem demand %v out of range", d.Mem)
+			}
+			if d.DiskMB != TaskDiskMB || d.Bandwidth != TaskBandwidthMBps {
+				t.Errorf("disk/bw demand = %v/%v, want paper constants", d.DiskMB, d.Bandwidth)
+			}
+		}
+	}
+}
+
+func TestGenerateArrivalsMonotone(t *testing.T) {
+	w, err := Generate(smallSpec(30, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(w.Jobs); i++ {
+		if w.Jobs[i].Arrival < w.Jobs[i-1].Arrival {
+			t.Fatalf("arrivals not monotone at %d", i)
+		}
+	}
+	if w.Jobs[0].Arrival != 0 {
+		t.Errorf("first arrival = %v, want 0", w.Jobs[0].Arrival)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	s := DefaultSpec(0, 1)
+	if _, err := Generate(s); err == nil {
+		t.Error("NumJobs=0 accepted")
+	}
+	s = DefaultSpec(1, 1)
+	s.TaskScale = 0
+	if _, err := Generate(s); err == nil {
+		t.Error("TaskScale=0 accepted")
+	}
+	s = DefaultSpec(1, 1)
+	s.MaxLevels = 0
+	if _, err := Generate(s); err == nil {
+		t.Error("MaxLevels=0 accepted")
+	}
+}
+
+func TestGenerateDeadlineScalesWithSlack(t *testing.T) {
+	tight := smallSpec(3, 5)
+	tight.DeadlineSlack = 1
+	loose := smallSpec(3, 5)
+	loose.DeadlineSlack = 8
+	wt, err := Generate(tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := Generate(loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wt.Jobs {
+		if wl.Jobs[i].DAG.Deadline <= wt.Jobs[i].DAG.Deadline {
+			t.Errorf("job %d: loose deadline %v <= tight %v",
+				i, wl.Jobs[i].DAG.Deadline, wt.Jobs[i].DAG.Deadline)
+		}
+	}
+}
+
+func TestGenerateSomeDependencies(t *testing.T) {
+	w, err := Generate(smallSpec(6, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, j := range w.Jobs {
+		total += j.DAG.NumEdges()
+	}
+	if total == 0 {
+		t.Error("generator produced zero dependency edges across 6 jobs")
+	}
+}
+
+func TestJobClassString(t *testing.T) {
+	if Small.String() != "small" || Medium.String() != "medium" || Large.String() != "large" {
+		t.Error("JobClass strings wrong")
+	}
+}
+
+func TestPropertyGeneratedDAGsValid(t *testing.T) {
+	f := func(seed int64) bool {
+		spec := smallSpec(3, seed)
+		w, err := Generate(spec)
+		if err != nil {
+			return false
+		}
+		for _, j := range w.Jobs {
+			if j.DAG.Validate() != nil {
+				return false
+			}
+			L, err := j.DAG.NumLevels()
+			if err != nil || L > spec.MaxLevels {
+				return false
+			}
+			if j.DAG.MaxOutDegree() > spec.MaxDependents {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildDepsFromIntervalsRule(t *testing.T) {
+	// Three tasks: A [0,1], B [2,3], C [0.5,1.5]. A and B do not overlap
+	// (A ends before B starts) so A->B is allowed; A and C overlap so no
+	// edge; C ends at 1.5 <= 2 so C->B allowed too.
+	j := newTestJob(3)
+	starts := []float64{0, 2, 0.5}
+	ends := []float64{1, 3, 1.5}
+	r := rng.New(1)
+	if err := BuildDepsFromIntervals(j, starts, ends, 5, 15, 1.0, r); err != nil {
+		t.Fatal(err)
+	}
+	// Task 1 (B) must have at least one parent and it must be A or C.
+	parents := j.Parents(1)
+	if len(parents) == 0 {
+		t.Fatal("B got no parents despite eligible candidates")
+	}
+	for _, p := range parents {
+		if p != 0 && p != 2 {
+			t.Errorf("unexpected parent %d", p)
+		}
+	}
+	// A and C overlap: no edge either way.
+	for _, p := range j.Parents(2) {
+		if p == 0 {
+			t.Error("edge A->C despite overlapping intervals")
+		}
+	}
+	for _, p := range j.Parents(0) {
+		if p == 2 {
+			t.Error("edge C->A despite overlapping intervals")
+		}
+	}
+}
+
+func TestBuildDepsFromIntervalsLengthMismatch(t *testing.T) {
+	j := newTestJob(2)
+	if err := BuildDepsFromIntervals(j, []float64{0}, []float64{1, 2}, 5, 15, 1, rng.New(1)); err == nil {
+		t.Error("mismatched slice lengths accepted")
+	}
+}

@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"dsp/internal/dag"
+	"dsp/internal/units"
+)
+
+const sampleCSV = `job_id,task_index,start_sec,end_sec,cpu,mem_gb
+100,0,10,20,0.5,1.0
+100,1,25,30,0.3,0.5
+100,2,25,35,0.2,0.8
+200,0,5,15,1.0,2.0
+200,1,16,18,0.4,0.4
+`
+
+func TestLoadGoogleCSV(t *testing.T) {
+	w, err := LoadGoogleCSV(strings.NewReader(sampleCSV), DefaultGoogleCSVOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Jobs) != 2 {
+		t.Fatalf("jobs = %d, want 2", len(w.Jobs))
+	}
+	// Job 200 arrives first (earliest start 5 s), normalized to 0.
+	first := w.Jobs[0]
+	if first.Arrival != 0 {
+		t.Errorf("first arrival = %v, want 0", first.Arrival)
+	}
+	if first.DAG.Len() != 2 {
+		t.Errorf("first job tasks = %d, want 2 (the google job 200)", first.DAG.Len())
+	}
+	second := w.Jobs[1]
+	if second.Arrival != 5*units.Second {
+		t.Errorf("second arrival = %v, want 5s (10−5 normalized)", second.Arrival)
+	}
+	// Sizes: duration × 3600 MIPS.
+	if got := first.DAG.Task(0).Size; got != 10*3600 {
+		t.Errorf("task size = %v, want %v", got, 10*3600)
+	}
+	if got := first.DAG.Task(0).Demand.CPU; got != 1.0 {
+		t.Errorf("cpu = %v", got)
+	}
+	// Dependencies from non-overlap: job 100 task 0 [10,20] precedes
+	// tasks 1 and 2 [25,...]; with density<1 some edges may be thinned,
+	// but the DAG must validate and respect caps.
+	for _, j := range w.Jobs {
+		if err := j.DAG.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if j.DAG.Deadline <= 0 {
+			t.Error("deadline not derived")
+		}
+	}
+}
+
+func TestLoadGoogleCSVDeterministic(t *testing.T) {
+	a, err := LoadGoogleCSV(strings.NewReader(sampleCSV), DefaultGoogleCSVOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadGoogleCSV(strings.NewReader(sampleCSV), DefaultGoogleCSVOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i].DAG.NumEdges() != b.Jobs[i].DAG.NumEdges() ||
+			a.Jobs[i].DAG.Production != b.Jobs[i].DAG.Production {
+			t.Fatal("CSV load not deterministic")
+		}
+	}
+}
+
+func TestLoadGoogleCSVDependencyRule(t *testing.T) {
+	// Force full density so the interval rule is guaranteed to create
+	// the 0→1 edge (0 ends at 20, 1 starts at 25; they do not overlap).
+	opt := DefaultGoogleCSVOptions()
+	opt.EdgeDensity = 1.0
+	csv := "7,0,0,20,0.1,0.1\n7,1,25,30,0.1,0.1\n"
+	w, err := LoadGoogleCSV(strings.NewReader(csv), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := w.Jobs[0].DAG
+	parents := j.Parents(1)
+	if len(parents) != 1 || parents[0] != 0 {
+		t.Errorf("expected edge 0->1, parents = %v", parents)
+	}
+}
+
+func TestLoadGoogleCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":             "",
+		"bad job id":        "x,0,0,1,0.1,0.1\n",
+		"bad float":         "1,0,zero,1,0.1,0.1\n",
+		"end before start":  "1,0,10,5,0.1,0.1\n",
+		"non-dense index":   "1,5,0,1,0.1,0.1\n",
+		"wrong field count": "1,0,0,1\n",
+	}
+	for name, csv := range cases {
+		if _, err := LoadGoogleCSV(strings.NewReader(csv), DefaultGoogleCSVOptions()); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	if classify(100) != Small || classify(800) != Medium || classify(2000) != Large {
+		t.Error("classification thresholds wrong")
+	}
+}
+
+func TestGoogleCSVJobsRunnable(t *testing.T) {
+	// A loaded workload must be consumable by the DAG analyses the
+	// scheduler needs.
+	w, err := LoadGoogleCSV(strings.NewReader(sampleCSV), DefaultGoogleCSVOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range w.Jobs {
+		if _, err := j.DAG.TopoOrder(); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := j.DAG.CriticalPath(func(id dag.TaskID) float64 {
+			return j.DAG.Task(id).Size / 3600
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

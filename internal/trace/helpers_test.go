@@ -1,0 +1,12 @@
+package trace
+
+import "dsp/internal/dag"
+
+// newTestJob returns an edgeless job with n tasks of unit size.
+func newTestJob(n int) *dag.Job {
+	j := dag.NewJob(0, n)
+	for i := 0; i < n; i++ {
+		j.Task(dag.TaskID(i)).Size = 1
+	}
+	return j
+}

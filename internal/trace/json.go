@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dsp/internal/dag"
+	"dsp/internal/units"
+)
+
+// JSON serialization of workloads, so generated traces can be archived,
+// inspected, diffed and replayed byte-identically (cmd/dsptrace uses
+// this codec).
+
+type jsonTask struct {
+	ID        int     `json:"id"`
+	SizeMI    float64 `json:"size_mi"`
+	CPU       float64 `json:"cpu"`
+	MemGB     float64 `json:"mem_gb"`
+	DiskMB    float64 `json:"disk_mb"`
+	BandMBps  float64 `json:"bandwidth_mbps"`
+	Preferred int     `json:"preferred_node"`
+	Parents   []int   `json:"parents,omitempty"`
+}
+
+type jsonJob struct {
+	ID         int        `json:"id"`
+	Class      string     `json:"class"`
+	ArrivalUS  int64      `json:"arrival_us"`
+	Deadline   float64    `json:"deadline_sec"`
+	Production bool       `json:"production"`
+	WaitsFor   []int      `json:"waits_for,omitempty"`
+	Tasks      []jsonTask `json:"tasks"`
+}
+
+type jsonWorkload struct {
+	ArrivalRate float64   `json:"arrival_rate_jobs_per_min"`
+	Jobs        []jsonJob `json:"jobs"`
+}
+
+// WriteJSON encodes the workload.
+func (w *Workload) WriteJSON(out io.Writer) error {
+	jw := jsonWorkload{ArrivalRate: w.ArrivalRate}
+	for _, j := range w.Jobs {
+		jj := jsonJob{
+			ID:         int(j.DAG.ID),
+			Class:      j.Class.String(),
+			ArrivalUS:  int64(j.Arrival),
+			Deadline:   j.DAG.Deadline,
+			Production: j.DAG.Production,
+		}
+		for _, dep := range j.WaitsFor {
+			jj.WaitsFor = append(jj.WaitsFor, int(dep))
+		}
+		for _, t := range j.DAG.Tasks {
+			jt := jsonTask{
+				ID:        int(t.ID),
+				SizeMI:    t.Size,
+				CPU:       t.Demand.CPU,
+				MemGB:     t.Demand.Mem,
+				DiskMB:    t.Demand.DiskMB,
+				BandMBps:  t.Demand.Bandwidth,
+				Preferred: t.Preferred,
+			}
+			for _, p := range j.DAG.Parents(t.ID) {
+				jt.Parents = append(jt.Parents, int(p))
+			}
+			jj.Tasks = append(jj.Tasks, jt)
+		}
+		jw.Jobs = append(jw.Jobs, jj)
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jw)
+}
+
+// ReadJSON decodes a workload previously written by WriteJSON.
+func ReadJSON(in io.Reader) (*Workload, error) {
+	var jw jsonWorkload
+	if err := json.NewDecoder(in).Decode(&jw); err != nil {
+		return nil, fmt.Errorf("trace: decoding workload: %w", err)
+	}
+	w := &Workload{ArrivalRate: jw.ArrivalRate}
+	for _, jj := range jw.Jobs {
+		j := dag.NewJob(dag.JobID(jj.ID), len(jj.Tasks))
+		j.Deadline = jj.Deadline
+		j.Production = jj.Production
+		var class JobClass
+		switch jj.Class {
+		case "small":
+			class = Small
+		case "medium":
+			class = Medium
+		case "large":
+			class = Large
+		default:
+			return nil, fmt.Errorf("trace: job %d has unknown class %q", jj.ID, jj.Class)
+		}
+		for i, jt := range jj.Tasks {
+			if jt.ID != i {
+				return nil, fmt.Errorf("trace: job %d task IDs not dense at %d", jj.ID, i)
+			}
+			t := j.Task(dag.TaskID(i))
+			t.Size = jt.SizeMI
+			t.Preferred = jt.Preferred
+			t.Demand = dag.Resources{
+				CPU:       jt.CPU,
+				Mem:       jt.MemGB,
+				DiskMB:    jt.DiskMB,
+				Bandwidth: jt.BandMBps,
+			}
+		}
+		// Edges after all tasks exist.
+		for i, jt := range jj.Tasks {
+			for _, p := range jt.Parents {
+				if err := j.AddDep(dag.TaskID(p), dag.TaskID(i)); err != nil {
+					return nil, fmt.Errorf("trace: job %d: %w", jj.ID, err)
+				}
+			}
+		}
+		if err := j.Validate(); err != nil {
+			return nil, fmt.Errorf("trace: job %d: %w", jj.ID, err)
+		}
+		tj := &Job{Class: class, Arrival: units.Time(jj.ArrivalUS), DAG: j}
+		for _, dep := range jj.WaitsFor {
+			tj.WaitsFor = append(tj.WaitsFor, dag.JobID(dep))
+		}
+		w.Jobs = append(w.Jobs, tj)
+	}
+	return w, nil
+}

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dsp/internal/dag"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	spec := smallSpec(6, 21)
+	spec.LocalityNodes = 8
+	spec.LocalityFraction = 0.4
+	orig, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig.Jobs[3].WaitsFor = []dag.JobID{0, 1}
+
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.ArrivalRate != orig.ArrivalRate {
+		t.Errorf("arrival rate %v != %v", got.ArrivalRate, orig.ArrivalRate)
+	}
+	if len(got.Jobs) != len(orig.Jobs) {
+		t.Fatalf("job count %d != %d", len(got.Jobs), len(orig.Jobs))
+	}
+	for i := range orig.Jobs {
+		a, b := orig.Jobs[i], got.Jobs[i]
+		if a.Class != b.Class || a.Arrival != b.Arrival {
+			t.Fatalf("job %d header mismatch", i)
+		}
+		if a.DAG.Deadline != b.DAG.Deadline || a.DAG.Production != b.DAG.Production {
+			t.Fatalf("job %d metadata mismatch", i)
+		}
+		if len(a.WaitsFor) != len(b.WaitsFor) {
+			t.Fatalf("job %d WaitsFor mismatch", i)
+		}
+		if a.DAG.Len() != b.DAG.Len() || a.DAG.NumEdges() != b.DAG.NumEdges() {
+			t.Fatalf("job %d structure mismatch", i)
+		}
+		for k := 0; k < a.DAG.Len(); k++ {
+			ta, tb := a.DAG.Tasks[k], b.DAG.Tasks[k]
+			if ta.Size != tb.Size || ta.Demand != tb.Demand || ta.Preferred != tb.Preferred {
+				t.Fatalf("job %d task %d mismatch: %+v vs %+v", i, k, ta, tb)
+			}
+			pa, pb := a.DAG.Parents(dag.TaskID(k)), b.DAG.Parents(dag.TaskID(k))
+			if len(pa) != len(pb) {
+				t.Fatalf("job %d task %d parent count mismatch", i, k)
+			}
+			for x := range pa {
+				if pa[x] != pb[x] {
+					t.Fatalf("job %d task %d parents differ", i, k)
+				}
+			}
+		}
+	}
+
+	// Byte-identical re-encode.
+	var buf2 bytes.Buffer
+	if err := got.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	var buf3 bytes.Buffer
+	if err := orig.WriteJSON(&buf3); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != buf3.String() {
+		t.Error("re-encoded JSON differs from original encoding")
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"jobs":[{"id":0,"class":"alien","tasks":[]}]}`)); err == nil {
+		t.Error("unknown class accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(
+		`{"jobs":[{"id":0,"class":"small","tasks":[{"id":5,"size_mi":1}]}]}`)); err == nil {
+		t.Error("non-dense task IDs accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(
+		`{"jobs":[{"id":0,"class":"small","tasks":[{"id":0,"size_mi":1,"parents":[7]}]}]}`)); err == nil {
+		t.Error("out-of-range parent accepted")
+	}
+}

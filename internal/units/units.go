@@ -1,0 +1,78 @@
+// Package units defines the simulation time base shared by the cluster
+// simulator, schedulers and preemption policies. Simulated time is an
+// int64 count of microseconds so that event ordering, schedules and
+// metrics are exactly deterministic across runs and platforms (float64
+// timestamps would make tie-breaking depend on accumulated rounding).
+package units
+
+import "fmt"
+
+// Time is an absolute simulated time or a duration, in microseconds.
+type Time int64
+
+// Common durations.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+	Minute      Time = 60 * Second
+	Hour        Time = 60 * Minute
+)
+
+// Forever is a sentinel "unreachable" time.
+const Forever Time = 1<<63 - 1
+
+// FromSeconds converts seconds to Time, rounding to the nearest
+// microsecond.
+func FromSeconds(s float64) Time {
+	if s >= float64(Forever)/float64(Second) {
+		return Forever
+	}
+	if s >= 0 {
+		return Time(s*float64(Second) + 0.5)
+	}
+	return -Time(-s*float64(Second) + 0.5)
+}
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Milliseconds converts t to floating-point milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// String renders the time with adaptive precision (e.g. "2.500s",
+// "1m23.4s").
+func (t Time) String() string {
+	switch {
+	case t == Forever:
+		return "forever"
+	case t < 0:
+		return "-" + (-t).String()
+	case t < Millisecond:
+		return fmt.Sprintf("%dµs", int64(t))
+	case t < Second:
+		return fmt.Sprintf("%.3fms", t.Milliseconds())
+	case t < Minute:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	default:
+		m := int64(t / Minute)
+		rem := t - Time(m)*Minute
+		return fmt.Sprintf("%dm%.1fs", m, rem.Seconds())
+	}
+}
+
+// Min returns the smaller of a and b.
+func Min(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the larger of a and b.
+func Max(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}

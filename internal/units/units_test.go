@@ -1,0 +1,62 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConversions(t *testing.T) {
+	if FromSeconds(1.5) != 1500*Millisecond {
+		t.Errorf("FromSeconds(1.5) = %v", FromSeconds(1.5))
+	}
+	if FromSeconds(-2) != -2*Second {
+		t.Errorf("FromSeconds(-2) = %v", FromSeconds(-2))
+	}
+	if got := (2500 * Millisecond).Seconds(); got != 2.5 {
+		t.Errorf("Seconds = %v", got)
+	}
+	if got := (3 * Millisecond).Milliseconds(); got != 3 {
+		t.Errorf("Milliseconds = %v", got)
+	}
+	if FromSeconds(1e30) != Forever {
+		t.Error("huge seconds should clamp to Forever")
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{500 * Microsecond, "500µs"},
+		{250 * Millisecond, "250.000ms"},
+		{2 * Second, "2.000s"},
+		{90 * Second, "1m30.0s"},
+		{Forever, "forever"},
+		{-2 * Second, "-2.000s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if Min(2, 3) != 2 || Min(3, 2) != 2 {
+		t.Error("Min broken")
+	}
+	if Max(2, 3) != 3 || Max(3, 2) != 3 {
+		t.Error("Max broken")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(ms int32) bool {
+		tm := Time(ms) * Millisecond
+		return FromSeconds(tm.Seconds()) == tm
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,193 @@
+// Package viz renders simulation timelines as SVG Gantt charts. A
+// Recorder (a sim.Observer) captures task execution spans during a run;
+// Gantt lays them out with one band per node, lanes per concurrent slot,
+// and one color per job — making schedules, preemptions (split spans)
+// and idle gaps visible at a glance.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"dsp/internal/cluster"
+	"dsp/internal/dag"
+	"dsp/internal/sim"
+	"dsp/internal/units"
+)
+
+// Span is one contiguous occupancy of a slot by a task.
+type Span struct {
+	Task  dag.Key
+	Node  cluster.NodeID
+	Start units.Time
+	End   units.Time
+	// Preempted marks spans that ended in a suspension rather than
+	// completion (drawn with a hatched border).
+	Preempted bool
+}
+
+// Recorder collects spans; attach it via sim.Config.Observer.
+type Recorder struct {
+	Spans []Span
+	// open maps a task to the index of its currently open span (indices,
+	// not pointers: append may reallocate Spans).
+	open map[dag.Key]int
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{open: make(map[dag.Key]int)}
+}
+
+// TaskStarted implements sim.Observer.
+func (r *Recorder) TaskStarted(now units.Time, t *sim.TaskState, node cluster.NodeID) {
+	r.Spans = append(r.Spans, Span{Task: t.Key(), Node: node, Start: now, End: -1})
+	r.open[t.Key()] = len(r.Spans) - 1
+}
+
+// TaskPreempted implements sim.Observer.
+func (r *Recorder) TaskPreempted(now units.Time, victim, _ *sim.TaskState, _ cluster.NodeID) {
+	if i, ok := r.open[victim.Key()]; ok {
+		r.Spans[i].End = now
+		r.Spans[i].Preempted = true
+		delete(r.open, victim.Key())
+	}
+}
+
+// TaskCompleted implements sim.Observer.
+func (r *Recorder) TaskCompleted(now units.Time, t *sim.TaskState, _ cluster.NodeID) {
+	if i, ok := r.open[t.Key()]; ok {
+		r.Spans[i].End = now
+		delete(r.open, t.Key())
+	}
+}
+
+// JobCompleted implements sim.Observer.
+func (r *Recorder) JobCompleted(units.Time, *sim.JobState) {}
+
+// palette holds distinguishable fill colors, cycled by job ID.
+var palette = []string{
+	"#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+	"#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+}
+
+// Gantt renders the recorded spans as an SVG document. Spans still open
+// (End < 0) are clipped to the latest observed time.
+func (r *Recorder) Gantt(w io.Writer) error {
+	spans := append([]Span(nil), r.Spans...)
+	if len(spans) == 0 {
+		_, err := fmt.Fprint(w, `<svg xmlns="http://www.w3.org/2000/svg" width="200" height="40"><text x="10" y="25">no spans recorded</text></svg>`)
+		return err
+	}
+	var tMax units.Time
+	maxNode := cluster.NodeID(0)
+	for _, s := range spans {
+		if s.End > tMax {
+			tMax = s.End
+		}
+		if s.Start > tMax {
+			tMax = s.Start
+		}
+		if s.Node > maxNode {
+			maxNode = s.Node
+		}
+	}
+	for i := range spans {
+		if spans[i].End < 0 {
+			spans[i].End = tMax
+		}
+	}
+	sort.Slice(spans, func(a, b int) bool {
+		if spans[a].Node != spans[b].Node {
+			return spans[a].Node < spans[b].Node
+		}
+		if spans[a].Start != spans[b].Start {
+			return spans[a].Start < spans[b].Start
+		}
+		return spans[a].End < spans[b].End
+	})
+
+	// Greedy interval lane assignment per node.
+	type laneEnd struct{ ends []units.Time }
+	lanes := make(map[cluster.NodeID]*laneEnd)
+	laneOf := make([]int, len(spans))
+	nodeLanes := make(map[cluster.NodeID]int)
+	for i, s := range spans {
+		le := lanes[s.Node]
+		if le == nil {
+			le = &laneEnd{}
+			lanes[s.Node] = le
+		}
+		placed := -1
+		for li, end := range le.ends {
+			if end <= s.Start {
+				placed = li
+				break
+			}
+		}
+		if placed == -1 {
+			le.ends = append(le.ends, s.End)
+			placed = len(le.ends) - 1
+		} else {
+			le.ends[placed] = s.End
+		}
+		laneOf[i] = placed
+		if placed+1 > nodeLanes[s.Node] {
+			nodeLanes[s.Node] = placed + 1
+		}
+	}
+
+	const (
+		laneH   = 14
+		nodeGap = 8
+		leftPad = 70
+		topPad  = 24
+		width   = 1000
+	)
+	// Vertical layout: cumulative lane offsets per node.
+	yOff := make(map[cluster.NodeID]int)
+	y := topPad
+	for n := cluster.NodeID(0); n <= maxNode; n++ {
+		yOff[n] = y
+		ln := nodeLanes[n]
+		if ln == 0 {
+			ln = 1
+		}
+		y += ln*laneH + nodeGap
+	}
+	height := y + 10
+	xScale := float64(width-leftPad-10) / tMax.Seconds()
+	if tMax == 0 {
+		xScale = 1
+	}
+
+	var werr error
+	p := func(format string, args ...any) {
+		if werr == nil {
+			_, werr = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="10">`+"\n", width, height)
+	p(`<text x="%d" y="14">Gantt: %d spans, %v total</text>`+"\n", leftPad, len(spans), tMax)
+	for n := cluster.NodeID(0); n <= maxNode; n++ {
+		p(`<text x="4" y="%d">node%d</text>`+"\n", yOff[n]+laneH-3, n)
+	}
+	for i, s := range spans {
+		x := leftPad + int(s.Start.Seconds()*xScale)
+		wpx := int((s.End - s.Start).Seconds() * xScale)
+		if wpx < 1 {
+			wpx = 1
+		}
+		ys := yOff[s.Node] + laneOf[i]*laneH
+		fill := palette[int(s.Task.Job)%len(palette)]
+		stroke := "none"
+		if s.Preempted {
+			stroke = "#d62728"
+		}
+		p(`<rect x="%d" y="%d" width="%d" height="%d" fill="%s" stroke="%s"><title>%v [%v,%v]</title></rect>`+"\n",
+			x, ys, wpx, laneH-2, fill, stroke, s.Task, s.Start, s.End)
+	}
+	p("</svg>\n")
+	return werr
+}

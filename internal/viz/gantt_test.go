@@ -1,0 +1,167 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"dsp/internal/cluster"
+	"dsp/internal/dag"
+	"dsp/internal/sim"
+	"dsp/internal/trace"
+	"dsp/internal/units"
+)
+
+func testCluster(n, slots int) *cluster.Cluster {
+	c := &cluster.Cluster{Theta1: 0.5, Theta2: 0.5}
+	for i := 0; i < n; i++ {
+		c.Nodes = append(c.Nodes, &cluster.Node{
+			ID: cluster.NodeID(i), SCPU: 1000, SMem: 1000, Slots: slots,
+			Capacity: dag.Resources{CPU: float64(slots), Mem: 16, DiskMB: 1e6, Bandwidth: 1e3},
+		})
+	}
+	return c
+}
+
+type rr struct{}
+
+func (rr) Name() string { return "rr" }
+func (rr) Schedule(now units.Time, pending []*sim.JobState, v *sim.View) []sim.Assignment {
+	var out []sim.Assignment
+	i := 0
+	for _, j := range pending {
+		for _, t := range j.PendingTasks() {
+			out = append(out, sim.Assignment{Task: t, Node: cluster.NodeID(i % v.Cluster().Len()), Start: now})
+			i++
+		}
+	}
+	return out
+}
+
+func TestRecorderCapturesSpans(t *testing.T) {
+	j := dag.NewJob(0, 3)
+	for i := 0; i < 3; i++ {
+		j.Task(dag.TaskID(i)).Size = 2000
+	}
+	j.MustDep(0, 1)
+	rec := NewRecorder()
+	_, err := sim.Run(sim.Config{
+		Cluster:   testCluster(2, 1),
+		Scheduler: rr{},
+		Observer:  rec,
+	}, &trace.Workload{Jobs: []*trace.Job{{Arrival: 0, DAG: j}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(rec.Spans))
+	}
+	for _, s := range rec.Spans {
+		if s.End <= s.Start {
+			t.Errorf("span %v has non-positive duration [%v,%v]", s.Task, s.Start, s.End)
+		}
+		if s.Preempted {
+			t.Errorf("span %v marked preempted without preemption", s.Task)
+		}
+	}
+	// Task 1 depends on task 0: its span starts at task 0's end.
+	var t0End, t1Start units.Time = -1, -1
+	for _, s := range rec.Spans {
+		if s.Task.Task == 0 {
+			t0End = s.End
+		}
+		if s.Task.Task == 1 {
+			t1Start = s.Start
+		}
+	}
+	if t1Start < t0End {
+		t.Errorf("dependent span started at %v before parent ended at %v", t1Start, t0End)
+	}
+}
+
+func TestGanttSVGStructure(t *testing.T) {
+	j := dag.NewJob(0, 2)
+	j.Task(0).Size = 2000
+	j.Task(1).Size = 1000
+	rec := NewRecorder()
+	_, err := sim.Run(sim.Config{
+		Cluster:   testCluster(2, 1),
+		Scheduler: rr{},
+		Observer:  rec,
+	}, &trace.Workload{Jobs: []*trace.Job{{Arrival: 0, DAG: j}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := rec.Gantt(&sb); err != nil {
+		t.Fatal(err)
+	}
+	svg := sb.String()
+	for _, want := range []string{"<svg", "</svg>", "node0", "node1", "<rect", "J0.T0"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if got := strings.Count(svg, "<rect"); got != 2 {
+		t.Errorf("rect count = %d, want 2", got)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := NewRecorder().Gantt(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no spans") {
+		t.Error("empty chart should say so")
+	}
+}
+
+func TestGanttMarksPreemption(t *testing.T) {
+	// One slot, two tasks; a preemptor swaps them at the first epoch.
+	j := dag.NewJob(0, 2)
+	j.Task(0).Size = 20000
+	j.Task(1).Size = 1000
+	rec := NewRecorder()
+	_, err := sim.Run(sim.Config{
+		Cluster:    testCluster(1, 1),
+		Scheduler:  rr{},
+		Preemptor:  swapOnce{},
+		Checkpoint: cluster.DefaultCheckpoint(),
+		Epoch:      2 * units.Second,
+		Observer:   rec,
+	}, &trace.Workload{Jobs: []*trace.Job{{Arrival: 0, DAG: j}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := 0
+	for _, s := range rec.Spans {
+		if s.Preempted {
+			pre++
+		}
+	}
+	if pre == 0 {
+		t.Error("no preempted span recorded")
+	}
+	var sb strings.Builder
+	if err := rec.Gantt(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "#d62728") {
+		t.Error("preempted span not highlighted")
+	}
+}
+
+type swapOnce struct{}
+
+func (swapOnce) Name() string { return "swap" }
+func (swapOnce) Epoch(now units.Time, v *sim.View) []sim.Action {
+	if now > 2*units.Second {
+		return nil
+	}
+	r := v.Running(0)
+	q := v.Queue(0)
+	if len(r) == 0 || len(q) == 0 {
+		return nil
+	}
+	return []sim.Action{{Node: 0, Victim: r[0], Starter: q[0]}}
+}
