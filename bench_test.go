@@ -23,6 +23,7 @@ import (
 	"dsp/internal/eventq"
 	"dsp/internal/experiments"
 	"dsp/internal/lp"
+	"dsp/internal/obs"
 	"dsp/internal/preempt"
 	"dsp/internal/sched"
 	"dsp/internal/sim"
@@ -234,6 +235,105 @@ func BenchmarkAblationILP(b *testing.B) {
 				b.ReportMetric(res.Makespan.Seconds(), "makespan-s")
 			}
 		})
+	}
+}
+
+// --- Observer hot-path guards ---
+
+// observerWorkload is the RealCluster(50) fixture the observer-overhead
+// guards share: enough jobs to keep the cluster contended so the
+// preemptor, and therefore every observer hook, stays hot.
+func observerWorkload(tb testing.TB) *trace.Workload {
+	tb.Helper()
+	spec := trace.DefaultSpec(20, 41)
+	spec.TaskScale = 0.02
+	spec.MeanTaskSizeMI /= 0.02
+	w, err := trace.Generate(spec)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return w
+}
+
+func runObserved(tb testing.TB, o sim.Observer) *sim.Result {
+	tb.Helper()
+	res, err := sim.Run(sim.Config{
+		Cluster:    cluster.RealCluster(50),
+		Scheduler:  sched.NewDSP(),
+		Preemptor:  preempt.NewDSP(),
+		Checkpoint: cluster.DefaultCheckpoint(),
+		Observer:   o,
+	}, observerWorkload(tb))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkObserverOverhead compares a full RealCluster(50) simulation
+// with no observer (the engine's nil fast path), with the atomic
+// counter registry, and with a no-op observer (pure dispatch cost).
+func BenchmarkObserverOverhead(b *testing.B) {
+	for _, variant := range []struct {
+		name string
+		mk   func() sim.Observer
+	}{
+		{"nil", func() sim.Observer { return nil }},
+		{"nop", func() sim.Observer { return sim.NopObserver{} }},
+		{"counters", func() sim.Observer { return obs.NewCounters() }},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runObserved(b, variant.mk())
+			}
+		})
+	}
+}
+
+// TestObserverHotPathOverhead guards the engine's nil-observer fast
+// path: attaching the atomic counter registry to a contended
+// RealCluster(50) run must cost under 2% wall clock versus no observer
+// at all. Timing comparisons are noisy, so the guard takes the best of
+// three attempts before failing.
+func TestObserverHotPathOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing guard skipped in -short")
+	}
+	const attempts, maxRatio = 3, 1.02
+	var last float64
+	for i := 0; i < attempts; i++ {
+		base := testing.Benchmark(func(b *testing.B) {
+			for j := 0; j < b.N; j++ {
+				runObserved(b, nil)
+			}
+		})
+		counted := testing.Benchmark(func(b *testing.B) {
+			for j := 0; j < b.N; j++ {
+				runObserved(b, obs.NewCounters())
+			}
+		})
+		last = float64(counted.NsPerOp()) / float64(base.NsPerOp())
+		if last <= maxRatio {
+			return
+		}
+	}
+	t.Errorf("counter observer costs %.1f%% over the nil fast path, want <%.0f%%",
+		(last-1)*100, (maxRatio-1)*100)
+}
+
+// TestCountersNoAllocs pins the per-event cost of the counter registry:
+// no allocation on any hot-path hook.
+func TestCountersNoAllocs(t *testing.T) {
+	c := obs.NewCounters()
+	task := &sim.TaskState{}
+	if n := testing.AllocsPerRun(1000, func() {
+		c.TaskStarted(0, task, 0)
+		c.TaskPreempted(0, task, task, 0)
+		c.TaskCompleted(0, task, 0)
+		c.EpochStarted(0, 1)
+		c.PreemptionConsidered(0, sim.PreemptionDecision{Verdict: sim.VerdictAccepted})
+	}); n != 0 {
+		t.Errorf("counter hot path allocates %v times per event batch, want 0", n)
 	}
 }
 

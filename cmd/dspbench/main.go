@@ -10,6 +10,10 @@
 //	-scale F     workload task scale (default 0.03; 1.0 = paper size)
 //	-seed N      sweep seed
 //	-csv         emit CSV instead of aligned text
+//	-trace FILE  write Chrome trace-event JSON for every sweep cell
+//	-audit FILE  write JSONL decision audit (run markers separate cells)
+//	-series FILE write per-epoch time-series CSV (one section per cell)
+//	-pprof ADDR  serve /debug/pprof on ADDR (e.g. :6060)
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 
 	"dsp/internal/experiments"
 	"dsp/internal/metrics"
+	"dsp/internal/obs"
 )
 
 func main() {
@@ -38,14 +43,36 @@ func run(args []string, out *os.File) error {
 	sens := fs.String("sensitivity", "", "comma-separated DSP parameters to sweep: gamma,delta,rho,omega1,epoch")
 	sensJobs := fs.Int("sensitivity-jobs", 150, "job count for sensitivity sweeps")
 	fairness := fs.Bool("fairness", false, "also report per-method slowdown fairness (Jain index)")
+	tracePath := fs.String("trace", "", "write Chrome trace-event JSON to FILE (runs laid out back-to-back)")
+	auditPath := fs.String("audit", "", "write JSONL decision audit to FILE (run markers separate cells)")
+	seriesPath := fs.String("series", "", "write per-epoch time-series CSV to FILE (one section per cell)")
+	pprofAddr := fs.String("pprof", "", "serve /debug/pprof on ADDR (e.g. :6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if addr, err := obs.StartPprof(*pprofAddr); err != nil {
+		return err
+	} else if addr != "" {
+		fmt.Fprintln(os.Stderr, "pprof listening on "+addr)
 	}
 
 	o := experiments.DefaultOptions()
 	o.Scale = *scale
 	if *seed != 0 {
 		o.Seed = *seed
+	}
+	sink, err := obs.Open(obs.Options{
+		TracePath:  *tracePath,
+		AuditPath:  *auditPath,
+		SeriesPath: *seriesPath,
+	})
+	if err != nil {
+		return err
+	}
+	defer sink.Close()
+	if sink.Enabled() {
+		o.Observer = sink
 	}
 
 	want := map[string]bool{}

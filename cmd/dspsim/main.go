@@ -10,6 +10,11 @@
 //	-jobs N                number of jobs (default 150)
 //	-scale F               workload task scale (default 0.03)
 //	-seed N                workload seed (default 1)
+//	-trace FILE            write Chrome trace-event JSON (Perfetto)
+//	-audit FILE            write JSONL preemption-decision audit log
+//	-series FILE           write per-epoch time-series CSV
+//	-counters              print event counters after the run
+//	-pprof ADDR            serve /debug/pprof on ADDR (e.g. :6060)
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 
 	"dsp/internal/cluster"
 	"dsp/internal/experiments"
+	"dsp/internal/obs"
 	"dsp/internal/sim"
 	"dsp/internal/trace"
 	"dsp/internal/units"
@@ -40,8 +46,19 @@ func run(args []string) error {
 	scale := fs.Float64("scale", 0.03, "workload task scale (1.0 = paper-size jobs)")
 	load := fs.Float64("load", 1, "mean-task-size multiplier (load factor; the experiment harness uses 1/scale)")
 	seed := fs.Int64("seed", 1, "workload seed")
+	tracePath := fs.String("trace", "", "write Chrome trace-event JSON to FILE (open in Perfetto)")
+	auditPath := fs.String("audit", "", "write JSONL preemption-decision audit log to FILE")
+	seriesPath := fs.String("series", "", "write per-epoch time-series CSV to FILE")
+	counters := fs.Bool("counters", false, "print event counters after the run")
+	pprofAddr := fs.String("pprof", "", "serve /debug/pprof on ADDR (e.g. :6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if addr, err := obs.StartPprof(*pprofAddr); err != nil {
+		return err
+	} else if addr != "" {
+		fmt.Fprintf(os.Stderr, "pprof listening on %s\n", addr)
 	}
 
 	var plat experiments.Platform
@@ -75,15 +92,32 @@ func run(args []string) error {
 		return err
 	}
 
-	res, err := sim.Run(sim.Config{
+	sink, err := obs.Open(obs.Options{
+		TracePath:  *tracePath,
+		AuditPath:  *auditPath,
+		SeriesPath: *seriesPath,
+		Counters:   *counters,
+	})
+	if err != nil {
+		return err
+	}
+	cfg := sim.Config{
 		Cluster:    plat.Cluster(),
 		Scheduler:  s,
 		Preemptor:  pre,
 		Checkpoint: cp,
 		Period:     5 * units.Minute,
 		Epoch:      10 * units.Second,
-	}, w)
+	}
+	if sink.Enabled() {
+		cfg.Observer = sink
+	}
+	res, err := sim.Run(cfg, w)
 	if err != nil {
+		sink.Close()
+		return err
+	}
+	if err := sink.Close(); err != nil {
 		return err
 	}
 
@@ -105,5 +139,17 @@ func run(args []string) error {
 	fmt.Printf("avg task waiting:    %v\n", res.AvgTaskWait)
 	fmt.Printf("preemptions:         %d\n", res.Preemptions)
 	fmt.Printf("disorders:           %d\n", res.Disorders)
+	if sink.Counters != nil {
+		fmt.Printf("\nevent counters:\n%s", sink.Counters)
+	}
+	for _, a := range []struct{ what, path string }{
+		{"trace", *tracePath},
+		{"audit", *auditPath},
+		{"series", *seriesPath},
+	} {
+		if a.path != "" {
+			fmt.Fprintf(os.Stderr, "%s written to %s\n", a.what, a.path)
+		}
+	}
 	return nil
 }

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	dsptrace [-jobs N] [-scale F] [-seed N] [-stats] [-dot JOBID]
+//	dsptrace [-jobs N] [-scale F] [-seed N] [-stats] [-dot JOBID] [-pprof ADDR]
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"dsp/internal/dag"
+	"dsp/internal/obs"
 	"dsp/internal/trace"
 )
 
@@ -33,8 +34,15 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "seed")
 	stats := fs.Bool("stats", false, "print summary statistics instead of JSON")
 	dot := fs.Int("dot", -1, "emit the DAG of this job ID as Graphviz DOT")
+	pprofAddr := fs.String("pprof", "", "serve /debug/pprof on ADDR (e.g. :6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if addr, err := obs.StartPprof(*pprofAddr); err != nil {
+		return err
+	} else if addr != "" {
+		fmt.Fprintln(os.Stderr, "pprof listening on "+addr)
 	}
 
 	spec := trace.DefaultSpec(*jobs, *seed)

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	dspviz [-jobs N] [-nodes N] [-scale F] [-seed N] [-preemptor NAME] [-o FILE]
+//	       [-trace FILE] [-audit FILE] [-pprof ADDR]
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 
 	"dsp/internal/cluster"
 	"dsp/internal/experiments"
+	"dsp/internal/obs"
 	"dsp/internal/sched"
 	"dsp/internal/sim"
 	"dsp/internal/trace"
@@ -36,8 +38,17 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "workload seed")
 	preemptor := fs.String("preemptor", "DSP", "preemption method or 'none'")
 	out := fs.String("o", "gantt.svg", "output SVG path")
+	tracePath := fs.String("trace", "", "also write Chrome trace-event JSON to FILE")
+	auditPath := fs.String("audit", "", "also write JSONL decision audit to FILE")
+	pprofAddr := fs.String("pprof", "", "serve /debug/pprof on ADDR (e.g. :6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if addr, err := obs.StartPprof(*pprofAddr); err != nil {
+		return err
+	} else if addr != "" {
+		fmt.Fprintln(os.Stderr, "pprof listening on "+addr)
 	}
 
 	spec := trace.DefaultSpec(*jobs, *seed)
@@ -61,10 +72,22 @@ func run(args []string) error {
 		cfg.Checkpoint = cp
 	}
 	rec := viz.NewRecorder()
-	cfg.Observer = rec
+	sink, err := obs.Open(obs.Options{TracePath: *tracePath, AuditPath: *auditPath})
+	if err != nil {
+		return err
+	}
+	if sink.Enabled() {
+		cfg.Observer = sim.Observers{rec, sink}
+	} else {
+		cfg.Observer = rec
+	}
 
 	res, err := sim.Run(cfg, w)
 	if err != nil {
+		sink.Close()
+		return err
+	}
+	if err := sink.Close(); err != nil {
 		return err
 	}
 

@@ -67,6 +67,29 @@ type Options struct {
 	// ScaleJobCounts is the x-axis for Figure 8 (paper: 500..2500 step
 	// 500).
 	ScaleJobCounts []int
+	// Observer, when non-nil, is attached to every simulation the sweep
+	// runs (decision audits, counters, traces — see internal/obs). If it
+	// also implements RunMarker it is told each cell's label first, so
+	// multi-run artifacts stay attributable.
+	Observer sim.Observer
+}
+
+// RunMarker is implemented by observers (e.g. obs.Sink) that separate
+// the artifacts of consecutive runs in one sweep.
+type RunMarker interface {
+	BeginRun(label string)
+}
+
+// observe returns the sweep observer for one cell, marking the run
+// boundary when supported. Call it immediately before sim.Run.
+func (o Options) observe(label string) sim.Observer {
+	if o.Observer == nil {
+		return nil
+	}
+	if rm, ok := o.Observer.(RunMarker); ok {
+		rm.BeginRun(label)
+	}
+	return o.Observer
 }
 
 // DefaultOptions returns the reduced-scale defaults.

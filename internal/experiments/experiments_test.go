@@ -1,8 +1,13 @@
 package experiments
 
 import (
+	"io"
 	"math"
 	"testing"
+
+	"dsp/internal/cluster"
+	"dsp/internal/sim"
+	"dsp/internal/units"
 )
 
 // tinyOptions keeps the test sweep fast while exercising the full
@@ -238,5 +243,42 @@ func TestFairnessTable(t *testing.T) {
 		if mean < 1-1e-9 || max < mean-1e-9 {
 			t.Errorf("%s slowdowns: mean %v max %v", m, mean, max)
 		}
+	}
+}
+
+// markerObserver records the run labels the sweep announces and counts
+// the events it receives, proving every cell's simulation is observed.
+type markerObserver struct {
+	sim.NopObserver
+	labels []string
+	starts int
+}
+
+func (m *markerObserver) BeginRun(label string) { m.labels = append(m.labels, label) }
+func (m *markerObserver) TaskStarted(units.Time, *sim.TaskState, cluster.NodeID) {
+	m.starts++
+}
+
+func TestSweepObserverThreading(t *testing.T) {
+	o := tinyOptions()
+	mo := &markerObserver{}
+	o.Observer = mo
+	if _, err := Fig5(Real, o); err != nil {
+		t.Fatal(err)
+	}
+	wantRuns := len(o.JobCounts) * len(SchedulerNames())
+	if len(mo.labels) != wantRuns {
+		t.Fatalf("got %d run markers, want %d: %v", len(mo.labels), wantRuns, mo.labels)
+	}
+	if mo.labels[0] != "fig5-real-cluster-DSP-h24" {
+		t.Errorf("unexpected first label %q", mo.labels[0])
+	}
+	if mo.starts == 0 {
+		t.Error("observer attached to sweep saw no task events")
+	}
+	// An observer without BeginRun still works (plain sim.Observer).
+	o.Observer = &sim.LogObserver{W: io.Discard, Quiet: true}
+	if _, err := Fig5(Real, o); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -35,6 +35,7 @@ func Fairness(p Platform, h int, o Options) (*metrics.Table, error) {
 			Checkpoint: cp,
 			Period:     o.Period,
 			Epoch:      o.Epoch,
+			Observer:   o.observe(fmt.Sprintf("fairness-%s-h%d", name, h)),
 		}, w)
 		if err != nil {
 			return nil, fmt.Errorf("fairness %s: %w", name, err)

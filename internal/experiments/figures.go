@@ -33,6 +33,7 @@ func Fig5(p Platform, o Options) (*metrics.Table, error) {
 				Scheduler: s,
 				Period:    o.Period,
 				Epoch:     o.Epoch,
+				Observer:  o.observe(fmt.Sprintf("fig5-%s-%s-h%d", p, name, h)),
 			}, w)
 			if err != nil {
 				return nil, fmt.Errorf("fig5 %s h=%d: %w", name, h, err)
@@ -101,6 +102,7 @@ func Fig6(p Platform, o Options) (*Fig6Tables, error) {
 				Checkpoint: cp,
 				Period:     o.Period,
 				Epoch:      o.Epoch,
+				Observer:   o.observe(fmt.Sprintf("fig%s-%s-h%d", figure, name, h)),
 			}, w)
 			if err != nil {
 				return nil, fmt.Errorf("fig%s %s h=%d: %w", figure, name, h, err)
@@ -151,6 +153,7 @@ func Fig8(o Options) (*Fig8Tables, error) {
 				Checkpoint: cp,
 				Period:     o.Period,
 				Epoch:      o.Epoch,
+				Observer:   o.observe(fmt.Sprintf("fig8-%s-h%d", p, h)),
 			}, w)
 			if err != nil {
 				return nil, fmt.Errorf("fig8 %s h=%d: %w", p, h, err)

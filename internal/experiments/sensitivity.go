@@ -98,6 +98,7 @@ func Sensitivity(param SensitivityParam, values []float64, p Platform, h int, o 
 		if err != nil {
 			return nil, err
 		}
+		cfg.Observer = o.observe(fmt.Sprintf("sensitivity-%s-%g", param, val))
 		res, err := sim.Run(cfg, w)
 		if err != nil {
 			return nil, fmt.Errorf("sensitivity %s=%v: %w", param, val, err)

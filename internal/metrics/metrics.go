@@ -192,7 +192,9 @@ func (t *Table) Render() string {
 	return b.String()
 }
 
-// CSV renders the table as comma-separated values.
+// CSV renders the table as comma-separated values. Unset cells are
+// empty (Render shows them as "-", but "-" is not a number and trips CSV
+// parsers).
 func (t *Table) CSV() string {
 	var b strings.Builder
 	b.WriteString(t.XLabel)
@@ -205,11 +207,38 @@ func (t *Table) CSV() string {
 		b.WriteString(trimFloat(x))
 		for i := range t.Methods {
 			b.WriteString(",")
-			b.WriteString(trimFloat(t.rows[x][i]))
+			if v := t.rows[x][i]; !math.IsNaN(v) {
+				b.WriteString(trimFloat(v))
+			}
 		}
 		b.WriteString("\n")
 	}
 	return b.String()
+}
+
+// Percentile returns the p-quantile (p in [0,1]) of xs by linear
+// interpolation between closest ranks, without mutating xs. NaN with no
+// samples. Observability samplers use it for per-epoch series summaries.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
 func trimFloat(v float64) string {

@@ -126,8 +126,39 @@ func TestTableCSV(t *testing.T) {
 	if !strings.HasPrefix(out, "x,A,B\n") {
 		t.Errorf("CSV header wrong: %q", out)
 	}
-	if !strings.Contains(out, "1,2,-") {
+	// Missing cells are empty in CSV (parsers choke on "-"); Render keeps
+	// the human-readable "-".
+	if !strings.Contains(out, "1,2,\n") {
 		t.Errorf("CSV row wrong: %q", out)
+	}
+	if !strings.Contains(tb.Render(), "-") {
+		t.Errorf("Render should keep '-' for missing cells: %q", tb.Render())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+		{0.9, 4.6}, // linear interpolation between ranks 4 and 5
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(%v, %v) = %v, want %v", xs, c.p, got, c.want)
+		}
+	}
+	// Input must not be reordered.
+	if xs[0] != 5 || xs[4] != 4 {
+		t.Errorf("Percentile mutated its input: %v", xs)
+	}
+	if !math.IsNaN(Percentile(nil, 0.5)) {
+		t.Error("Percentile of empty slice should be NaN")
+	}
+	if got := Percentile([]float64{7}, 0.99); got != 7 {
+		t.Errorf("single-element percentile = %v, want 7", got)
 	}
 }
 

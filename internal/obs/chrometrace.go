@@ -1,0 +1,271 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"dsp/internal/cluster"
+	"dsp/internal/dag"
+	"dsp/internal/sim"
+	"dsp/internal/units"
+)
+
+// enginePID is the synthetic trace process that carries cluster-wide
+// markers (epoch ticks, run boundaries), kept clear of real node IDs.
+const enginePID = 1 << 20
+
+// traceEvent is one Chrome trace-event object. Field order (and the
+// sorted-key map encoding of Args) keeps the JSON byte-stable across
+// runs; simulated time is microseconds, matching the format's ts unit.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type openSpan struct {
+	node  cluster.NodeID
+	lane  int
+	start units.Time
+}
+
+// TraceBuilder converts the observer event stream into Chrome
+// trace-event JSON (load the output in Perfetto, ui.perfetto.dev, or
+// chrome://tracing): each node is a process, each busy slot a thread
+// lane, each task occupancy a complete span. Preemptions, disorders,
+// node faults and epoch ticks appear as instant events. Multi-run
+// sweeps lay runs out back-to-back on the same timeline via BeginRun.
+type TraceBuilder struct {
+	sim.NopObserver
+
+	events []traceEvent
+	open   map[dag.Key]openSpan
+	// busy tracks per-node lane occupancy: index = lane, true = in use.
+	busy map[cluster.NodeID][]bool
+	// lanes records the highest lane ever used per node, for metadata.
+	lanes map[int]int
+	// offset shifts event timestamps so consecutive runs don't overlap.
+	offset units.Time
+	maxTS  units.Time
+}
+
+// NewTraceBuilder returns an empty builder.
+func NewTraceBuilder() *TraceBuilder {
+	return &TraceBuilder{
+		open:  make(map[dag.Key]openSpan),
+		busy:  make(map[cluster.NodeID][]bool),
+		lanes: make(map[int]int),
+	}
+}
+
+// BeginRun shifts the time origin past everything recorded so far and
+// drops a marker, so a sweep's runs render as consecutive segments.
+func (tb *TraceBuilder) BeginRun(label string) {
+	tb.offset = tb.maxTS
+	tb.emit(traceEvent{
+		Name: "run:" + label, Cat: "run", Ph: "i",
+		TS: int64(tb.offset), PID: enginePID, TID: 0, S: "g",
+	})
+}
+
+func (tb *TraceBuilder) emit(ev traceEvent) {
+	tb.events = append(tb.events, ev)
+	end := units.Time(ev.TS + ev.Dur)
+	if end > tb.maxTS {
+		tb.maxTS = end
+	}
+}
+
+// laneFor claims the lowest free lane on the node.
+func (tb *TraceBuilder) laneFor(node cluster.NodeID) int {
+	lanes := tb.busy[node]
+	for i, inUse := range lanes {
+		if !inUse {
+			lanes[i] = true
+			return i
+		}
+	}
+	tb.busy[node] = append(lanes, true)
+	lane := len(lanes)
+	if lane > tb.lanes[int(node)] {
+		tb.lanes[int(node)] = lane
+	}
+	return lane
+}
+
+func (tb *TraceBuilder) release(node cluster.NodeID, lane int) {
+	if lanes := tb.busy[node]; lane < len(lanes) {
+		lanes[lane] = false
+	}
+}
+
+// TaskStarted implements sim.Observer.
+func (tb *TraceBuilder) TaskStarted(now units.Time, t *sim.TaskState, node cluster.NodeID) {
+	if _, ok := tb.lanes[int(node)]; !ok {
+		tb.lanes[int(node)] = 0 // materialize the pid for metadata
+	}
+	tb.open[t.Key()] = openSpan{node: node, lane: tb.laneFor(node), start: now}
+}
+
+// closeSpan emits the complete ("X") span for a task leaving its slot.
+func (tb *TraceBuilder) closeSpan(now units.Time, key dag.Key, outcome string) {
+	sp, ok := tb.open[key]
+	if !ok {
+		return
+	}
+	delete(tb.open, key)
+	tb.release(sp.node, sp.lane)
+	tb.emit(traceEvent{
+		Name: key.String(), Cat: "task", Ph: "X",
+		TS: int64(sp.start + tb.offset), Dur: int64(now - sp.start),
+		PID: int(sp.node), TID: sp.lane,
+		Args: map[string]any{"job": int(key.Job), "task": int(key.Task), "outcome": outcome},
+	})
+}
+
+// TaskCompleted implements sim.Observer.
+func (tb *TraceBuilder) TaskCompleted(now units.Time, t *sim.TaskState, _ cluster.NodeID) {
+	tb.closeSpan(now, t.Key(), "completed")
+}
+
+// TaskPreempted implements sim.Observer.
+func (tb *TraceBuilder) TaskPreempted(now units.Time, victim, starter *sim.TaskState, node cluster.NodeID) {
+	sp, ok := tb.open[victim.Key()]
+	lane := 0
+	if ok {
+		lane = sp.lane
+	}
+	tb.closeSpan(now, victim.Key(), "preempted")
+	args := map[string]any{"victim": victim.Key().String()}
+	if starter != nil {
+		args["starter"] = starter.Key().String()
+	}
+	tb.emit(traceEvent{
+		Name: "preempt", Cat: "preempt", Ph: "i",
+		TS: int64(now + tb.offset), PID: int(node), TID: lane, S: "t",
+		Args: args,
+	})
+}
+
+// TaskEvicted implements sim.Observer: a crash eviction ends any open
+// span the same instant the node goes down.
+func (tb *TraceBuilder) TaskEvicted(now units.Time, t *sim.TaskState, _ cluster.NodeID) {
+	tb.closeSpan(now, t.Key(), "evicted")
+}
+
+// DisorderDetected implements sim.Observer.
+func (tb *TraceBuilder) DisorderDetected(now units.Time, starter, victim *sim.TaskState, node cluster.NodeID) {
+	lane := 0
+	if sp, ok := tb.open[victim.Key()]; ok {
+		lane = sp.lane
+	}
+	tb.emit(traceEvent{
+		Name: "disorder", Cat: "disorder", Ph: "i",
+		TS: int64(now + tb.offset), PID: int(node), TID: lane, S: "t",
+		Args: map[string]any{"starter": starter.Key().String(), "victim": victim.Key().String()},
+	})
+}
+
+// EpochStarted implements sim.Observer: a global marker per preemption
+// epoch.
+func (tb *TraceBuilder) EpochStarted(now units.Time, epoch int) {
+	tb.emit(traceEvent{
+		Name: "epoch", Cat: "epoch", Ph: "i",
+		TS: int64(now + tb.offset), PID: enginePID, TID: 0, S: "g",
+		Args: map[string]any{"epoch": epoch},
+	})
+}
+
+// NodeFailed implements sim.Observer.
+func (tb *TraceBuilder) NodeFailed(now units.Time, node cluster.NodeID) {
+	tb.emit(traceEvent{
+		Name: "node-failed", Cat: "fault", Ph: "i",
+		TS: int64(now + tb.offset), PID: int(node), TID: 0, S: "p",
+	})
+}
+
+// NodeRecovered implements sim.Observer.
+func (tb *TraceBuilder) NodeRecovered(now units.Time, node cluster.NodeID) {
+	tb.emit(traceEvent{
+		Name: "node-recovered", Cat: "fault", Ph: "i",
+		TS: int64(now + tb.offset), PID: int(node), TID: 0, S: "p",
+	})
+}
+
+// Export renders the trace as a JSON object with one event per line
+// (valid Chrome trace-event format, and diff-friendly). Metadata events
+// naming processes and thread lanes come first, in sorted order, so the
+// output is byte-stable.
+func (tb *TraceBuilder) Export(w io.Writer) error {
+	// Close anything still open at the last observed instant (defensive;
+	// a completed simulation leaves no open spans).
+	if len(tb.open) > 0 {
+		keys := make([]dag.Key, 0, len(tb.open))
+		for k := range tb.open {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(a, b int) bool {
+			if keys[a].Job != keys[b].Job {
+				return keys[a].Job < keys[b].Job
+			}
+			return keys[a].Task < keys[b].Task
+		})
+		end := tb.maxTS
+		for _, k := range keys {
+			tb.closeSpan(end, k, "open-at-end")
+		}
+	}
+
+	var meta []traceEvent
+	meta = append(meta, traceEvent{
+		Name: "process_name", Ph: "M", PID: enginePID, TID: 0,
+		Args: map[string]any{"name": "engine"},
+	})
+	pids := make([]int, 0, len(tb.lanes))
+	for pid := range tb.lanes {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		meta = append(meta,
+			traceEvent{Name: "process_name", Ph: "M", PID: pid, TID: 0,
+				Args: map[string]any{"name": fmt.Sprintf("node%d", pid)}},
+			traceEvent{Name: "process_sort_index", Ph: "M", PID: pid, TID: 0,
+				Args: map[string]any{"sort_index": pid}},
+		)
+		for lane := 0; lane <= tb.lanes[pid]; lane++ {
+			meta = append(meta, traceEvent{
+				Name: "thread_name", Ph: "M", PID: pid, TID: lane,
+				Args: map[string]any{"name": fmt.Sprintf("slot%d", lane)},
+			})
+		}
+	}
+
+	if _, err := io.WriteString(w, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	all := append(meta, tb.events...)
+	for i, ev := range all {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if i == len(all)-1 {
+			sep = "\n"
+		}
+		if _, err := fmt.Fprintf(w, "%s%s", data, sep); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]}\n")
+	return err
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"dsp/internal/cluster"
+	"dsp/internal/sim"
+	"dsp/internal/units"
+)
+
+// Counters is an always-cheap event tally: one atomic per event class,
+// no allocation per event, safe to share across concurrently running
+// simulations (the experiment harness may fan out runs; `go test -race`
+// covers this in CI).
+type Counters struct {
+	sim.NopObserver
+
+	TaskStarts      atomic.Int64
+	TaskCompletions atomic.Int64
+	TaskPreemptions atomic.Int64
+	JobCompletions  atomic.Int64
+	Epochs          atomic.Int64
+
+	// Decision verdict tallies; Accepted+UrgentOverrides equals the
+	// engine's Result.Preemptions, Disorders its Result.Disorders.
+	Considered      atomic.Int64
+	Accepted        atomic.Int64
+	SuppressedByPP  atomic.Int64
+	UrgentOverrides atomic.Int64
+	Disorders       atomic.Int64
+
+	NodeFailures   atomic.Int64
+	NodeRecoveries atomic.Int64
+	Evictions      atomic.Int64
+	Requeues       atomic.Int64
+}
+
+// NewCounters returns a zeroed registry.
+func NewCounters() *Counters { return &Counters{} }
+
+// TaskStarted implements sim.Observer.
+func (c *Counters) TaskStarted(units.Time, *sim.TaskState, cluster.NodeID) {
+	c.TaskStarts.Add(1)
+}
+
+// TaskPreempted implements sim.Observer.
+func (c *Counters) TaskPreempted(units.Time, *sim.TaskState, *sim.TaskState, cluster.NodeID) {
+	c.TaskPreemptions.Add(1)
+}
+
+// TaskCompleted implements sim.Observer.
+func (c *Counters) TaskCompleted(units.Time, *sim.TaskState, cluster.NodeID) {
+	c.TaskCompletions.Add(1)
+}
+
+// JobCompleted implements sim.Observer.
+func (c *Counters) JobCompleted(units.Time, *sim.JobState) {
+	c.JobCompletions.Add(1)
+}
+
+// EpochStarted implements sim.Observer.
+func (c *Counters) EpochStarted(units.Time, int) {
+	c.Epochs.Add(1)
+}
+
+// PreemptionConsidered implements sim.Observer.
+func (c *Counters) PreemptionConsidered(_ units.Time, d sim.PreemptionDecision) {
+	c.Considered.Add(1)
+	switch d.Verdict {
+	case sim.VerdictAccepted:
+		c.Accepted.Add(1)
+	case sim.VerdictSuppressedByPP:
+		c.SuppressedByPP.Add(1)
+	case sim.VerdictUrgentOverride:
+		c.UrgentOverrides.Add(1)
+	case sim.VerdictDisorder:
+		c.Disorders.Add(1)
+	}
+}
+
+// NodeFailed implements sim.Observer.
+func (c *Counters) NodeFailed(units.Time, cluster.NodeID) {
+	c.NodeFailures.Add(1)
+}
+
+// NodeRecovered implements sim.Observer.
+func (c *Counters) NodeRecovered(units.Time, cluster.NodeID) {
+	c.NodeRecoveries.Add(1)
+}
+
+// TaskEvicted implements sim.Observer.
+func (c *Counters) TaskEvicted(units.Time, *sim.TaskState, cluster.NodeID) {
+	c.Evictions.Add(1)
+}
+
+// TaskRequeued implements sim.Observer.
+func (c *Counters) TaskRequeued(units.Time, *sim.TaskState, cluster.NodeID, sim.RequeueReason) {
+	c.Requeues.Add(1)
+}
+
+// Counter is one named tally in a snapshot.
+type Counter struct {
+	Name  string
+	Value int64
+}
+
+// Snapshot returns the current tallies in a fixed order.
+func (c *Counters) Snapshot() []Counter {
+	return []Counter{
+		{"task-starts", c.TaskStarts.Load()},
+		{"task-completions", c.TaskCompletions.Load()},
+		{"task-preemptions", c.TaskPreemptions.Load()},
+		{"job-completions", c.JobCompletions.Load()},
+		{"epochs", c.Epochs.Load()},
+		{"decisions-considered", c.Considered.Load()},
+		{"decisions-accepted", c.Accepted.Load()},
+		{"decisions-suppressed-by-pp", c.SuppressedByPP.Load()},
+		{"decisions-urgent-override", c.UrgentOverrides.Load()},
+		{"decisions-disorder", c.Disorders.Load()},
+		{"node-failures", c.NodeFailures.Load()},
+		{"node-recoveries", c.NodeRecoveries.Load()},
+		{"task-evictions", c.Evictions.Load()},
+		{"task-requeues", c.Requeues.Load()},
+	}
+}
+
+// String renders the snapshot as aligned text, one counter per line.
+func (c *Counters) String() string {
+	var b strings.Builder
+	for _, ct := range c.Snapshot() {
+		fmt.Fprintf(&b, "%-28s %d\n", ct.Name, ct.Value)
+	}
+	return b.String()
+}

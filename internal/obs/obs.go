@@ -1,0 +1,157 @@
+// Package obs is the simulator's observability layer: it turns the
+// sim.Observer event stream into artifacts an operator (or a future perf
+// PR) can interrogate after — or during — a run.
+//
+//   - Counters: a race-safe atomic counter registry over every event
+//     class, cheap enough to leave attached.
+//   - SeriesRecorder: per-epoch time-series samples (queue depth, busy
+//     slots, running/waiting tasks, preemption and disorder rates)
+//     exported as CSV via metrics.Table, with percentile summaries.
+//   - TraceBuilder: a Chrome trace-event JSON exporter (open in Perfetto
+//     or chrome://tracing) rendering one process per node and one thread
+//     lane per busy slot, with task spans, preemption/disorder instants
+//     and epoch markers.
+//   - AuditWriter: a JSONL decision log answering "why was task X
+//     preempted at t=Y": one line per preemption decision with both
+//     priorities, the gain, the PP threshold and the verdict.
+//
+// A Sink bundles any subset of the above behind one sim.Observer and one
+// Close call; the cmd/ tools wire it to --trace/--audit/--series flags.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"dsp/internal/sim"
+)
+
+// Sink composes the configured exporters behind a single observer. The
+// zero value is a valid no-op sink. Its Observers field skips nil
+// entries, so unconfigured exporters cost nothing to leave in place.
+type Sink struct {
+	sim.Observers
+
+	Counters *Counters
+	Series   *SeriesRecorder
+	Trace    *TraceBuilder
+	Audit    *AuditWriter
+
+	traceOut  io.WriteCloser
+	seriesOut io.WriteCloser
+	auditOut  io.WriteCloser
+}
+
+// Options selects which exporters a Sink opens. Empty paths disable the
+// corresponding exporter.
+type Options struct {
+	// TracePath receives Chrome trace-event JSON at Close.
+	TracePath string
+	// AuditPath receives the JSONL decision audit, streamed during the
+	// run and flushed at Close.
+	AuditPath string
+	// SeriesPath receives the per-epoch time-series CSV at Close.
+	SeriesPath string
+	// Counters attaches the atomic counter registry.
+	Counters bool
+	// PerNodeSeries adds per-node running/waiting columns to the series
+	// (one pair of columns per node; off by default to keep CSVs narrow).
+	PerNodeSeries bool
+}
+
+// Open builds a Sink from Options, creating the output files eagerly so
+// path errors surface before a long simulation, not after.
+func Open(o Options) (*Sink, error) {
+	s := &Sink{}
+	if o.Counters {
+		s.Counters = NewCounters()
+		s.Observers = append(s.Observers, s.Counters)
+	}
+	if o.SeriesPath != "" {
+		f, err := os.Create(o.SeriesPath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: series: %w", err)
+		}
+		s.seriesOut = f
+		s.Series = NewSeriesRecorder()
+		s.Series.PerNode = o.PerNodeSeries
+		s.Observers = append(s.Observers, s.Series)
+	}
+	if o.TracePath != "" {
+		f, err := os.Create(o.TracePath)
+		if err != nil {
+			s.closeFiles()
+			return nil, fmt.Errorf("obs: trace: %w", err)
+		}
+		s.traceOut = f
+		s.Trace = NewTraceBuilder()
+		s.Observers = append(s.Observers, s.Trace)
+	}
+	if o.AuditPath != "" {
+		f, err := os.Create(o.AuditPath)
+		if err != nil {
+			s.closeFiles()
+			return nil, fmt.Errorf("obs: audit: %w", err)
+		}
+		s.auditOut = f
+		s.Audit = NewAuditWriter(f)
+		s.Observers = append(s.Observers, s.Audit)
+	}
+	return s, nil
+}
+
+// Enabled reports whether any exporter is attached; callers can skip
+// setting Config.Observer (keeping the engine's nil fast path) otherwise.
+func (s *Sink) Enabled() bool { return len(s.Observers) > 0 }
+
+// BeginRun marks a run boundary in every exporter that distinguishes
+// runs. Multi-run harnesses (dspbench sweeps) call it before each
+// simulation; single-run tools need not.
+func (s *Sink) BeginRun(label string) {
+	if s.Series != nil {
+		s.Series.BeginRun(label)
+	}
+	if s.Trace != nil {
+		s.Trace.BeginRun(label)
+	}
+	if s.Audit != nil {
+		s.Audit.BeginRun(label)
+	}
+}
+
+// Close writes the buffered artifacts (trace JSON, series CSV), flushes
+// the audit stream and closes the files. Safe on a zero Sink.
+func (s *Sink) Close() error {
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	if s.Trace != nil && s.traceOut != nil {
+		keep(s.Trace.Export(s.traceOut))
+	}
+	if s.Series != nil && s.seriesOut != nil {
+		_, err := io.WriteString(s.seriesOut, s.Series.CSV())
+		keep(err)
+	}
+	if s.Audit != nil {
+		keep(s.Audit.Flush())
+	}
+	keep(s.closeFiles())
+	return first
+}
+
+func (s *Sink) closeFiles() error {
+	var first error
+	for _, c := range []io.WriteCloser{s.traceOut, s.seriesOut, s.auditOut} {
+		if c != nil {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	s.traceOut, s.seriesOut, s.auditOut = nil, nil, nil
+	return first
+}

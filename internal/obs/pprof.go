@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+
+	// Register the profiling handlers on http.DefaultServeMux.
+	_ "net/http/pprof"
+)
+
+// StartPprof serves the Go runtime profiling endpoints
+// (/debug/pprof/...) on addr (e.g. ":6060") in a background goroutine,
+// so long simulations and sweeps can be profiled live:
+//
+//	go tool pprof http://localhost:6060/debug/pprof/profile
+//
+// An empty addr is a no-op. Listening errors (port taken, bad address)
+// are returned synchronously; the returned address is the bound listener
+// address (useful with ":0").
+func StartPprof(addr string) (string, error) {
+	if addr == "" {
+		return "", nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: pprof listen %s: %w", addr, err)
+	}
+	go func() {
+		// The server lives for the process; errors after bind (always
+		// ErrServerClosed in practice) have nowhere useful to go.
+		_ = http.Serve(ln, nil)
+	}()
+	return ln.Addr().String(), nil
+}

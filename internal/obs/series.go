@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+
+	"dsp/internal/cluster"
+	"dsp/internal/metrics"
+	"dsp/internal/sim"
+	"dsp/internal/units"
+)
+
+// Core series columns, one value per preemption epoch.
+const (
+	colQueued      = "queued"
+	colRunning     = "running"
+	colBusySlots   = "busy-slots"
+	colSlotUtil    = "slot-util"
+	colPreemptions = "preemptions"
+	colDisorders   = "disorders"
+	colCompleted   = "completed"
+)
+
+// SeriesRecorder samples cluster-wide gauges at every preemption epoch
+// (EpochEnded) plus the event rates accumulated since the previous
+// epoch, keyed by simulation time in seconds. Export with CSV (built on
+// metrics.Table) or summarize with Summary (percentiles via
+// metrics.Percentile).
+type SeriesRecorder struct {
+	sim.NopObserver
+	// PerNode adds node<k>-run / node<k>-wait columns for every node.
+	// Off by default: 50 nodes means 100 extra columns.
+	PerNode bool
+
+	runs    []*runSeries
+	pending string // label for the run the next epoch starts
+
+	// Event-rate accumulators since the last sampled epoch.
+	preempts, disorders, completed int
+}
+
+type runSeries struct {
+	label string
+	table *metrics.Table
+}
+
+// NewSeriesRecorder returns an empty recorder.
+func NewSeriesRecorder() *SeriesRecorder { return &SeriesRecorder{} }
+
+// BeginRun starts a new series section; subsequent epochs land in it.
+func (s *SeriesRecorder) BeginRun(label string) {
+	s.pending = label
+	s.runs = append(s.runs, nil) // materialized on first epoch
+	s.preempts, s.disorders, s.completed = 0, 0, 0
+}
+
+// TaskPreempted implements sim.Observer.
+func (s *SeriesRecorder) TaskPreempted(units.Time, *sim.TaskState, *sim.TaskState, cluster.NodeID) {
+	s.preempts++
+}
+
+// DisorderDetected implements sim.Observer.
+func (s *SeriesRecorder) DisorderDetected(units.Time, *sim.TaskState, *sim.TaskState, cluster.NodeID) {
+	s.disorders++
+}
+
+// TaskCompleted implements sim.Observer.
+func (s *SeriesRecorder) TaskCompleted(units.Time, *sim.TaskState, cluster.NodeID) {
+	s.completed++
+}
+
+// EpochEnded implements sim.Observer: sample the cluster after the
+// epoch's preemption actions were applied.
+func (s *SeriesRecorder) EpochEnded(now units.Time, _ int, v *sim.View) {
+	c := v.Cluster()
+	run := s.currentRun(c)
+	t := run.table
+	x := now.Seconds()
+
+	var queued, running, slots int
+	for k := 0; k < c.Len(); k++ {
+		node := cluster.NodeID(k)
+		q := len(v.Queue(node))
+		r := len(v.Running(node))
+		queued += q
+		running += r
+		slots += c.Nodes[k].Slots
+		if s.PerNode {
+			t.Set(x, fmt.Sprintf("node%d-run", k), float64(r))
+			t.Set(x, fmt.Sprintf("node%d-wait", k), float64(q))
+		}
+	}
+	t.Set(x, colQueued, float64(queued))
+	t.Set(x, colRunning, float64(running))
+	t.Set(x, colBusySlots, float64(running))
+	if slots > 0 {
+		t.Set(x, colSlotUtil, float64(running)/float64(slots))
+	} else {
+		t.Set(x, colSlotUtil, 0)
+	}
+	t.Set(x, colPreemptions, float64(s.preempts))
+	t.Set(x, colDisorders, float64(s.disorders))
+	t.Set(x, colCompleted, float64(s.completed))
+	s.preempts, s.disorders, s.completed = 0, 0, 0
+}
+
+// currentRun returns the active run section, materializing its table
+// (whose column set depends on the cluster size) on first use.
+func (s *SeriesRecorder) currentRun(c *cluster.Cluster) *runSeries {
+	if len(s.runs) == 0 {
+		s.runs = append(s.runs, nil)
+	}
+	last := len(s.runs) - 1
+	if s.runs[last] == nil {
+		cols := []string{colQueued, colRunning, colBusySlots, colSlotUtil,
+			colPreemptions, colDisorders, colCompleted}
+		if s.PerNode {
+			for k := 0; k < c.Len(); k++ {
+				cols = append(cols, fmt.Sprintf("node%d-run", k), fmt.Sprintf("node%d-wait", k))
+			}
+		}
+		title := "epoch series"
+		if s.pending != "" {
+			title = s.pending
+		}
+		s.runs[last] = &runSeries{
+			label: s.pending,
+			table: metrics.NewTable(title, "t(s)", "", cols...),
+		}
+	}
+	return s.runs[last]
+}
+
+// CSV renders every recorded run as CSV; multi-run output separates
+// sections with "# label" comment lines.
+func (s *SeriesRecorder) CSV() string {
+	var b strings.Builder
+	for _, r := range s.runs {
+		if r == nil {
+			continue // BeginRun called but no epoch sampled
+		}
+		if r.label != "" {
+			fmt.Fprintf(&b, "# %s\n", r.label)
+		}
+		b.WriteString(r.table.CSV())
+	}
+	return b.String()
+}
+
+// Summary renders per-column distribution statistics (mean, p50, p90,
+// p99, max) over each run's epochs.
+func (s *SeriesRecorder) Summary() string {
+	var b strings.Builder
+	for _, r := range s.runs {
+		if r == nil {
+			continue
+		}
+		if r.label != "" {
+			fmt.Fprintf(&b, "# %s\n", r.label)
+		}
+		fmt.Fprintf(&b, "%-16s %6s %10s %10s %10s %10s %10s\n",
+			"column", "n", "mean", "p50", "p90", "p99", "max")
+		for _, col := range r.table.Methods {
+			xs := r.table.Column(col)
+			var st metrics.Stats
+			for _, x := range xs {
+				st.Add(x)
+			}
+			fmt.Fprintf(&b, "%-16s %6d %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+				col, st.N(), st.Mean(),
+				metrics.Percentile(xs, 0.50),
+				metrics.Percentile(xs, 0.90),
+				metrics.Percentile(xs, 0.99),
+				st.Max())
+		}
+	}
+	return b.String()
+}

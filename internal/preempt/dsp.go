@@ -130,12 +130,13 @@ func (d *DSP) epochNode(node cluster.NodeID, now units.Time, v *sim.View, calc *
 
 	victimUsed := make(map[*sim.TaskState]bool)
 	starterUsed := make(map[*sim.TaskState]bool)
+	obs := v.Observer()
 
 	dependsOn := func(a, b *sim.TaskState) bool {
 		return a.Job == b.Job && a.Job.Dag.DependsOn(a.Task.ID, b.Task.ID)
 	}
 
-	take := func(starter *sim.TaskState, requireC1, requirePP bool) bool {
+	take := func(starter *sim.TaskState, requireC1, requirePP, urgent bool) bool {
 		sp := calc.Priority(starter)
 		for _, vc := range preemptable {
 			if victimUsed[vc.t] {
@@ -144,20 +145,42 @@ func (d *DSP) epochNode(node cluster.NodeID, now units.Time, v *sim.View, calc *
 			if dependsOn(starter, vc.t) {
 				continue // condition C2
 			}
+			var threshold float64
 			if requireC1 {
 				diff := sp - vc.pr
 				if diff <= 0 {
 					return false // victims only get higher-priority from here
 				}
 				if requirePP && d.UsePP {
+					threshold = d.P.Rho * avgGap
 					if avgGap <= 0 || diff/avgGap <= d.P.Rho {
+						// The gain does not cover the context-switch
+						// cost: the PP filter suppresses the preemption.
+						if obs != nil {
+							obs.PreemptionConsidered(now, sim.PreemptionDecision{
+								Node:              node,
+								Candidate:         starter,
+								Victim:            vc.t,
+								CandidatePriority: sp,
+								VictimPriority:    vc.pr,
+								Gain:              diff,
+								Overhead:          threshold,
+								Verdict:           sim.VerdictSuppressedByPP,
+							})
+						}
 						return false
 					}
 				}
 			}
 			victimUsed[vc.t] = true
 			starterUsed[starter] = true
-			*out = append(*out, sim.Action{Node: node, Victim: vc.t, Starter: starter})
+			*out = append(*out, sim.Action{
+				Node: node, Victim: vc.t, Starter: starter,
+				Urgent:          urgent,
+				StarterPriority: sp,
+				VictimPriority:  vc.pr,
+				PPThreshold:     threshold,
+			})
 			return true
 		}
 		return false
@@ -182,7 +205,7 @@ func (d *DSP) epochNode(node cluster.NodeID, now units.Time, v *sim.View, calc *
 		if !w.DepsMet() {
 			continue // cannot run yet regardless of urgency
 		}
-		take(w, false, false)
+		take(w, false, false, true)
 	}
 
 	// Pass 2 — the δ-window of preempting tasks at the head of the queue.
@@ -199,7 +222,7 @@ func (d *DSP) epochNode(node cluster.NodeID, now units.Time, v *sim.View, calc *
 			continue // starting it would violate its own dependencies
 		}
 		considered++
-		if take(w, true, true) {
+		if take(w, true, true, false) {
 			fired++
 		}
 	}

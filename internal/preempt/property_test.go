@@ -13,16 +13,12 @@ import (
 // validator checks Algorithm 1's invariants on every preemption the
 // engine applies.
 type validator struct {
+	sim.NopObserver
 	t        *testing.T
 	epoch    units.Time
 	bad      int
 	preempts int
 }
-
-func (v *validator) TaskStarted(units.Time, *sim.TaskState, cluster.NodeID) {}
-func (v *validator) TaskCompleted(units.Time, *sim.TaskState, cluster.NodeID) {
-}
-func (v *validator) JobCompleted(units.Time, *sim.JobState) {}
 
 func (v *validator) TaskPreempted(now units.Time, victim, starter *sim.TaskState, node cluster.NodeID) {
 	v.preempts++

@@ -96,6 +96,9 @@ type Engine struct {
 	metrics       Result
 	lastDone      units.Time
 	firstArrival  units.Time
+	// epochIndex numbers online preemption epochs from 1, for the
+	// EpochStarted/EpochEnded observer events.
+	epochIndex int
 }
 
 // Run simulates the workload to completion and returns the collected
@@ -443,6 +446,9 @@ func (e *Engine) kickBlocked(k cluster.NodeID, t *TaskState, now units.Time) {
 	// else first.
 	t.PlannedStart = now + e.cfg.Period
 	e.enqueue(k, t)
+	if e.cfg.Observer != nil {
+		e.cfg.Observer.TaskRequeued(now, t, k, RequeueBlindTimeout)
+	}
 	e.tryFill(k, now)
 }
 
@@ -580,12 +586,19 @@ func (e *Engine) complete(k cluster.NodeID, t *TaskState, now units.Time) {
 
 // epochTick runs the online preemption policy and re-arms itself.
 func (e *Engine) epochTick(now units.Time) {
+	e.epochIndex++
+	if e.cfg.Observer != nil {
+		e.cfg.Observer.EpochStarted(now, e.epochIndex)
+	}
 	actions := e.cfg.Preemptor.Epoch(now, e.view)
 	for _, a := range actions {
 		e.applyAction(a, now)
 	}
 	for k := range e.nodes {
 		e.tryFill(cluster.NodeID(k), now)
+	}
+	if e.cfg.Observer != nil {
+		e.cfg.Observer.EpochEnded(now, e.epochIndex, e.view)
 	}
 	if e.jobsRemaining > 0 {
 		e.q.After(e.cfg.Epoch, eventq.Func(e.epochTick))
@@ -611,13 +624,38 @@ func (e *Engine) applyAction(a Action, now units.Time) {
 	}
 	if !a.Starter.DepsMet() {
 		e.metrics.Disorders++
+		if o := e.cfg.Observer; o != nil {
+			o.PreemptionConsidered(now, decisionOf(a, VerdictDisorder))
+			o.DisorderDetected(now, a.Starter, a.Victim, a.Node)
+		}
 		return
 	}
 	e.suspend(a.Node, a.Victim, now)
-	if e.cfg.Observer != nil {
-		e.cfg.Observer.TaskPreempted(now, a.Victim, a.Starter, a.Node)
+	if o := e.cfg.Observer; o != nil {
+		verdict := VerdictAccepted
+		if a.Urgent {
+			verdict = VerdictUrgentOverride
+		}
+		o.PreemptionConsidered(now, decisionOf(a, verdict))
+		o.TaskPreempted(now, a.Victim, a.Starter, a.Node)
 	}
 	e.start(a.Node, a.Starter, now)
+}
+
+// decisionOf renders an applied (or refused) action as the decision
+// record its PreemptionConsidered event carries.
+func decisionOf(a Action, verdict Verdict) PreemptionDecision {
+	return PreemptionDecision{
+		Node:              a.Node,
+		Candidate:         a.Starter,
+		Victim:            a.Victim,
+		CandidatePriority: a.StarterPriority,
+		VictimPriority:    a.VictimPriority,
+		Gain:              a.StarterPriority - a.VictimPriority,
+		Overhead:          a.PPThreshold,
+		Urgent:            a.Urgent,
+		Verdict:           verdict,
+	}
 }
 
 // finalize computes derived metrics after the run.

@@ -107,6 +107,9 @@ func (e *Engine) failNode(k cluster.NodeID, now units.Time) {
 	e.metrics.Failures++
 	speed := e.speedOf(k)
 	ns.down = true
+	if e.cfg.Observer != nil {
+		e.cfg.Observer.NodeFailed(now, k)
+	}
 
 	running := append([]*TaskState(nil), ns.running...)
 	ns.running = ns.running[:0]
@@ -130,21 +133,24 @@ func (e *Engine) failNode(k cluster.NodeID, now units.Time) {
 			}
 		}
 		t.resumePenalty = e.cfg.Checkpoint.ResumePenalty()
-		e.evictToPending(t)
+		e.evictToPending(t, k, now)
 	}
 	queued := append([]*TaskState(nil), ns.queue...)
 	ns.queue = ns.queue[:0]
 	for _, t := range queued {
-		e.evictToPending(t)
+		e.evictToPending(t, k, now)
 	}
 }
 
 // evictToPending returns a task to the unassigned pool.
-func (e *Engine) evictToPending(t *TaskState) {
+func (e *Engine) evictToPending(t *TaskState, k cluster.NodeID, now units.Time) {
 	t.Phase = Pending
 	t.Node = -1
 	t.Job.assigned--
 	e.metrics.FailureEvictions++
+	if e.cfg.Observer != nil {
+		e.cfg.Observer.TaskEvicted(now, t, k)
+	}
 }
 
 // recoverNode brings a failed node back into service.
@@ -154,6 +160,9 @@ func (e *Engine) recoverNode(k cluster.NodeID, now units.Time) {
 		return
 	}
 	ns.down = false
+	if e.cfg.Observer != nil {
+		e.cfg.Observer.NodeRecovered(now, k)
+	}
 	e.tryFill(k, now)
 }
 

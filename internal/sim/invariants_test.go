@@ -14,6 +14,7 @@ import (
 // slot capacity is never exceeded, tasks only start with precedents
 // finished (dependency-aware mode), and completions happen exactly once.
 type invariantObserver struct {
+	NopObserver
 	t        *testing.T
 	slots    int
 	running  map[cluster.NodeID]int

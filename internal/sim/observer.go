@@ -8,10 +8,94 @@ import (
 	"dsp/internal/units"
 )
 
-// Observer receives simulation lifecycle events; attach one via
-// Config.Observer to trace a run (debugging, visualization, custom
-// metrics). All callbacks run synchronously inside the event loop — keep
-// them cheap and do not mutate simulator state.
+// Verdict classifies the outcome of one preemption decision — the
+// reasoning behind Algorithm 1 that a PreemptionConsidered event makes
+// visible.
+type Verdict uint8
+
+// Preemption decision outcomes.
+const (
+	// VerdictAccepted: conditions C1/C2 (and PP, when enabled) held and
+	// the victim was suspended for the candidate.
+	VerdictAccepted Verdict = iota
+	// VerdictSuppressedByPP: the candidate out-prioritized the victim,
+	// but the normalized-priority filter judged the gain too small to
+	// cover the context-switch cost, so no preemption happened.
+	VerdictSuppressedByPP
+	// VerdictUrgentOverride: an urgent task (allowable wait ≤ ε or
+	// waiting ≥ τ) preempted unconditionally, bypassing C1 and PP.
+	VerdictUrgentOverride
+	// VerdictDisorder: the policy ordered a starter whose precedents had
+	// not finished; the node refused the eviction and the attempt was
+	// counted as a dependency disorder.
+	VerdictDisorder
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictAccepted:
+		return "accepted"
+	case VerdictSuppressedByPP:
+		return "suppressed-by-PP"
+	case VerdictUrgentOverride:
+		return "urgent-override"
+	case VerdictDisorder:
+		return "disorder"
+	default:
+		return fmt.Sprintf("verdict(%d)", uint8(v))
+	}
+}
+
+// PreemptionDecision captures one considered preemption: who wanted the
+// slot, who would have yielded it, the priorities that drove the choice,
+// and the verdict. Accepted and urgent-override decisions correspond 1:1
+// with Result.Preemptions; disorder decisions with Result.Disorders.
+type PreemptionDecision struct {
+	Node cluster.NodeID
+	// Candidate is the waiting task that wanted the slot.
+	Candidate *TaskState
+	// Victim is the running task examined (never nil).
+	Victim *TaskState
+	// CandidatePriority and VictimPriority are the policy's priority
+	// values at decision time (zero for policies that do not report them).
+	CandidatePriority float64
+	VictimPriority    float64
+	// Gain is the priority difference CandidatePriority−VictimPriority,
+	// the throughput benefit proxy the PP filter weighs.
+	Gain float64
+	// Overhead is the PP threshold ρ·P̄ the gain had to exceed (zero when
+	// the filter was disabled or not applicable).
+	Overhead float64
+	// Urgent marks decisions taken in the urgent pass (ε/τ trigger).
+	Urgent  bool
+	Verdict Verdict
+}
+
+// RequeueReason says why a task went back to its node queue outside the
+// normal preemption path.
+type RequeueReason uint8
+
+// Requeue reasons.
+const (
+	// RequeueBlindTimeout: a blind-started task spent BlindTimeout in a
+	// slot without its inputs appearing and was demoted back to the queue.
+	RequeueBlindTimeout RequeueReason = iota
+)
+
+func (r RequeueReason) String() string {
+	switch r {
+	case RequeueBlindTimeout:
+		return "blind-timeout"
+	default:
+		return fmt.Sprintf("requeue(%d)", uint8(r))
+	}
+}
+
+// Observer receives simulation lifecycle and decision events; attach one
+// via Config.Observer to trace a run (debugging, visualization, custom
+// metrics, audit logs). All callbacks run synchronously inside the event
+// loop — keep them cheap and do not mutate simulator state. Embed
+// NopObserver to implement only the events you care about.
 type Observer interface {
 	// TaskStarted fires when a task occupies a slot (including resume
 	// after preemption and blind starts of blocked tasks).
@@ -22,36 +106,183 @@ type Observer interface {
 	TaskCompleted(now units.Time, t *TaskState, node cluster.NodeID)
 	// JobCompleted fires when a job's last task finishes.
 	JobCompleted(now units.Time, j *JobState)
+	// EpochStarted fires before the online preemption policy runs;
+	// epochs count from 1.
+	EpochStarted(now units.Time, epoch int)
+	// EpochEnded fires after the epoch's actions were applied and free
+	// slots refilled. The view is valid only for the duration of the
+	// callback and gives read access for per-epoch sampling (queue
+	// depths, busy slots, …).
+	EpochEnded(now units.Time, epoch int, v *View)
+	// PreemptionConsidered fires for every preemption decision with a
+	// definite outcome: accepted, urgent-override and disorder verdicts
+	// come from the engine as actions are applied; suppressed-by-PP
+	// verdicts come from the DSP policy as it evaluates the filter.
+	PreemptionConsidered(now units.Time, d PreemptionDecision)
+	// DisorderDetected fires when a policy ordered a starter whose
+	// precedents have not finished (alongside the disorder-verdict
+	// PreemptionConsidered event).
+	DisorderDetected(now units.Time, starter, victim *TaskState, node cluster.NodeID)
+	// NodeFailed and NodeRecovered fire on injected fault-plan events.
+	NodeFailed(now units.Time, node cluster.NodeID)
+	NodeRecovered(now units.Time, node cluster.NodeID)
+	// TaskEvicted fires for every task (running or queued) a node crash
+	// threw back into the pending pool; node is where it was evicted from.
+	TaskEvicted(now units.Time, t *TaskState, node cluster.NodeID)
+	// TaskRequeued fires when a task re-enters its node queue outside the
+	// preemption path (see RequeueReason).
+	TaskRequeued(now units.Time, t *TaskState, node cluster.NodeID, reason RequeueReason)
 }
 
-// Observers composes multiple observers.
+// NopObserver implements Observer with no-ops. Embed it to write
+// observers that handle only a subset of events.
+type NopObserver struct{}
+
+// TaskStarted implements Observer.
+func (NopObserver) TaskStarted(units.Time, *TaskState, cluster.NodeID) {}
+
+// TaskPreempted implements Observer.
+func (NopObserver) TaskPreempted(units.Time, *TaskState, *TaskState, cluster.NodeID) {}
+
+// TaskCompleted implements Observer.
+func (NopObserver) TaskCompleted(units.Time, *TaskState, cluster.NodeID) {}
+
+// JobCompleted implements Observer.
+func (NopObserver) JobCompleted(units.Time, *JobState) {}
+
+// EpochStarted implements Observer.
+func (NopObserver) EpochStarted(units.Time, int) {}
+
+// EpochEnded implements Observer.
+func (NopObserver) EpochEnded(units.Time, int, *View) {}
+
+// PreemptionConsidered implements Observer.
+func (NopObserver) PreemptionConsidered(units.Time, PreemptionDecision) {}
+
+// DisorderDetected implements Observer.
+func (NopObserver) DisorderDetected(units.Time, *TaskState, *TaskState, cluster.NodeID) {}
+
+// NodeFailed implements Observer.
+func (NopObserver) NodeFailed(units.Time, cluster.NodeID) {}
+
+// NodeRecovered implements Observer.
+func (NopObserver) NodeRecovered(units.Time, cluster.NodeID) {}
+
+// TaskEvicted implements Observer.
+func (NopObserver) TaskEvicted(units.Time, *TaskState, cluster.NodeID) {}
+
+// TaskRequeued implements Observer.
+func (NopObserver) TaskRequeued(units.Time, *TaskState, cluster.NodeID, RequeueReason) {}
+
+// Observers composes multiple observers; nil entries are skipped, so call
+// sites can build the slice from optional components without filtering.
 type Observers []Observer
 
 // TaskStarted implements Observer.
 func (os Observers) TaskStarted(now units.Time, t *TaskState, node cluster.NodeID) {
 	for _, o := range os {
-		o.TaskStarted(now, t, node)
+		if o != nil {
+			o.TaskStarted(now, t, node)
+		}
 	}
 }
 
 // TaskPreempted implements Observer.
 func (os Observers) TaskPreempted(now units.Time, victim, starter *TaskState, node cluster.NodeID) {
 	for _, o := range os {
-		o.TaskPreempted(now, victim, starter, node)
+		if o != nil {
+			o.TaskPreempted(now, victim, starter, node)
+		}
 	}
 }
 
 // TaskCompleted implements Observer.
 func (os Observers) TaskCompleted(now units.Time, t *TaskState, node cluster.NodeID) {
 	for _, o := range os {
-		o.TaskCompleted(now, t, node)
+		if o != nil {
+			o.TaskCompleted(now, t, node)
+		}
 	}
 }
 
 // JobCompleted implements Observer.
 func (os Observers) JobCompleted(now units.Time, j *JobState) {
 	for _, o := range os {
-		o.JobCompleted(now, j)
+		if o != nil {
+			o.JobCompleted(now, j)
+		}
+	}
+}
+
+// EpochStarted implements Observer.
+func (os Observers) EpochStarted(now units.Time, epoch int) {
+	for _, o := range os {
+		if o != nil {
+			o.EpochStarted(now, epoch)
+		}
+	}
+}
+
+// EpochEnded implements Observer.
+func (os Observers) EpochEnded(now units.Time, epoch int, v *View) {
+	for _, o := range os {
+		if o != nil {
+			o.EpochEnded(now, epoch, v)
+		}
+	}
+}
+
+// PreemptionConsidered implements Observer.
+func (os Observers) PreemptionConsidered(now units.Time, d PreemptionDecision) {
+	for _, o := range os {
+		if o != nil {
+			o.PreemptionConsidered(now, d)
+		}
+	}
+}
+
+// DisorderDetected implements Observer.
+func (os Observers) DisorderDetected(now units.Time, starter, victim *TaskState, node cluster.NodeID) {
+	for _, o := range os {
+		if o != nil {
+			o.DisorderDetected(now, starter, victim, node)
+		}
+	}
+}
+
+// NodeFailed implements Observer.
+func (os Observers) NodeFailed(now units.Time, node cluster.NodeID) {
+	for _, o := range os {
+		if o != nil {
+			o.NodeFailed(now, node)
+		}
+	}
+}
+
+// NodeRecovered implements Observer.
+func (os Observers) NodeRecovered(now units.Time, node cluster.NodeID) {
+	for _, o := range os {
+		if o != nil {
+			o.NodeRecovered(now, node)
+		}
+	}
+}
+
+// TaskEvicted implements Observer.
+func (os Observers) TaskEvicted(now units.Time, t *TaskState, node cluster.NodeID) {
+	for _, o := range os {
+		if o != nil {
+			o.TaskEvicted(now, t, node)
+		}
+	}
+}
+
+// TaskRequeued implements Observer.
+func (os Observers) TaskRequeued(now units.Time, t *TaskState, node cluster.NodeID, reason RequeueReason) {
+	for _, o := range os {
+		if o != nil {
+			o.TaskRequeued(now, t, node, reason)
+		}
 	}
 }
 
@@ -59,6 +290,9 @@ func (os Observers) JobCompleted(now units.Time, j *JobState) {
 // simulations.
 type LogObserver struct {
 	W io.Writer
+	// Quiet suppresses the high-volume decision events (epochs and
+	// preemption considerations), keeping only lifecycle lines.
+	Quiet bool
 }
 
 // TaskStarted implements Observer.
@@ -83,4 +317,48 @@ func (l *LogObserver) TaskCompleted(now units.Time, t *TaskState, node cluster.N
 // JobCompleted implements Observer.
 func (l *LogObserver) JobCompleted(now units.Time, j *JobState) {
 	fmt.Fprintf(l.W, "%-12v job-done J%d met=%v\n", now, j.Dag.ID, j.MetDeadline())
+}
+
+// EpochStarted implements Observer.
+func (l *LogObserver) EpochStarted(now units.Time, epoch int) {
+	if !l.Quiet {
+		fmt.Fprintf(l.W, "%-12v epoch    #%d\n", now, epoch)
+	}
+}
+
+// EpochEnded implements Observer.
+func (l *LogObserver) EpochEnded(units.Time, int, *View) {}
+
+// PreemptionConsidered implements Observer.
+func (l *LogObserver) PreemptionConsidered(now units.Time, d PreemptionDecision) {
+	if l.Quiet {
+		return
+	}
+	fmt.Fprintf(l.W, "%-12v consider %-8v over %-8v gain=%.3g overhead=%.3g %s\n",
+		now, d.Candidate.Key(), d.Victim.Key(), d.Gain, d.Overhead, d.Verdict)
+}
+
+// DisorderDetected implements Observer.
+func (l *LogObserver) DisorderDetected(now units.Time, starter, victim *TaskState, node cluster.NodeID) {
+	fmt.Fprintf(l.W, "%-12v disorder %-8v vs %-8v node%d\n", now, starter.Key(), victim.Key(), node)
+}
+
+// NodeFailed implements Observer.
+func (l *LogObserver) NodeFailed(now units.Time, node cluster.NodeID) {
+	fmt.Fprintf(l.W, "%-12v node-fail node%d\n", now, node)
+}
+
+// NodeRecovered implements Observer.
+func (l *LogObserver) NodeRecovered(now units.Time, node cluster.NodeID) {
+	fmt.Fprintf(l.W, "%-12v node-up  node%d\n", now, node)
+}
+
+// TaskEvicted implements Observer.
+func (l *LogObserver) TaskEvicted(now units.Time, t *TaskState, node cluster.NodeID) {
+	fmt.Fprintf(l.W, "%-12v evict    %-8v node%d\n", now, t.Key(), node)
+}
+
+// TaskRequeued implements Observer.
+func (l *LogObserver) TaskRequeued(now units.Time, t *TaskState, node cluster.NodeID, reason RequeueReason) {
+	fmt.Fprintf(l.W, "%-12v requeue  %-8v node%d (%s)\n", now, t.Key(), node, reason)
 }

@@ -10,6 +10,7 @@ import (
 
 // countingObserver tallies events.
 type countingObserver struct {
+	NopObserver
 	starts, preempts, completes, jobs int
 	lastPreemptStarter                *TaskState
 }
@@ -71,6 +72,124 @@ func TestObserversCompose(t *testing.T) {
 	}
 	if a.starts != 1 || b.starts != 1 || a.jobs != 1 || b.jobs != 1 {
 		t.Errorf("composed observers missed events: a=%+v b=%+v", a, b)
+	}
+}
+
+// NopObserver must satisfy the full interface so implementors can embed
+// it and stay compatible as the event surface grows.
+var _ Observer = NopObserver{}
+var _ Observer = Observers{}
+
+func TestObserversSkipNil(t *testing.T) {
+	a := &countingObserver{}
+	j := sizedJob(0, 1000)
+	// Nil entries (common when composing optional exporters) must be
+	// skipped, not dereferenced.
+	_, err := Run(Config{
+		Cluster:   testCluster(1, 1),
+		Scheduler: rrScheduler{},
+		Observer:  Observers{nil, a, nil, NopObserver{}},
+	}, mkWorkload([]units.Time{0}, j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.starts != 1 || a.jobs != 1 {
+		t.Errorf("observer after nil entry missed events: %+v", a)
+	}
+}
+
+func TestObserverDecisionEvents(t *testing.T) {
+	// A forced preemption must surface as an accepted PreemptionConsidered
+	// decision plus epoch markers, and the per-run verdict counts must
+	// agree with the engine's Result.
+	rec := &struct {
+		decisions []PreemptionDecision
+		epochs    int
+		ends      int
+	}{}
+	obsv := observerFuncs{
+		onConsidered: func(d PreemptionDecision) { rec.decisions = append(rec.decisions, d) },
+		onEpochStart: func() { rec.epochs++ },
+		onEpochEnd:   func() { rec.ends++ },
+	}
+	j := sizedJob(0, 10000, 1000)
+	pre := &onceActor{act: func(now units.Time, v *View) []Action {
+		return []Action{{Node: 0, Victim: v.Running(0)[0], Starter: v.Queue(0)[0], Urgent: true}}
+	}}
+	res, err := Run(Config{
+		Cluster:    testCluster(1, 1),
+		Scheduler:  rrScheduler{},
+		Preemptor:  pre,
+		Checkpoint: cluster.DefaultCheckpoint(),
+		Epoch:      2 * units.Second,
+		Observer:   obsv,
+	}, mkWorkload([]units.Time{0}, j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Preemptions != 1 {
+		t.Fatalf("fixture expects 1 preemption, got %d", res.Preemptions)
+	}
+	accepted := 0
+	for _, d := range rec.decisions {
+		switch d.Verdict {
+		case VerdictAccepted, VerdictUrgentOverride:
+			accepted++
+			if d.Candidate == nil || d.Victim == nil {
+				t.Error("accepted decision missing candidate or victim")
+			}
+		}
+	}
+	if accepted != res.Preemptions {
+		t.Errorf("accepted decisions = %d, want Result.Preemptions = %d", accepted, res.Preemptions)
+	}
+	// The action was marked urgent, so the verdict must say so.
+	if rec.decisions[0].Verdict != VerdictUrgentOverride {
+		t.Errorf("verdict = %v, want urgent-override", rec.decisions[0].Verdict)
+	}
+	if rec.epochs == 0 || rec.epochs != rec.ends {
+		t.Errorf("epoch markers unbalanced: %d started, %d ended", rec.epochs, rec.ends)
+	}
+}
+
+// observerFuncs adapts closures to the Observer interface for tests.
+type observerFuncs struct {
+	NopObserver
+	onConsidered func(PreemptionDecision)
+	onEpochStart func()
+	onEpochEnd   func()
+}
+
+func (o observerFuncs) PreemptionConsidered(_ units.Time, d PreemptionDecision) {
+	if o.onConsidered != nil {
+		o.onConsidered(d)
+	}
+}
+func (o observerFuncs) EpochStarted(units.Time, int) {
+	if o.onEpochStart != nil {
+		o.onEpochStart()
+	}
+}
+func (o observerFuncs) EpochEnded(units.Time, int, *View) {
+	if o.onEpochEnd != nil {
+		o.onEpochEnd()
+	}
+}
+
+func TestVerdictStrings(t *testing.T) {
+	want := map[Verdict]string{
+		VerdictAccepted:       "accepted",
+		VerdictSuppressedByPP: "suppressed-by-PP",
+		VerdictUrgentOverride: "urgent-override",
+		VerdictDisorder:       "disorder",
+	}
+	for v, s := range want {
+		if v.String() != s {
+			t.Errorf("Verdict(%d).String() = %q, want %q", v, v.String(), s)
+		}
+	}
+	if RequeueBlindTimeout.String() != "blind-timeout" {
+		t.Errorf("RequeueBlindTimeout = %q", RequeueBlindTimeout.String())
 	}
 }
 

@@ -24,11 +24,25 @@ type Scheduler interface {
 }
 
 // Action is one preemption decision: suspend Victim (running on Node) and
-// start Starter (waiting on Node) in its place.
+// start Starter (waiting on Node) in its place. The remaining fields are
+// optional decision metadata a policy may attach; the engine copies them
+// into the PreemptionConsidered observer event so audit logs can answer
+// "why was this task preempted".
 type Action struct {
 	Node    cluster.NodeID
 	Victim  *TaskState
 	Starter *TaskState
+
+	// Urgent marks actions from the urgent pass (ε/τ trigger), reported
+	// as the urgent-override verdict.
+	Urgent bool
+	// StarterPriority and VictimPriority are the policy's priorities at
+	// decision time (zero for policies that do not compute them).
+	StarterPriority float64
+	VictimPriority  float64
+	// PPThreshold is the normalized-priority bar ρ·P̄ the priority gain
+	// had to clear (zero when the PP filter was off or not applicable).
+	PPThreshold float64
 }
 
 // Preemptor is the online phase plug point, invoked every epoch.
@@ -126,6 +140,12 @@ func (v *View) EarliestFree(k cluster.NodeID, now units.Time) units.Time {
 
 // Epoch returns the configured preemption epoch.
 func (v *View) Epoch() units.Time { return v.engine.cfg.Epoch }
+
+// Observer returns the run's configured observer, or nil. Policies use it
+// to report decisions that never become Actions — e.g. the DSP PP filter
+// suppressing a preemption whose gain would not cover the context-switch
+// cost. Callers must nil-check.
+func (v *View) Observer() Observer { return v.engine.cfg.Observer }
 
 // Checkpoint returns the active checkpoint policy.
 func (v *View) Checkpoint() cluster.CheckpointPolicy { return v.engine.cfg.Checkpoint }

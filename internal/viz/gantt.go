@@ -29,6 +29,7 @@ type Span struct {
 
 // Recorder collects spans; attach it via sim.Config.Observer.
 type Recorder struct {
+	sim.NopObserver
 	Spans []Span
 	// open maps a task to the index of its currently open span (indices,
 	// not pointers: append may reallocate Spans).
@@ -63,8 +64,15 @@ func (r *Recorder) TaskCompleted(now units.Time, t *sim.TaskState, _ cluster.Nod
 	}
 }
 
-// JobCompleted implements sim.Observer.
-func (r *Recorder) JobCompleted(units.Time, *sim.JobState) {}
+// TaskEvicted implements sim.Observer: a node crash cuts the span short
+// the same way a preemption does.
+func (r *Recorder) TaskEvicted(now units.Time, t *sim.TaskState, _ cluster.NodeID) {
+	if i, ok := r.open[t.Key()]; ok {
+		r.Spans[i].End = now
+		r.Spans[i].Preempted = true
+		delete(r.open, t.Key())
+	}
+}
 
 // palette holds distinguishable fill colors, cycled by job ID.
 var palette = []string{
