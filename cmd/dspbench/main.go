@@ -6,7 +6,10 @@
 //
 //	dspbench [flags]
 //
-//	-fig LIST    comma-separated figures to run: 5a,5b,6,7,8, table2 or "all"
+//	-fig LIST    comma-separated figures to run: 5a,5b,6,7,8, table2 or "all";
+//	             "resilience" runs the degradation-under-faults sweep
+//	             (not part of "all" — it is this reproduction's extension,
+//	             not a paper figure)
 //	-scale F     workload task scale (default 0.03; 1.0 = paper size)
 //	-seed N      sweep seed
 //	-csv         emit CSV instead of aligned text
@@ -43,6 +46,9 @@ func run(args []string, out *os.File) error {
 	sens := fs.String("sensitivity", "", "comma-separated DSP parameters to sweep: gamma,delta,rho,omega1,epoch")
 	sensJobs := fs.Int("sensitivity-jobs", 150, "job count for sensitivity sweeps")
 	fairness := fs.Bool("fairness", false, "also report per-method slowdown fairness (Jain index)")
+	faultPcts := fs.String("faults", "0,5,10,20,30", "fault levels (%% flaky nodes) for -fig resilience, comma-separated")
+	resJobs := fs.Int("resilience-jobs", 150, "job count for the resilience sweep")
+	faultSeed := fs.Int64("fault-seed", 0, "fault-plan seed for the resilience sweep (0 = default)")
 	tracePath := fs.String("trace", "", "write Chrome trace-event JSON to FILE (runs laid out back-to-back)")
 	auditPath := fs.String("audit", "", "write JSONL decision audit to FILE (run markers separate cells)")
 	seriesPath := fs.String("series", "", "write per-epoch time-series CSV to FILE (one section per cell)")
@@ -131,6 +137,29 @@ func run(args []string, out *os.File) error {
 		}
 		emit(f.Makespan)
 		emit(f.Throughput)
+	}
+	if want["resilience"] {
+		ro := experiments.DefaultResilienceOptions()
+		ro.Options = o
+		ro.Jobs = *resJobs
+		if *faultSeed != 0 {
+			ro.FaultSeed = *faultSeed
+		}
+		ro.FaultPercents = ro.FaultPercents[:0]
+		for _, p := range strings.Split(*faultPcts, ",") {
+			var pct int
+			if _, err := fmt.Sscanf(strings.TrimSpace(p), "%d", &pct); err != nil {
+				return fmt.Errorf("bad -faults entry %q: %w", p, err)
+			}
+			ro.FaultPercents = append(ro.FaultPercents, pct)
+		}
+		f, err := experiments.Resilience(experiments.Real, ro)
+		if err != nil {
+			return err
+		}
+		for _, t := range f.All() {
+			emit(t)
+		}
 	}
 	if *sens != "" {
 		for _, p := range strings.Split(*sens, ",") {

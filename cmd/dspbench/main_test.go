@@ -37,12 +37,22 @@ func TestRunFairness(t *testing.T) {
 	}
 }
 
+func TestRunResilienceTinyScale(t *testing.T) {
+	if err := run([]string{"-fig", "resilience", "-resilience-jobs", "12",
+		"-faults", "0,20", "-scale", "0.02"}, devNull(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	if err := run([]string{"-nope"}, devNull(t)); err == nil {
 		t.Error("bad flag accepted")
 	}
 	if err := run([]string{"-fig", "none", "-sensitivity", "bogus"}, devNull(t)); err == nil {
 		t.Error("unknown sensitivity parameter accepted")
+	}
+	if err := run([]string{"-fig", "resilience", "-faults", "ten"}, devNull(t)); err == nil {
+		t.Error("malformed -faults accepted")
 	}
 }
 

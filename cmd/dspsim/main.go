@@ -15,6 +15,18 @@
 //	-series FILE           write per-epoch time-series CSV
 //	-counters              print event counters after the run
 //	-pprof ADDR            serve /debug/pprof on ADDR (e.g. :6060)
+//
+// Resilience flags (see DESIGN.md, "Resilience subsystem"):
+//
+//	-faults F              fraction of flaky nodes (0 disables; stochastic
+//	                       crash/straggler/task-fault plan via internal/chaos)
+//	-fault-seed N          seed for the fault plan (default: workload seed)
+//	-speculate             launch backup copies of stragglers on idle slots
+//	-retry-budget N        attempts per task before terminal failure
+//	                       (0 = default 10, negative = unlimited)
+//	-retry-backoff SEC     base retry backoff in seconds (doubles per attempt)
+//	-blacklist F           health-penalty threshold that blacklists a node
+//	                       (0 disables; also makes the DSP scheduler risk-averse)
 package main
 
 import (
@@ -22,9 +34,11 @@ import (
 	"fmt"
 	"os"
 
+	"dsp/internal/chaos"
 	"dsp/internal/cluster"
 	"dsp/internal/experiments"
 	"dsp/internal/obs"
+	"dsp/internal/sched"
 	"dsp/internal/sim"
 	"dsp/internal/trace"
 	"dsp/internal/units"
@@ -51,6 +65,12 @@ func run(args []string) error {
 	seriesPath := fs.String("series", "", "write per-epoch time-series CSV to FILE")
 	counters := fs.Bool("counters", false, "print event counters after the run")
 	pprofAddr := fs.String("pprof", "", "serve /debug/pprof on ADDR (e.g. :6060)")
+	faults := fs.Float64("faults", 0, "fraction of flaky nodes (0 disables fault injection)")
+	faultSeed := fs.Int64("fault-seed", 0, "fault-plan seed (0 = workload seed)")
+	speculate := fs.Bool("speculate", false, "launch backup copies of straggling tasks on idle slots")
+	retryBudget := fs.Int("retry-budget", 0, "execution attempts per task before terminal failure (0 = default, negative = unlimited)")
+	retryBackoff := fs.Float64("retry-backoff", 0, "base retry backoff in seconds (doubles per attempt)")
+	blacklist := fs.Float64("blacklist", 0, "health-penalty threshold that blacklists a node (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -74,6 +94,10 @@ func run(args []string) error {
 	s, err := experiments.NewScheduler(*scheduler)
 	if err != nil {
 		return err
+	}
+	if d, ok := s.(*sched.DSP); ok && *blacklist > 0 {
+		// A blacklist only helps if the offline scheduler honours it.
+		d.RiskAversion = 0.5
 	}
 	var pre sim.Preemptor
 	cp := cluster.DefaultCheckpoint()
@@ -102,12 +126,32 @@ func run(args []string) error {
 		return err
 	}
 	cfg := sim.Config{
-		Cluster:    plat.Cluster(),
-		Scheduler:  s,
-		Preemptor:  pre,
-		Checkpoint: cp,
-		Period:     5 * units.Minute,
-		Epoch:      10 * units.Second,
+		Cluster:            plat.Cluster(),
+		Scheduler:          s,
+		Preemptor:          pre,
+		Checkpoint:         cp,
+		Period:             5 * units.Minute,
+		Epoch:              10 * units.Second,
+		RetryBudget:        *retryBudget,
+		RetryBackoff:       units.FromSeconds(*retryBackoff),
+		BlacklistThreshold: *blacklist,
+	}
+	if *speculate {
+		cfg.Speculation = &sim.Speculation{}
+	}
+	if *faults > 0 {
+		fseed := *faultSeed
+		if fseed == 0 {
+			fseed = *seed
+		}
+		cs := chaos.DefaultSpec(plat.Cluster().Len(), fseed)
+		cs.FaultyFraction = *faults
+		plan, err := cs.Plan()
+		if err != nil {
+			sink.Close()
+			return err
+		}
+		cfg.Faults = plan
 	}
 	if sink.Enabled() {
 		cfg.Observer = sink
@@ -139,6 +183,18 @@ func run(args []string) error {
 	fmt.Printf("avg task waiting:    %v\n", res.AvgTaskWait)
 	fmt.Printf("preemptions:         %d\n", res.Preemptions)
 	fmt.Printf("disorders:           %d\n", res.Disorders)
+	if *faults > 0 || res.Failures > 0 || res.TaskFaults > 0 {
+		fmt.Println()
+		fmt.Printf("node failures:       %d (blacklistings %d)\n",
+			res.Failures, res.Blacklistings)
+		fmt.Printf("task faults:         %d (crash evictions %d)\n", res.TaskFaults, res.FailureEvictions)
+		fmt.Printf("retries:             %d (terminal failures %d, jobs failed %d)\n",
+			res.Retries, res.TerminalFailures, res.JobsFailed)
+		fmt.Printf("speculations:        %d (won %d, cancelled %d)\n",
+			res.Speculations, res.SpeculationWins, res.SpeculationCancels)
+		fmt.Printf("goodput:             %.4f tasks/ms\n", res.GoodputPerMs)
+		fmt.Printf("lost work:           %v (speculative waste %v)\n", res.LostWork, res.SpeculativeWaste)
+	}
 	if sink.Counters != nil {
 		fmt.Printf("\nevent counters:\n%s", sink.Counters)
 	}

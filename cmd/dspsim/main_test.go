@@ -14,6 +14,14 @@ func TestRunWithPreemptor(t *testing.T) {
 	}
 }
 
+func TestRunWithFaults(t *testing.T) {
+	if err := run([]string{"-jobs", "6", "-scale", "0.02", "-preemptor", "none",
+		"-faults", "0.2", "-fault-seed", "7", "-speculate",
+		"-retry-budget", "5", "-retry-backoff", "2", "-blacklist", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	if err := run([]string{"-platform", "mars"}); err == nil {
 		t.Error("unknown platform accepted")

@@ -1,0 +1,186 @@
+// Package chaos expands compact stochastic fault models — MTBF/MTTR
+// crash/recovery processes, straggler arrival distributions, transient
+// task-failure rates — into concrete sim.FaultPlans. The expansion is
+// fully deterministic: the same Spec (including its Seed) always yields
+// the same plan, so degradation experiments are reproducible and the
+// injected faults travel through exactly the same engine paths as
+// hand-scripted ones.
+//
+// Each flaky node gets its own derived random stream (split in node
+// order), so adding or removing nodes from the faulty set does not
+// perturb the fault history of the others.
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dsp/internal/cluster"
+	"dsp/internal/rng"
+	"dsp/internal/sim"
+	"dsp/internal/units"
+)
+
+// Spec is a compact stochastic fault model for one run.
+type Spec struct {
+	// Nodes is the cluster size the plan targets.
+	Nodes int
+	// Seed drives every draw.
+	Seed int64
+	// Horizon bounds generated fault times: crash and straggler windows
+	// start before it (events beyond the workload's makespan drain
+	// harmlessly).
+	Horizon units.Time
+	// FaultyFraction of the nodes (rounded to nearest, at least one when
+	// positive) are flaky: they crash and straggle; the rest stay clean.
+	FaultyFraction float64
+	// MTBF is the mean up-time between crashes of a flaky node, and MTTR
+	// the mean repair time. Both exponential.
+	MTBF units.Time
+	MTTR units.Time
+	// StragglerEvery is the mean gap between straggler windows on a
+	// flaky node (0 disables stragglers); StragglerDuration is the mean
+	// window length; the slowdown factor is uniform in
+	// [StragglerFactorLo, StragglerFactorHi).
+	StragglerEvery    units.Time
+	StragglerDuration units.Time
+	StragglerFactorLo float64
+	StragglerFactorHi float64
+	// TaskFaultRate is the per-attempt transient task-failure
+	// probability applied cluster-wide (0 disables).
+	TaskFaultRate float64
+}
+
+// DefaultSpec returns the resilience-sweep defaults: flaky nodes crash
+// occasionally (exercising eviction, retry and recovery paths) but spend
+// much of their time in severe straggler windows, crawling at 2–15%
+// speed. The mix is deliberately straggler-heavy: downtime is a capacity
+// loss no scheduler can win back, while straggler-induced tail latency
+// is exactly what speculation and fault-aware placement recover — the
+// degradation mode the paper's Section VI discussion targets.
+func DefaultSpec(nodes int, seed int64) Spec {
+	return Spec{
+		Nodes:             nodes,
+		Seed:              seed,
+		Horizon:           4 * units.Hour,
+		FaultyFraction:    0.1,
+		MTBF:              2 * units.Hour,
+		MTTR:              3 * units.Minute,
+		StragglerEvery:    15 * units.Minute,
+		StragglerDuration: 10 * units.Minute,
+		StragglerFactorLo: 0.02,
+		StragglerFactorHi: 0.15,
+		TaskFaultRate:     0.01,
+	}
+}
+
+// Validate rejects specs the generator cannot expand meaningfully.
+func (s Spec) Validate() error {
+	if s.Nodes <= 0 {
+		return fmt.Errorf("chaos: spec needs a positive node count, got %d", s.Nodes)
+	}
+	if s.Horizon <= 0 {
+		return fmt.Errorf("chaos: spec needs a positive horizon, got %v", s.Horizon)
+	}
+	if math.IsNaN(s.FaultyFraction) || s.FaultyFraction < 0 || s.FaultyFraction > 1 {
+		return fmt.Errorf("chaos: faulty fraction %v outside [0, 1]", s.FaultyFraction)
+	}
+	if s.FaultyFraction > 0 && s.MTBF <= 0 {
+		return fmt.Errorf("chaos: flaky nodes need a positive MTBF, got %v", s.MTBF)
+	}
+	if s.MTTR < 0 {
+		return fmt.Errorf("chaos: negative MTTR %v", s.MTTR)
+	}
+	if s.StragglerEvery > 0 {
+		if s.StragglerDuration <= 0 {
+			return fmt.Errorf("chaos: stragglers need a positive mean duration, got %v", s.StragglerDuration)
+		}
+		if !(s.StragglerFactorLo > 0) || s.StragglerFactorHi < s.StragglerFactorLo {
+			return fmt.Errorf("chaos: straggler factor range [%v, %v) invalid",
+				s.StragglerFactorLo, s.StragglerFactorHi)
+		}
+	}
+	if math.IsNaN(s.TaskFaultRate) || s.TaskFaultRate < 0 || s.TaskFaultRate > 1 {
+		return fmt.Errorf("chaos: task-fault rate %v outside [0, 1]", s.TaskFaultRate)
+	}
+	return nil
+}
+
+// Plan expands the spec into a concrete, validated FaultPlan.
+func (s Spec) Plan() (*sim.FaultPlan, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	plan := &sim.FaultPlan{}
+	g := rng.New(s.Seed)
+	faulty := s.faultySet(g)
+	for _, n := range faulty {
+		ng := g.Split(int64(n) + 1)
+		s.genCrashes(plan, n, ng)
+		s.genStragglers(plan, n, ng)
+	}
+	if s.TaskFaultRate > 0 {
+		plan.Tasks = &sim.TaskFaults{Rate: s.TaskFaultRate, Seed: s.Seed ^ 0x5DEECE66D}
+	}
+	if err := plan.Validate(s.Nodes); err != nil {
+		return nil, fmt.Errorf("chaos: generated plan invalid: %w", err)
+	}
+	return plan, nil
+}
+
+// faultySet picks round(FaultyFraction×Nodes) distinct nodes, at least
+// one when the fraction is positive, returned in ascending order so the
+// per-node Split order is stable.
+func (s Spec) faultySet(g *rng.RNG) []int {
+	count := int(s.FaultyFraction*float64(s.Nodes) + 0.5)
+	if count == 0 && s.FaultyFraction > 0 {
+		count = 1
+	}
+	if count > s.Nodes {
+		count = s.Nodes
+	}
+	perm := g.Perm(s.Nodes)
+	faulty := append([]int(nil), perm[:count]...)
+	sort.Ints(faulty)
+	return faulty
+}
+
+// genCrashes emits a renewal process of down-windows: up for Exp(MTBF),
+// down for Exp(MTTR) (min 1 s so recovery is a distinct instant), repeat
+// until the horizon. Windows are sequential by construction, so the plan
+// validator's overlap check holds.
+func (s Spec) genCrashes(plan *sim.FaultPlan, node int, ng *rng.RNG) {
+	t := units.FromSeconds(ng.Exp(s.MTBF.Seconds()))
+	for t < s.Horizon {
+		down := units.FromSeconds(ng.Exp(s.MTTR.Seconds()))
+		if down < units.Second {
+			down = units.Second
+		}
+		plan.Failures = append(plan.Failures, sim.NodeFailure{
+			Node: cluster.NodeID(node), At: t, RecoverAfter: down,
+		})
+		t += down + units.FromSeconds(ng.Exp(s.MTBF.Seconds()))
+	}
+}
+
+// genStragglers emits non-overlapping slowdown windows: gap of
+// Exp(StragglerEvery), then a window of Exp(StragglerDuration) (min 1 s)
+// at a uniform factor.
+func (s Spec) genStragglers(plan *sim.FaultPlan, node int, ng *rng.RNG) {
+	if s.StragglerEvery <= 0 {
+		return
+	}
+	t := units.FromSeconds(ng.Exp(s.StragglerEvery.Seconds()))
+	for t < s.Horizon {
+		dur := units.FromSeconds(ng.Exp(s.StragglerDuration.Seconds()))
+		if dur < units.Second {
+			dur = units.Second
+		}
+		factor := ng.Uniform(s.StragglerFactorLo, s.StragglerFactorHi)
+		plan.Stragglers = append(plan.Stragglers, sim.Straggler{
+			Node: cluster.NodeID(node), At: t, Factor: factor, Duration: dur,
+		})
+		t += dur + units.FromSeconds(ng.Exp(s.StragglerEvery.Seconds()))
+	}
+}

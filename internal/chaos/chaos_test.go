@@ -1,0 +1,184 @@
+package chaos
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"dsp/internal/cluster"
+	"dsp/internal/obs"
+	"dsp/internal/sched"
+	"dsp/internal/sim"
+	"dsp/internal/trace"
+	"dsp/internal/units"
+)
+
+func TestPlanDeterministic(t *testing.T) {
+	s := DefaultSpec(50, 42)
+	a, err := s.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same spec produced different plans")
+	}
+	c, err := DefaultSpec(50, 43).Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical plans")
+	}
+}
+
+func TestPlanShape(t *testing.T) {
+	s := DefaultSpec(50, 7)
+	plan, err := s.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10% of 50 nodes are flaky; over a 4 h horizon with a 25 min MTBF
+	// each must crash at least once in expectation — assert the plan is
+	// materially non-empty rather than pinning draw-dependent counts.
+	if len(plan.Failures) == 0 {
+		t.Error("default spec generated no failures")
+	}
+	if len(plan.Stragglers) == 0 {
+		t.Error("default spec generated no stragglers")
+	}
+	if plan.Tasks == nil || plan.Tasks.Rate != s.TaskFaultRate {
+		t.Errorf("task faults not attached: %+v", plan.Tasks)
+	}
+	nodes := map[cluster.NodeID]bool{}
+	for _, f := range plan.Failures {
+		nodes[f.Node] = true
+		if f.At < 0 || f.At >= s.Horizon {
+			t.Errorf("failure at %v outside [0, horizon)", f.At)
+		}
+	}
+	for _, st := range plan.Stragglers {
+		nodes[st.Node] = true
+	}
+	if len(nodes) != 5 {
+		t.Errorf("faults touch %d nodes, want 5 (10%% of 50)", len(nodes))
+	}
+}
+
+func TestFaultySetAtLeastOne(t *testing.T) {
+	s := DefaultSpec(3, 1)
+	s.FaultyFraction = 0.01 // rounds to zero — still one node is flaky
+	plan, err := s.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Failures) == 0 {
+		t.Error("tiny positive fraction generated no failures")
+	}
+}
+
+func TestZeroFractionMeansNoNodeFaults(t *testing.T) {
+	s := DefaultSpec(10, 1)
+	s.FaultyFraction = 0
+	plan, err := s.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Failures) != 0 || len(plan.Stragglers) != 0 {
+		t.Errorf("zero fraction generated %d failures, %d stragglers",
+			len(plan.Failures), len(plan.Stragglers))
+	}
+	if plan.Tasks == nil {
+		t.Error("task faults should survive a zero node fraction")
+	}
+}
+
+func TestSpecValidateRejects(t *testing.T) {
+	base := DefaultSpec(10, 1)
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"zero nodes", func(s *Spec) { s.Nodes = 0 }},
+		{"zero horizon", func(s *Spec) { s.Horizon = 0 }},
+		{"fraction above 1", func(s *Spec) { s.FaultyFraction = 1.5 }},
+		{"negative fraction", func(s *Spec) { s.FaultyFraction = -0.1 }},
+		{"zero MTBF with flaky nodes", func(s *Spec) { s.MTBF = 0 }},
+		{"negative MTTR", func(s *Spec) { s.MTTR = -units.Second }},
+		{"zero straggler duration", func(s *Spec) { s.StragglerDuration = 0 }},
+		{"zero straggler factor", func(s *Spec) { s.StragglerFactorLo = 0 }},
+		{"inverted factor range", func(s *Spec) { s.StragglerFactorHi = s.StragglerFactorLo / 2 }},
+		{"task rate above 1", func(s *Spec) { s.TaskFaultRate = 2 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := base
+			tc.mutate(&s)
+			if err := s.Validate(); err == nil {
+				t.Error("Validate accepted an invalid spec")
+			}
+			if _, err := s.Plan(); err == nil {
+				t.Error("Plan expanded an invalid spec")
+			}
+		})
+	}
+}
+
+// chaosWorkload is a small deterministic workload for end-to-end runs.
+func chaosWorkload(t *testing.T, jobs int, seed int64) *trace.Workload {
+	t.Helper()
+	spec := trace.DefaultSpec(jobs, seed)
+	spec.TaskScale = 0.02
+	spec.MeanTaskSizeMI /= 0.02
+	w, err := trace.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestAuditByteIdenticalAcrossRuns is the reproducibility contract for
+// the whole stochastic pipeline: the same seed and configuration must
+// yield byte-identical decision audits — chaos expansion, fault
+// injection, retries, speculation and all.
+func TestAuditByteIdenticalAcrossRuns(t *testing.T) {
+	run := func() []byte {
+		cs := DefaultSpec(10, 7)
+		cs.Horizon = 30 * units.Minute
+		plan, err := cs.Plan()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		aw := obs.NewAuditWriter(&buf)
+		aw.BeginRun("chaos-determinism")
+		_, err = sim.Run(sim.Config{
+			Cluster:     cluster.RealCluster(10),
+			Scheduler:   sched.NewDSP(),
+			Checkpoint:  cluster.DefaultCheckpoint(),
+			Period:      units.Minute,
+			Epoch:       10 * units.Second,
+			Faults:      plan,
+			Speculation: &sim.Speculation{},
+			Observer:    aw,
+		}, chaosWorkload(t, 3, 99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := aw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a := run()
+	b := run()
+	if len(a) == 0 {
+		t.Fatal("audit log empty — observer not wired")
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("identical seeded runs produced different audit logs")
+	}
+}

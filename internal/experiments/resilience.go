@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dsp/internal/chaos"
+	"dsp/internal/metrics"
+	"dsp/internal/sched"
+	"dsp/internal/sim"
+	"dsp/internal/units"
+)
+
+// ResilienceOptions configures the degradation-under-faults sweep.
+type ResilienceOptions struct {
+	Options
+	// Jobs is the fixed workload size for every cell (the x-axis is the
+	// fault rate, not the job count).
+	Jobs int
+	// FaultPercents is the x-axis: the percentage of nodes that are
+	// flaky (crash/recover cycles plus straggler windows, per
+	// chaos.DefaultSpec). 0 is the fault-free baseline.
+	FaultPercents []int
+	// FaultSeed drives the chaos expansion; every method at one fault
+	// level faces the same concrete fault plan.
+	FaultSeed int64
+}
+
+// DefaultResilienceOptions returns the reduced-scale sweep defaults.
+func DefaultResilienceOptions() ResilienceOptions {
+	return ResilienceOptions{
+		Options:       DefaultOptions(),
+		Jobs:          150,
+		FaultPercents: []int{0, 5, 10, 20, 30},
+		FaultSeed:     20180901,
+	}
+}
+
+// ResilienceTables bundles the sweep's four metrics, each versus the
+// percentage of flaky nodes.
+type ResilienceTables struct {
+	Makespan   *metrics.Table
+	Throughput *metrics.Table
+	Goodput    *metrics.Table
+	Waste      *metrics.Table
+}
+
+// All returns the tables in presentation order.
+func (r *ResilienceTables) All() []*metrics.Table {
+	return []*metrics.Table{r.Makespan, r.Throughput, r.Goodput, r.Waste}
+}
+
+// ResilienceMethods lists the sweep's preemption methods. Each runs
+// twice: bare, and as "<name>+res" with the full mitigation stack
+// (speculative execution, health blacklisting, risk-averse placement,
+// retry backoff).
+func ResilienceMethods() []string {
+	return []string{"DSP", "Natjam", "SRPT"}
+}
+
+// resilienceColumns interleaves bare and mitigated arms.
+func resilienceColumns() []string {
+	var cols []string
+	for _, m := range ResilienceMethods() {
+		cols = append(cols, m, m+"+res")
+	}
+	return cols
+}
+
+// resilienceConfig assembles one cell's sim config: the offline phase is
+// always DSP (as in Figure 6), the preemptor varies by method, and the
+// mitigated arm layers the resilience subsystem on top.
+func resilienceConfig(p Platform, o ResilienceOptions, method string, mitigated bool) (sim.Config, error) {
+	pre, cp, err := NewPreemptor(method)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	d := sched.NewDSP()
+	cfg := sim.Config{
+		Cluster:    p.Cluster(),
+		Scheduler:  d,
+		Preemptor:  pre,
+		Checkpoint: cp,
+		Period:     o.Period,
+		Epoch:      o.Epoch,
+	}
+	if mitigated {
+		d.RiskAversion = 0.5
+		cfg.Speculation = &sim.Speculation{}
+		cfg.BlacklistThreshold = 2
+		cfg.RetryBackoff = 5 * units.Second
+	}
+	return cfg, nil
+}
+
+// Resilience measures how gracefully each method degrades as the
+// fraction of flaky nodes grows: makespan, task throughput, goodput
+// (completed work that was not later wasted) and wasted slot time, with
+// and without the mitigation stack. All methods at one fault level see
+// the same workload and the same concrete fault plan.
+func Resilience(p Platform, o ResilienceOptions) (*ResilienceTables, error) {
+	cols := resilienceColumns()
+	plat := p.String()
+	out := &ResilienceTables{
+		Makespan: metrics.NewTable(
+			fmt.Sprintf("Resilience(a) — makespan vs. %% flaky nodes (%s, %d jobs)", plat, o.Jobs),
+			"% flaky nodes", "makespan (s)", cols...),
+		Throughput: metrics.NewTable(
+			fmt.Sprintf("Resilience(b) — throughput vs. %% flaky nodes (%s, %d jobs)", plat, o.Jobs),
+			"% flaky nodes", "throughput (tasks/ms)", cols...),
+		Goodput: metrics.NewTable(
+			fmt.Sprintf("Resilience(c) — goodput vs. %% flaky nodes (%s, %d jobs)", plat, o.Jobs),
+			"% flaky nodes", "goodput (tasks/ms)", cols...),
+		Waste: metrics.NewTable(
+			fmt.Sprintf("Resilience(d) — wasted slot time vs. %% flaky nodes (%s, %d jobs)", plat, o.Jobs),
+			"% flaky nodes", "wasted work (slot-s)", cols...),
+	}
+	nodes := p.Cluster().Len()
+	for _, pct := range o.FaultPercents {
+		var plan *sim.FaultPlan
+		if pct > 0 {
+			spec := chaos.DefaultSpec(nodes, o.FaultSeed)
+			spec.FaultyFraction = float64(pct) / 100
+			var err error
+			if plan, err = spec.Plan(); err != nil {
+				return nil, fmt.Errorf("resilience %d%%: %w", pct, err)
+			}
+		}
+		for _, method := range ResilienceMethods() {
+			for _, mitigated := range []bool{false, true} {
+				col := method
+				if mitigated {
+					col += "+res"
+				}
+				cfg, err := resilienceConfig(p, o, method, mitigated)
+				if err != nil {
+					return nil, err
+				}
+				cfg.Faults = plan
+				cfg.Observer = o.observe(fmt.Sprintf("resilience-%s-%s-f%d", p, col, pct))
+				w, err := workloadFor(o.Jobs, o.Options)
+				if err != nil {
+					return nil, err
+				}
+				res, err := sim.Run(cfg, w)
+				if err != nil {
+					return nil, fmt.Errorf("resilience %s f=%d%%: %w", col, pct, err)
+				}
+				x := float64(pct)
+				out.Makespan.Set(x, col, res.Makespan.Seconds())
+				out.Throughput.Set(x, col, res.TaskThroughputPerMs)
+				out.Goodput.Set(x, col, res.GoodputPerMs)
+				out.Waste.Set(x, col, (res.LostWork + res.SpeculativeWaste).Seconds())
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// tinyResilienceOptions shrinks the sweep to a smoke-test size: two
+// fault levels, a handful of jobs, reduced task scale.
+func tinyResilienceOptions() ResilienceOptions {
+	o := DefaultResilienceOptions()
+	o.Scale = 0.02
+	o.Jobs = 24
+	o.FaultPercents = []int{0, 20}
+	return o
+}
+
+func TestResilienceSweepShapes(t *testing.T) {
+	r, err := Resilience(Real, tinyResilienceOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := resilienceColumns()
+	if len(cols) != 6 {
+		t.Fatalf("columns = %v, want 3 methods × 2 arms", cols)
+	}
+	for _, tb := range r.All() {
+		xs := tb.Xs()
+		if len(xs) != 2 {
+			t.Fatalf("%s: xs = %v", tb.Title, xs)
+		}
+		for _, c := range cols {
+			for i, v := range tb.Column(c) {
+				if math.IsNaN(v) || v < 0 {
+					t.Fatalf("%s %s[%d] = %v", tb.Title, c, i, v)
+				}
+			}
+		}
+	}
+	// Faults hurt: every method's makespan at 20% flaky nodes is at
+	// least its fault-free makespan.
+	for _, c := range cols {
+		col := r.Makespan.Column(c)
+		if col[1] < col[0] {
+			t.Errorf("%s makespan improved under faults: %v", c, col)
+		}
+	}
+	// At the fault-free level the mitigation stack must not distort the
+	// baseline much (no faults → no retries, rare speculation).
+	for _, m := range ResilienceMethods() {
+		bare := r.Makespan.Get(0, m)
+		res := r.Makespan.Get(0, m+"+res")
+		if res > bare*1.25 {
+			t.Errorf("%s+res fault-free makespan %v ≫ bare %v", m, res, bare)
+		}
+	}
+	// Fault-free runs waste nothing.
+	for _, c := range cols {
+		if w := r.Waste.Get(0, c); w != 0 {
+			t.Errorf("%s wasted %v slot-s with no faults", c, w)
+		}
+	}
+}

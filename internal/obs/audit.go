@@ -102,5 +102,40 @@ func (a *AuditWriter) TaskRequeued(now units.Time, t *sim.TaskState, node cluste
 		int64(now), int(node), t.Key().String(), reason.String())
 }
 
+// TaskRetried implements sim.Observer.
+func (a *AuditWriter) TaskRetried(now units.Time, t *sim.TaskState, node cluster.NodeID, attempt int, reason sim.RetryReason) {
+	fmt.Fprintf(a.w, "{\"t\":%d,\"ev\":\"retried\",\"node\":%d,\"task\":%q,\"attempt\":%d,\"reason\":%q}\n",
+		int64(now), int(node), t.Key().String(), attempt, reason.String())
+}
+
+// TaskFailedTerminally implements sim.Observer.
+func (a *AuditWriter) TaskFailedTerminally(now units.Time, t *sim.TaskState, node cluster.NodeID) {
+	fmt.Fprintf(a.w, "{\"t\":%d,\"ev\":\"failed\",\"node\":%d,\"task\":%q}\n",
+		int64(now), int(node), t.Key().String())
+}
+
+// SpeculationLaunched implements sim.Observer.
+func (a *AuditWriter) SpeculationLaunched(now units.Time, t *sim.TaskState, primary, backup cluster.NodeID) {
+	fmt.Fprintf(a.w, "{\"t\":%d,\"ev\":\"spec-launched\",\"task\":%q,\"primary\":%d,\"backup\":%d}\n",
+		int64(now), t.Key().String(), int(primary), int(backup))
+}
+
+// SpeculationWon implements sim.Observer.
+func (a *AuditWriter) SpeculationWon(now units.Time, t *sim.TaskState, winner, loser cluster.NodeID) {
+	fmt.Fprintf(a.w, "{\"t\":%d,\"ev\":\"spec-won\",\"task\":%q,\"winner\":%d,\"loser\":%d}\n",
+		int64(now), t.Key().String(), int(winner), int(loser))
+}
+
+// SpeculationCancelled implements sim.Observer.
+func (a *AuditWriter) SpeculationCancelled(now units.Time, t *sim.TaskState, backup cluster.NodeID) {
+	fmt.Fprintf(a.w, "{\"t\":%d,\"ev\":\"spec-cancelled\",\"task\":%q,\"backup\":%d}\n",
+		int64(now), t.Key().String(), int(backup))
+}
+
+// NodeBlacklisted implements sim.Observer.
+func (a *AuditWriter) NodeBlacklisted(now units.Time, node cluster.NodeID) {
+	fmt.Fprintf(a.w, "{\"t\":%d,\"ev\":\"blacklisted\",\"node\":%d}\n", int64(now), int(node))
+}
+
 // Flush drains the buffer to the underlying writer.
 func (a *AuditWriter) Flush() error { return a.w.Flush() }

@@ -200,6 +200,67 @@ func (tb *TraceBuilder) NodeRecovered(now units.Time, node cluster.NodeID) {
 	})
 }
 
+// TaskRetried implements sim.Observer: a transient fault ends the
+// attempt's span (a crash eviction already closed it via TaskEvicted).
+func (tb *TraceBuilder) TaskRetried(now units.Time, t *sim.TaskState, node cluster.NodeID, attempt int, reason sim.RetryReason) {
+	tb.closeSpan(now, t.Key(), "retried")
+	tb.emit(traceEvent{
+		Name: "retry", Cat: "resilience", Ph: "i",
+		TS: int64(now + tb.offset), PID: int(node), TID: 0, S: "t",
+		Args: map[string]any{"task": t.Key().String(), "attempt": attempt, "reason": reason.String()},
+	})
+}
+
+// TaskFailedTerminally implements sim.Observer.
+func (tb *TraceBuilder) TaskFailedTerminally(now units.Time, t *sim.TaskState, node cluster.NodeID) {
+	tb.closeSpan(now, t.Key(), "failed")
+	tb.emit(traceEvent{
+		Name: "terminal-failure", Cat: "resilience", Ph: "i",
+		TS: int64(now + tb.offset), PID: int(node), TID: 0, S: "t",
+		Args: map[string]any{"task": t.Key().String()},
+	})
+}
+
+// SpeculationLaunched implements sim.Observer. Backup copies never fire
+// TaskStarted (one open span per task key), so they appear as instants
+// on the backup node rather than slot-lane spans.
+func (tb *TraceBuilder) SpeculationLaunched(now units.Time, t *sim.TaskState, primary, backup cluster.NodeID) {
+	tb.emit(traceEvent{
+		Name: "spec-launched", Cat: "speculation", Ph: "i",
+		TS: int64(now + tb.offset), PID: int(backup), TID: 0, S: "t",
+		Args: map[string]any{"task": t.Key().String(), "primary": int(primary)},
+	})
+}
+
+// SpeculationWon implements sim.Observer. The primary's span (if still
+// open) is closed by the TaskCompleted the win triggers; here we only
+// mark the instant on the winning node.
+func (tb *TraceBuilder) SpeculationWon(now units.Time, t *sim.TaskState, winner, loser cluster.NodeID) {
+	tb.closeSpan(now, t.Key(), "lost-to-backup")
+	tb.emit(traceEvent{
+		Name: "spec-won", Cat: "speculation", Ph: "i",
+		TS: int64(now + tb.offset), PID: int(winner), TID: 0, S: "t",
+		Args: map[string]any{"task": t.Key().String(), "loser": int(loser)},
+	})
+}
+
+// SpeculationCancelled implements sim.Observer.
+func (tb *TraceBuilder) SpeculationCancelled(now units.Time, t *sim.TaskState, backup cluster.NodeID) {
+	tb.emit(traceEvent{
+		Name: "spec-cancelled", Cat: "speculation", Ph: "i",
+		TS: int64(now + tb.offset), PID: int(backup), TID: 0, S: "t",
+		Args: map[string]any{"task": t.Key().String()},
+	})
+}
+
+// NodeBlacklisted implements sim.Observer.
+func (tb *TraceBuilder) NodeBlacklisted(now units.Time, node cluster.NodeID) {
+	tb.emit(traceEvent{
+		Name: "blacklisted", Cat: "fault", Ph: "i",
+		TS: int64(now + tb.offset), PID: int(node), TID: 0, S: "p",
+	})
+}
+
 // Export renders the trace as a JSON object with one event per line
 // (valid Chrome trace-event format, and diff-friendly). Metadata events
 // naming processes and thread lanes come first, in sorted order, so the

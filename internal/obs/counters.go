@@ -35,6 +35,15 @@ type Counters struct {
 	NodeRecoveries atomic.Int64
 	Evictions      atomic.Int64
 	Requeues       atomic.Int64
+
+	// Resilience tallies: retry/terminal-failure outcomes, speculative
+	// copies, and health blacklistings.
+	Retries          atomic.Int64
+	TerminalFailures atomic.Int64
+	SpecLaunches     atomic.Int64
+	SpecWins         atomic.Int64
+	SpecCancels      atomic.Int64
+	Blacklistings    atomic.Int64
 }
 
 // NewCounters returns a zeroed registry.
@@ -100,6 +109,36 @@ func (c *Counters) TaskRequeued(units.Time, *sim.TaskState, cluster.NodeID, sim.
 	c.Requeues.Add(1)
 }
 
+// TaskRetried implements sim.Observer.
+func (c *Counters) TaskRetried(units.Time, *sim.TaskState, cluster.NodeID, int, sim.RetryReason) {
+	c.Retries.Add(1)
+}
+
+// TaskFailedTerminally implements sim.Observer.
+func (c *Counters) TaskFailedTerminally(units.Time, *sim.TaskState, cluster.NodeID) {
+	c.TerminalFailures.Add(1)
+}
+
+// SpeculationLaunched implements sim.Observer.
+func (c *Counters) SpeculationLaunched(units.Time, *sim.TaskState, cluster.NodeID, cluster.NodeID) {
+	c.SpecLaunches.Add(1)
+}
+
+// SpeculationWon implements sim.Observer.
+func (c *Counters) SpeculationWon(units.Time, *sim.TaskState, cluster.NodeID, cluster.NodeID) {
+	c.SpecWins.Add(1)
+}
+
+// SpeculationCancelled implements sim.Observer.
+func (c *Counters) SpeculationCancelled(units.Time, *sim.TaskState, cluster.NodeID) {
+	c.SpecCancels.Add(1)
+}
+
+// NodeBlacklisted implements sim.Observer.
+func (c *Counters) NodeBlacklisted(units.Time, cluster.NodeID) {
+	c.Blacklistings.Add(1)
+}
+
 // Counter is one named tally in a snapshot.
 type Counter struct {
 	Name  string
@@ -123,6 +162,12 @@ func (c *Counters) Snapshot() []Counter {
 		{"node-recoveries", c.NodeRecoveries.Load()},
 		{"task-evictions", c.Evictions.Load()},
 		{"task-requeues", c.Requeues.Load()},
+		{"task-retries", c.Retries.Load()},
+		{"task-terminal-failures", c.TerminalFailures.Load()},
+		{"speculations-launched", c.SpecLaunches.Load()},
+		{"speculations-won", c.SpecWins.Load()},
+		{"speculations-cancelled", c.SpecCancels.Load()},
+		{"node-blacklistings", c.Blacklistings.Load()},
 	}
 }
 

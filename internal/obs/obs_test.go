@@ -407,6 +407,127 @@ func TestCountersSnapshotOrderAndString(t *testing.T) {
 	}
 }
 
+// faultedSim runs the two-job fixture under a scripted fault plan plus
+// transient task faults and speculation, so every resilience event class
+// fires deterministically.
+func faultedSim(t *testing.T, o sim.Observer) *sim.Result {
+	t.Helper()
+	res, err := sim.Run(sim.Config{
+		Cluster:    cluster.RealCluster(2),
+		Scheduler:  sched.NewDSP(),
+		Preemptor:  preempt.NewDSP(),
+		Checkpoint: cluster.DefaultCheckpoint(),
+		Period:     units.Minute,
+		Epoch:      units.Second,
+		Faults: &sim.FaultPlan{
+			Failures: []sim.NodeFailure{
+				{Node: 1, At: 20 * units.Second, RecoverAfter: 10 * units.Second},
+				{Node: 1, At: 60 * units.Second, RecoverAfter: 10 * units.Second},
+			},
+			Stragglers: []sim.Straggler{
+				{Node: 0, At: 40 * units.Second, Factor: 0.1, Duration: 30 * units.Second},
+			},
+			Tasks: &sim.TaskFaults{Rate: 0.05, Seed: 11},
+		},
+		BlacklistThreshold: 1.9,
+		Speculation:        &sim.Speculation{},
+		Observer:           o,
+	}, genWorkload(t, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestResilienceGoldenAndCounters pins the audit JSONL of a faulted run
+// and cross-checks the resilience counters against the engine's result.
+func TestResilienceGoldenAndCounters(t *testing.T) {
+	ctr := NewCounters()
+	var buf bytes.Buffer
+	aw := NewAuditWriter(&buf)
+	res := faultedSim(t, sim.Observers{ctr, aw})
+	if err := aw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "audit_resilience.golden.jsonl", buf.Bytes())
+
+	if res.Retries == 0 || res.Speculations == 0 || res.Blacklistings == 0 {
+		t.Fatalf("fixture too tame: retries=%d specs=%d blacklistings=%d",
+			res.Retries, res.Speculations, res.Blacklistings)
+	}
+	checks := []struct {
+		name string
+		got  int64
+		want int
+	}{
+		{"retries", ctr.Retries.Load(), res.Retries},
+		{"terminal failures", ctr.TerminalFailures.Load(), res.TerminalFailures},
+		{"spec launches", ctr.SpecLaunches.Load(), res.Speculations},
+		{"spec wins", ctr.SpecWins.Load(), res.SpeculationWins},
+		{"spec cancels", ctr.SpecCancels.Load(), res.SpeculationCancels},
+		{"blacklistings", ctr.Blacklistings.Load(), res.Blacklistings},
+	}
+	for _, c := range checks {
+		if c.got != int64(c.want) {
+			t.Errorf("counter %s = %d, result says %d", c.name, c.got, c.want)
+		}
+	}
+
+	// The audit log, reparsed, agrees too.
+	events := map[string]int{}
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var line map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("audit line not valid JSON: %v\n%s", err, sc.Text())
+		}
+		ev, _ := line["ev"].(string)
+		events[ev]++
+	}
+	if events["retried"] != res.Retries {
+		t.Errorf("audit retried lines = %d, want %d", events["retried"], res.Retries)
+	}
+	if events["spec-launched"] != res.Speculations {
+		t.Errorf("audit spec-launched lines = %d, want %d", events["spec-launched"], res.Speculations)
+	}
+	if events["blacklisted"] != res.Blacklistings {
+		t.Errorf("audit blacklisted lines = %d, want %d", events["blacklisted"], res.Blacklistings)
+	}
+}
+
+// TestResilienceTraceAndSeries drives the faulted fixture through the
+// trace and series exporters: the trace must stay valid Chrome JSON with
+// the new instant categories present, the series must grow the retry and
+// speculation columns.
+func TestResilienceTraceAndSeries(t *testing.T) {
+	tb := NewTraceBuilder()
+	sr := NewSeriesRecorder()
+	faultedSim(t, sim.Observers{tb, sr})
+	var buf bytes.Buffer
+	if err := tb.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var ct chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &ct); err != nil {
+		t.Fatalf("faulted trace not valid JSON: %v", err)
+	}
+	cats := map[string]int{}
+	for _, ev := range ct.TraceEvents {
+		cats[ev.Cat]++
+		if ev.Ph == "X" && ev.Dur < 0 {
+			t.Errorf("span %s has negative duration", ev.Name)
+		}
+	}
+	if cats["resilience"] == 0 || cats["speculation"] == 0 || cats["fault"] == 0 {
+		t.Fatalf("trace missing resilience categories: %v", cats)
+	}
+	csv := sr.CSV()
+	if !strings.Contains(csv, "retries") || !strings.Contains(csv, "speculations") {
+		t.Errorf("series CSV missing resilience columns:\n%.200s", csv)
+	}
+}
+
 func TestStartPprof(t *testing.T) {
 	if addr, err := StartPprof(""); err != nil || addr != "" {
 		t.Fatalf("empty addr should be a no-op, got %q, %v", addr, err)

@@ -19,6 +19,8 @@ const (
 	colPreemptions = "preemptions"
 	colDisorders   = "disorders"
 	colCompleted   = "completed"
+	colRetries     = "retries"
+	colSpecs       = "speculations"
 )
 
 // SeriesRecorder samples cluster-wide gauges at every preemption epoch
@@ -36,7 +38,7 @@ type SeriesRecorder struct {
 	pending string // label for the run the next epoch starts
 
 	// Event-rate accumulators since the last sampled epoch.
-	preempts, disorders, completed int
+	preempts, disorders, completed, retries, specs int
 }
 
 type runSeries struct {
@@ -51,7 +53,7 @@ func NewSeriesRecorder() *SeriesRecorder { return &SeriesRecorder{} }
 func (s *SeriesRecorder) BeginRun(label string) {
 	s.pending = label
 	s.runs = append(s.runs, nil) // materialized on first epoch
-	s.preempts, s.disorders, s.completed = 0, 0, 0
+	s.preempts, s.disorders, s.completed, s.retries, s.specs = 0, 0, 0, 0, 0
 }
 
 // TaskPreempted implements sim.Observer.
@@ -67,6 +69,16 @@ func (s *SeriesRecorder) DisorderDetected(units.Time, *sim.TaskState, *sim.TaskS
 // TaskCompleted implements sim.Observer.
 func (s *SeriesRecorder) TaskCompleted(units.Time, *sim.TaskState, cluster.NodeID) {
 	s.completed++
+}
+
+// TaskRetried implements sim.Observer.
+func (s *SeriesRecorder) TaskRetried(units.Time, *sim.TaskState, cluster.NodeID, int, sim.RetryReason) {
+	s.retries++
+}
+
+// SpeculationLaunched implements sim.Observer.
+func (s *SeriesRecorder) SpeculationLaunched(units.Time, *sim.TaskState, cluster.NodeID, cluster.NodeID) {
+	s.specs++
 }
 
 // EpochEnded implements sim.Observer: sample the cluster after the
@@ -101,7 +113,9 @@ func (s *SeriesRecorder) EpochEnded(now units.Time, _ int, v *sim.View) {
 	t.Set(x, colPreemptions, float64(s.preempts))
 	t.Set(x, colDisorders, float64(s.disorders))
 	t.Set(x, colCompleted, float64(s.completed))
-	s.preempts, s.disorders, s.completed = 0, 0, 0
+	t.Set(x, colRetries, float64(s.retries))
+	t.Set(x, colSpecs, float64(s.specs))
+	s.preempts, s.disorders, s.completed, s.retries, s.specs = 0, 0, 0, 0, 0
 }
 
 // currentRun returns the active run section, materializing its table
@@ -113,7 +127,7 @@ func (s *SeriesRecorder) currentRun(c *cluster.Cluster) *runSeries {
 	last := len(s.runs) - 1
 	if s.runs[last] == nil {
 		cols := []string{colQueued, colRunning, colBusySlots, colSlotUtil,
-			colPreemptions, colDisorders, colCompleted}
+			colPreemptions, colDisorders, colCompleted, colRetries, colSpecs}
 		if s.PerNode {
 			for k := 0; k < c.Len(); k++ {
 				cols = append(cols, fmt.Sprintf("node%d-run", k), fmt.Sprintf("node%d-wait", k))

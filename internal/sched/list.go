@@ -46,6 +46,7 @@ func (h *slotHeap) Pop() any          { old := *h; n := len(old); v := old[n-1];
 type nodePlan struct {
 	id    cluster.NodeID
 	speed float64
+	risk  float64 // decayed health penalty, weighted by DSP.RiskAversion
 	slots slotHeap
 }
 
@@ -93,6 +94,13 @@ func (d *DSP) scheduleList(now units.Time, pending []*sim.JobState, v *sim.View)
 	for k := range plans {
 		id := cluster.NodeID(k)
 		np := &nodePlan{id: id, speed: v.Speed(id)}
+		if d.RiskAversion > 0 {
+			if v.Blacklisted(id) {
+				np.speed = 0 // treat like a down node: nothing placed here
+			} else {
+				np.risk = v.NodePenalty(id)
+			}
+		}
 		node := c.Node(id)
 		np.slots = make(slotHeap, 0, node.Slots)
 		for s := 0; s < node.Slots; s++ {
@@ -206,9 +214,13 @@ func (d *DSP) scheduleList(now units.Time, pending []*sim.JobState, v *sim.View)
 			}
 			avail := np.slots[0] // heap min
 			start := units.Max(avail, parentDone)
-			fin := start + units.FromSeconds(t.Task.Size/np.speed)
+			exec := units.FromSeconds(t.Task.Size / np.speed)
+			fin := start + exec
 			if d.LocalityPenalty > 0 && t.Task.Preferred >= 0 && int(np.id) != t.Task.Preferred {
 				fin += d.LocalityPenalty
+			}
+			if np.risk > 0 {
+				fin += units.Time(d.RiskAversion * np.risk * float64(exec))
 			}
 			if fin < bestFinish || (fin == bestFinish && best != nil && np.id < best.id) {
 				best = np

@@ -1,0 +1,65 @@
+package sched
+
+import (
+	"testing"
+
+	"dsp/internal/sim"
+	"dsp/internal/trace"
+	"dsp/internal/units"
+)
+
+// Node 1 crashes twice (empty windows — no work is lost) before a
+// two-task job arrives at 10 s. A fault-oblivious scheduler splits the
+// tasks across both nodes (makespan 5 s past arrival); a risk-averse one
+// sees node 1's health penalty and keeps both on node 0 (makespan 10 s).
+func riskyRun(t *testing.T, d *DSP, threshold float64) *sim.Result {
+	t.Helper()
+	j := sizedJob(0, 5000, 5000)
+	w := &trace.Workload{
+		ArrivalRate: 3,
+		Jobs:        []*trace.Job{{Class: trace.Small, Arrival: 10 * units.Second, DAG: j}},
+	}
+	res, err := sim.Run(sim.Config{
+		Cluster:            testCluster(2, 1),
+		Scheduler:          d,
+		Period:             2 * units.Second,
+		BlacklistThreshold: threshold,
+		HealthHalfLife:     units.Hour,
+		Faults: &sim.FaultPlan{Failures: []sim.NodeFailure{
+			{Node: 1, At: units.Second, RecoverAfter: units.Second},
+			{Node: 1, At: 3 * units.Second, RecoverAfter: units.Second},
+		}},
+	}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRiskAversionAvoidsBlacklistedNode(t *testing.T) {
+	// Threshold 1.9 < the ~2.0 penalty after two crashes: node 1 is
+	// blacklisted by the time the job arrives.
+	oblivious := &DSP{Mode: ListOnly, Gamma: 0.5}
+	if res := riskyRun(t, oblivious, 1.9); res.Makespan != 5*units.Second {
+		t.Errorf("oblivious makespan = %v, want 5s (tasks split)", res.Makespan)
+	}
+	averse := &DSP{Mode: ListOnly, Gamma: 0.5, RiskAversion: 0.5}
+	if res := riskyRun(t, averse, 1.9); res.Makespan != 10*units.Second {
+		t.Errorf("risk-averse makespan = %v, want 10s (node 1 shunned)", res.Makespan)
+	}
+}
+
+func TestRiskAversionDiscountsUnhealthyNode(t *testing.T) {
+	// Threshold high enough that node 1 is never blacklisted: only the
+	// finish-time inflation (RiskAversion × penalty ≈ 2 × execution time)
+	// steers work away. With RiskAversion 2 the 5 s task on node 1 costs
+	// ~5 + 20 s — worse than queueing behind node 0.
+	averse := &DSP{Mode: ListOnly, Gamma: 0.5, RiskAversion: 2}
+	if res := riskyRun(t, averse, 100); res.Makespan != 10*units.Second {
+		t.Errorf("discounted makespan = %v, want 10s (node 1 avoided)", res.Makespan)
+	}
+	mild := &DSP{Mode: ListOnly, Gamma: 0.5, RiskAversion: 0.1}
+	if res := riskyRun(t, mild, 100); res.Makespan != 5*units.Second {
+		t.Errorf("mild-aversion makespan = %v, want 5s (discount too small to matter)", res.Makespan)
+	}
+}

@@ -63,6 +63,13 @@ type DSP struct {
 	// time, steering ties — and near-ties — toward local placement. It
 	// should match sim.Config.RemoteInputPenalty.
 	LocalityPenalty units.Time
+	// RiskAversion, when positive, makes the list engine fault-aware:
+	// blacklisted nodes are skipped outright, and an unhealthy node's
+	// estimated finish time is inflated by
+	// RiskAversion × health-penalty × execution-time, steering work
+	// toward nodes that have not recently crashed or faulted. Zero keeps
+	// the engine oblivious (the paper's baseline behaviour).
+	RiskAversion float64
 }
 
 // NewDSP returns the scheduler with the paper's defaults.

@@ -41,6 +41,25 @@ type Config struct {
 	// Growth optionally adds tasks to running jobs mid-simulation
 	// (dynamic DAG extension).
 	Growth []TaskGrowth
+	// RetryBudget is how many failed attempts (transient task faults,
+	// crash evictions of running tasks) a task absorbs before failing
+	// terminally and taking its job down. 0 = DefaultRetryBudget;
+	// negative = unlimited.
+	RetryBudget int
+	// RetryBackoff is the base delay before a failed attempt is
+	// re-admitted to Pending, doubling per attempt. 0 = immediate
+	// re-admission (the pre-resilience behaviour).
+	RetryBackoff units.Time
+	// BlacklistThreshold blacklists a node once its decayed failure
+	// penalty (1 per crash or transient fault, halving every
+	// HealthHalfLife) reaches this value. 0 disables blacklisting.
+	BlacklistThreshold float64
+	// HealthHalfLife is the node-penalty decay half-life
+	// (0 = DefaultHealthHalfLife).
+	HealthHalfLife units.Time
+	// Speculation, when non-nil, launches backup copies of straggling
+	// tasks on idle slots (see Speculation).
+	Speculation *Speculation
 	// Observer, when non-nil, receives lifecycle events.
 	Observer Observer
 }
@@ -57,6 +76,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.MaxEvents == 0 {
 		c.MaxEvents = 200_000_000
+	}
+	if c.Speculation != nil {
+		c.Speculation.fillDefaults(c.Epoch)
 	}
 }
 
@@ -78,9 +100,17 @@ type nodeState struct {
 	// queue holds Queued and Suspended tasks in ascending
 	// (PlannedStart, job, task) order.
 	queue []*TaskState
+	// spec holds the speculative backup copies occupying slots here.
+	spec []*backupRun
 	// down marks a crashed node; speedFactor models stragglers.
 	down        bool
 	speedFactor float64
+	// penalty is the decayed failure-health score (decayedPenalty gives
+	// its value as of any later instant); blacklisted latches once it
+	// crosses Config.BlacklistThreshold, until the penalty decays back.
+	penalty     float64
+	penaltyAt   units.Time
+	blacklisted bool
 }
 
 // Engine runs one simulation.
@@ -93,6 +123,7 @@ type Engine struct {
 	blind bool
 
 	jobsRemaining int
+	activeBackups int
 	metrics       Result
 	lastDone      units.Time
 	firstArrival  units.Time
@@ -121,6 +152,9 @@ func Run(cfg Config, w *trace.Workload) (*Result, error) {
 	}
 	for _, n := range cfg.Cluster.Nodes {
 		e.nodes = append(e.nodes, &nodeState{node: n, speedFactor: 1})
+	}
+	if err := cfg.Faults.Validate(cfg.Cluster.Len()); err != nil {
+		return nil, err
 	}
 	e.installFaults(cfg.Faults)
 	meanSpeed := cfg.Cluster.MeanSpeed()
@@ -206,6 +240,9 @@ func Run(cfg Config, w *trace.Workload) (*Result, error) {
 	if cfg.Preemptor != nil {
 		e.q.At(e.firstArrival+cfg.Epoch, eventq.Func(e.epochTick))
 	}
+	if cfg.Speculation != nil {
+		e.q.At(e.firstArrival+cfg.Speculation.Interval, eventq.Func(e.specTick))
+	}
 
 	fired, drained := e.q.Run(cfg.MaxEvents)
 	if !drained {
@@ -216,6 +253,10 @@ func Run(cfg Config, w *trace.Workload) (*Result, error) {
 		return nil, fmt.Errorf("sim: %d jobs incomplete after event queue drained (scheduler %q never assigned their tasks?)",
 			e.jobsRemaining, cfg.Scheduler.Name())
 	}
+	if e.metrics.JobsCompleted+e.metrics.JobsFailed != len(e.jobs) {
+		return nil, fmt.Errorf("sim: job accounting broken: %d completed + %d failed != %d jobs",
+			e.metrics.JobsCompleted, e.metrics.JobsFailed, len(e.jobs))
+	}
 	e.finalize()
 	return &e.metrics, nil
 }
@@ -225,7 +266,7 @@ func Run(cfg Config, w *trace.Workload) (*Result, error) {
 func (e *Engine) arrivedPending(now units.Time) []*JobState {
 	var out []*JobState
 	for _, j := range e.jobs {
-		if j.Arrival <= now && j.assigned < len(j.Tasks) && j.Eligible() {
+		if j.Arrival <= now && !j.failed && j.assigned < len(j.Tasks) && j.Eligible() {
 			out = append(out, j)
 		}
 	}
@@ -342,7 +383,7 @@ func (e *Engine) tryFill(k cluster.NodeID, now units.Time) {
 	if ns.down {
 		return
 	}
-	for len(ns.running) < ns.node.Slots {
+	for len(ns.running)+len(ns.spec) < ns.node.Slots {
 		var pick *TaskState
 		if e.blind {
 			if len(ns.queue) > 0 {
@@ -416,12 +457,10 @@ func (e *Engine) beginWork(k cluster.NodeID, t *TaskState, now units.Time) {
 		}
 	}
 	t.everRan = true
-	t.effStart = now + penalty
-	dur := penalty + t.RemainingTime(speed)
-	t.doneEv = e.q.At(now+dur, eventq.Func(func(at units.Time) {
-		e.complete(k, t, at)
-	}))
-	t.hasDoneEv = true
+	t.effStart = addTime(now, penalty)
+	workTime := t.RemainingTime(speed)
+	e.armAttemptFault(t, t.effStart, workTime)
+	e.scheduleAttempt(k, t, addTime(t.effStart, workTime), now)
 }
 
 // kickBlocked requeues a blind-started task that spent BlindTimeout in a
@@ -488,6 +527,7 @@ func (e *Engine) suspend(k cluster.NodeID, t *TaskState, now units.Time) {
 		}
 		t.resumePenalty = e.cfg.Checkpoint.ResumePenalty()
 	}
+	t.attemptFailAt = 0 // the burst died with the slot; resume re-rolls
 	t.Phase = Suspended
 	t.Preemptions++
 	t.QueuedAt = now
@@ -495,7 +535,9 @@ func (e *Engine) suspend(k cluster.NodeID, t *TaskState, now units.Time) {
 	e.enqueue(k, t)
 }
 
-// complete finishes a task, updates job state and refills the slot.
+// complete finishes the primary copy of a task: it leaves its slot, any
+// speculative backup is cancelled (first copy wins), and the task
+// finishes.
 func (e *Engine) complete(k cluster.NodeID, t *TaskState, now units.Time) {
 	ns := e.nodes[k]
 	for i, r := range ns.running {
@@ -505,6 +547,16 @@ func (e *Engine) complete(k cluster.NodeID, t *TaskState, now units.Time) {
 		}
 	}
 	t.hasDoneEv = false
+	if t.backup != nil {
+		e.cancelBackup(t.backup, now)
+	}
+	e.finish(k, t, now)
+}
+
+// finish records a task's completion — shared by the primary path
+// (complete) and a winning speculative copy (backupComplete). The caller
+// has already detached every live copy of the task.
+func (e *Engine) finish(k cluster.NodeID, t *TaskState, now units.Time) {
 	t.Phase = Done
 	t.DoneAt = now
 	t.doneMI = t.Task.Size
@@ -667,6 +719,7 @@ func (e *Engine) finalize() {
 	if m.Makespan > 0 {
 		m.TaskThroughputPerMs = float64(m.TasksCompleted) / m.Makespan.Milliseconds()
 		m.JobThroughputPerMin = float64(m.JobsMetDeadline) / (m.Makespan.Seconds() / 60)
+		m.GoodputPerMs = float64(m.TasksCompleted-m.TasksWasted) / m.Makespan.Milliseconds()
 	}
 	if m.jobWaitSamples > 0 {
 		m.AvgJobWait = m.totalJobWait / units.Time(m.jobWaitSamples)

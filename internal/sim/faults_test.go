@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"testing"
 
 	"dsp/internal/cluster"
@@ -161,21 +162,77 @@ func TestPermanentStraggler(t *testing.T) {
 	}
 }
 
-func TestFaultPlanIgnoresInvalidEntries(t *testing.T) {
+func TestFaultPlanRejectsInvalidEntries(t *testing.T) {
+	// Invalid fault plans abort the run with an error instead of being
+	// silently truncated — a typo'd node ID must not quietly turn a
+	// degradation experiment into a fault-free baseline.
 	j := sizedJob(0, 1000)
+	cases := []struct {
+		name string
+		plan *FaultPlan
+	}{
+		{"failure node out of range", &FaultPlan{Failures: []NodeFailure{{Node: 99, At: 0}}}},
+		{"failure negative node", &FaultPlan{Failures: []NodeFailure{{Node: -1, At: 0}}}},
+		{"failure negative time", &FaultPlan{Failures: []NodeFailure{{Node: 0, At: -units.Second}}}},
+		{"straggler node out of range", &FaultPlan{Stragglers: []Straggler{{Node: 5, At: 0, Factor: 0.5}}}},
+		{"straggler zero factor", &FaultPlan{Stragglers: []Straggler{{Node: 0, At: 0, Factor: 0}}}},
+		{"straggler negative factor", &FaultPlan{Stragglers: []Straggler{{Node: 0, At: 0, Factor: -2}}}},
+		{"straggler NaN factor", &FaultPlan{Stragglers: []Straggler{{Node: 0, At: 0, Factor: math.NaN()}}}},
+		{"straggler negative time", &FaultPlan{Stragglers: []Straggler{{Node: 0, At: -1, Factor: 0.5}}}},
+		{"task-fault rate above 1", &FaultPlan{Tasks: &TaskFaults{Rate: 1.5}}},
+		{"task-fault rate negative", &FaultPlan{Tasks: &TaskFaults{Rate: -0.1}}},
+		{"overlapping failure windows", &FaultPlan{Failures: []NodeFailure{
+			{Node: 0, At: units.Second, RecoverAfter: 5 * units.Second},
+			{Node: 0, At: 3 * units.Second},
+		}}},
+		{"second failure while never recovering", &FaultPlan{Failures: []NodeFailure{
+			{Node: 0, At: units.Second},
+			{Node: 0, At: 100 * units.Second},
+		}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.plan.Validate(1); err == nil {
+				t.Error("Validate accepted an invalid plan")
+			}
+			_, err := Run(Config{
+				Cluster:   testCluster(1, 1),
+				Scheduler: rrScheduler{},
+				Faults:    tc.plan,
+			}, mkWorkload([]units.Time{0}, j))
+			if err == nil {
+				t.Error("Run accepted an invalid fault plan")
+			}
+		})
+	}
+}
+
+func TestFaultPlanAcceptsTouchingWindows(t *testing.T) {
+	// Back-to-back windows on one node are legal: recovery fires before a
+	// same-instant crash (event insertion order breaks the tie), so the
+	// node cycles down→up→down cleanly.
+	plan := &FaultPlan{Failures: []NodeFailure{
+		{Node: 0, At: units.Second, RecoverAfter: 2 * units.Second},
+		{Node: 0, At: 3 * units.Second, RecoverAfter: 2 * units.Second},
+	}}
+	if err := plan.Validate(1); err != nil {
+		t.Fatalf("touching windows rejected: %v", err)
+	}
+	j := sizedJob(0, 2000)
 	res, err := Run(Config{
-		Cluster:   testCluster(1, 1),
-		Scheduler: rrScheduler{},
-		Faults: &FaultPlan{
-			Failures:   []NodeFailure{{Node: 99, At: 0}},
-			Stragglers: []Straggler{{Node: -1, At: 0, Factor: 0.5}, {Node: 0, At: 0, Factor: 0}},
-		},
+		Cluster:   testCluster(2, 1),
+		Scheduler: liveRR{},
+		Period:    units.Second,
+		Faults:    plan,
 	}, mkWorkload([]units.Time{0}, j))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Makespan != units.Second || res.Failures != 0 {
-		t.Errorf("invalid fault entries affected the run: %v", res)
+	if res.Failures != 2 {
+		t.Errorf("Failures = %d, want 2 (both windows fired)", res.Failures)
+	}
+	if res.TasksCompleted != 1 {
+		t.Errorf("completed %d tasks, want 1", res.TasksCompleted)
 	}
 }
 

@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"dsp/internal/cluster"
+	"dsp/internal/units"
+)
+
+// FuzzFaultPlanValidate drives arbitrary fault plans through the
+// validator and then — for every plan the validator accepts — through a
+// small simulation. The invariant: Validate either rejects the plan or
+// the engine survives it (no panics, no broken accounting; an exceeded
+// event cap is fine, silent misbehaviour is not).
+func FuzzFaultPlanValidate(f *testing.F) {
+	f.Add(int64(0), int64(5_000_000), int64(2_000_000), 0.5, int64(3_000_000), int64(4_000_000), 1.0, 0.01, uint8(1))
+	f.Add(int64(1_000_000), int64(0), int64(1_000_000), 0.0, int64(-1), int64(0), -2.0, 1.5, uint8(99))
+	f.Add(int64(-5), int64(1), int64(2), 1e-12, int64(1<<62), int64(1<<62), 1e300, 0.999, uint8(0))
+	f.Fuzz(func(t *testing.T, at1, rec1, at2 int64, factor float64,
+		sAt, sDur int64, factor2, rate float64, node uint8) {
+		const nodes = 3
+		// The fuzzed byte maps onto a possibly-out-of-range NodeID so the
+		// range check gets exercised in both directions.
+		wild := cluster.NodeID(int(node) - 2)
+		plan := &FaultPlan{
+			Failures: []NodeFailure{
+				{Node: 0, At: units.Time(at1), RecoverAfter: units.Time(rec1)},
+				{Node: wild, At: units.Time(at2)},
+			},
+			Stragglers: []Straggler{
+				{Node: 0, At: units.Time(sAt), Factor: factor, Duration: units.Time(sDur)},
+				{Node: wild, At: units.Time(at2), Factor: factor2},
+			},
+			Tasks: &TaskFaults{Rate: rate, Seed: at1},
+		}
+		if err := plan.Validate(nodes); err != nil {
+			return // rejected plans never reach the engine
+		}
+		j := sizedJob(0, 2000, 1000)
+		_, err := Run(Config{
+			Cluster:   testCluster(nodes, 1),
+			Scheduler: liveRR{},
+			Period:    units.Second,
+			Faults:    plan,
+			MaxEvents: 100_000, // pathological-but-valid plans may spin; cap, don't hang
+		}, mkWorkload([]units.Time{0}, j))
+		if err == nil {
+			return
+		}
+		// The only acceptable failure modes for a validated plan: the
+		// event cap (an effectively-infinite straggler can outlive the
+		// cap) and jobs left incomplete because every node died with no
+		// recovery in the plan.
+		if !strings.Contains(err.Error(), "event cap") && !strings.Contains(err.Error(), "incomplete") {
+			t.Fatalf("validated plan broke the run: %v", err)
+		}
+	})
+}

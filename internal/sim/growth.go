@@ -62,6 +62,9 @@ func (e *Engine) installGrowth(plans []TaskGrowth) error {
 
 // applyGrowth extends the job's DAG and task set.
 func (e *Engine) applyGrowth(js *JobState, g TaskGrowth, now units.Time) {
+	if js.failed {
+		return // the job died before its extension arrived
+	}
 	ids := js.Dag.Grow(len(g.Tasks))
 	for i, spec := range g.Tasks {
 		task := js.Dag.Task(ids[i])

@@ -91,6 +91,29 @@ func (r RequeueReason) String() string {
 	}
 }
 
+// RetryReason says why an execution attempt failed and was charged
+// against the task's retry budget.
+type RetryReason uint8
+
+// Retry reasons.
+const (
+	// RetryTaskFault: the attempt hit an injected transient task fault.
+	RetryTaskFault RetryReason = iota
+	// RetryCrashEviction: the node crashed under the running attempt.
+	RetryCrashEviction
+)
+
+func (r RetryReason) String() string {
+	switch r {
+	case RetryTaskFault:
+		return "task-fault"
+	case RetryCrashEviction:
+		return "crash-eviction"
+	default:
+		return fmt.Sprintf("retry(%d)", uint8(r))
+	}
+}
+
 // Observer receives simulation lifecycle and decision events; attach one
 // via Config.Observer to trace a run (debugging, visualization, custom
 // metrics, audit logs). All callbacks run synchronously inside the event
@@ -132,6 +155,26 @@ type Observer interface {
 	// TaskRequeued fires when a task re-enters its node queue outside the
 	// preemption path (see RequeueReason).
 	TaskRequeued(now units.Time, t *TaskState, node cluster.NodeID, reason RequeueReason)
+	// TaskRetried fires when a failed execution attempt is charged
+	// against the task's retry budget and the task is re-admitted
+	// (directly to Pending, or to Backoff first); attempt counts failed
+	// attempts so far and node is where the attempt died.
+	TaskRetried(now units.Time, t *TaskState, node cluster.NodeID, attempt int, reason RetryReason)
+	// TaskFailedTerminally fires when a task exhausts its retry budget;
+	// its job (and any job transitively waiting on it) fails with it.
+	TaskFailedTerminally(now units.Time, t *TaskState, node cluster.NodeID)
+	// SpeculationLaunched fires when a backup copy of a straggling task
+	// starts on an idle slot; primary is where the original runs.
+	SpeculationLaunched(now units.Time, t *TaskState, primary, backup cluster.NodeID)
+	// SpeculationWon fires when the backup copy finishes first; the
+	// primary attempt on loser is cancelled.
+	SpeculationWon(now units.Time, t *TaskState, winner, loser cluster.NodeID)
+	// SpeculationCancelled fires when a backup copy is abandoned (the
+	// primary finished first, its node crashed, or the job failed).
+	SpeculationCancelled(now units.Time, t *TaskState, backup cluster.NodeID)
+	// NodeBlacklisted fires when a node's decayed failure penalty crosses
+	// the blacklist threshold (rising edge only).
+	NodeBlacklisted(now units.Time, node cluster.NodeID)
 }
 
 // NopObserver implements Observer with no-ops. Embed it to write
@@ -173,6 +216,24 @@ func (NopObserver) TaskEvicted(units.Time, *TaskState, cluster.NodeID) {}
 
 // TaskRequeued implements Observer.
 func (NopObserver) TaskRequeued(units.Time, *TaskState, cluster.NodeID, RequeueReason) {}
+
+// TaskRetried implements Observer.
+func (NopObserver) TaskRetried(units.Time, *TaskState, cluster.NodeID, int, RetryReason) {}
+
+// TaskFailedTerminally implements Observer.
+func (NopObserver) TaskFailedTerminally(units.Time, *TaskState, cluster.NodeID) {}
+
+// SpeculationLaunched implements Observer.
+func (NopObserver) SpeculationLaunched(units.Time, *TaskState, cluster.NodeID, cluster.NodeID) {}
+
+// SpeculationWon implements Observer.
+func (NopObserver) SpeculationWon(units.Time, *TaskState, cluster.NodeID, cluster.NodeID) {}
+
+// SpeculationCancelled implements Observer.
+func (NopObserver) SpeculationCancelled(units.Time, *TaskState, cluster.NodeID) {}
+
+// NodeBlacklisted implements Observer.
+func (NopObserver) NodeBlacklisted(units.Time, cluster.NodeID) {}
 
 // Observers composes multiple observers; nil entries are skipped, so call
 // sites can build the slice from optional components without filtering.
@@ -286,6 +347,60 @@ func (os Observers) TaskRequeued(now units.Time, t *TaskState, node cluster.Node
 	}
 }
 
+// TaskRetried implements Observer.
+func (os Observers) TaskRetried(now units.Time, t *TaskState, node cluster.NodeID, attempt int, reason RetryReason) {
+	for _, o := range os {
+		if o != nil {
+			o.TaskRetried(now, t, node, attempt, reason)
+		}
+	}
+}
+
+// TaskFailedTerminally implements Observer.
+func (os Observers) TaskFailedTerminally(now units.Time, t *TaskState, node cluster.NodeID) {
+	for _, o := range os {
+		if o != nil {
+			o.TaskFailedTerminally(now, t, node)
+		}
+	}
+}
+
+// SpeculationLaunched implements Observer.
+func (os Observers) SpeculationLaunched(now units.Time, t *TaskState, primary, backup cluster.NodeID) {
+	for _, o := range os {
+		if o != nil {
+			o.SpeculationLaunched(now, t, primary, backup)
+		}
+	}
+}
+
+// SpeculationWon implements Observer.
+func (os Observers) SpeculationWon(now units.Time, t *TaskState, winner, loser cluster.NodeID) {
+	for _, o := range os {
+		if o != nil {
+			o.SpeculationWon(now, t, winner, loser)
+		}
+	}
+}
+
+// SpeculationCancelled implements Observer.
+func (os Observers) SpeculationCancelled(now units.Time, t *TaskState, backup cluster.NodeID) {
+	for _, o := range os {
+		if o != nil {
+			o.SpeculationCancelled(now, t, backup)
+		}
+	}
+}
+
+// NodeBlacklisted implements Observer.
+func (os Observers) NodeBlacklisted(now units.Time, node cluster.NodeID) {
+	for _, o := range os {
+		if o != nil {
+			o.NodeBlacklisted(now, node)
+		}
+	}
+}
+
 // LogObserver writes one line per event, suitable for debugging small
 // simulations.
 type LogObserver struct {
@@ -361,4 +476,34 @@ func (l *LogObserver) TaskEvicted(now units.Time, t *TaskState, node cluster.Nod
 // TaskRequeued implements Observer.
 func (l *LogObserver) TaskRequeued(now units.Time, t *TaskState, node cluster.NodeID, reason RequeueReason) {
 	fmt.Fprintf(l.W, "%-12v requeue  %-8v node%d (%s)\n", now, t.Key(), node, reason)
+}
+
+// TaskRetried implements Observer.
+func (l *LogObserver) TaskRetried(now units.Time, t *TaskState, node cluster.NodeID, attempt int, reason RetryReason) {
+	fmt.Fprintf(l.W, "%-12v retry    %-8v node%d attempt=%d (%s)\n", now, t.Key(), node, attempt, reason)
+}
+
+// TaskFailedTerminally implements Observer.
+func (l *LogObserver) TaskFailedTerminally(now units.Time, t *TaskState, node cluster.NodeID) {
+	fmt.Fprintf(l.W, "%-12v perm-fail %-8v node%d\n", now, t.Key(), node)
+}
+
+// SpeculationLaunched implements Observer.
+func (l *LogObserver) SpeculationLaunched(now units.Time, t *TaskState, primary, backup cluster.NodeID) {
+	fmt.Fprintf(l.W, "%-12v spec     %-8v node%d backup on node%d\n", now, t.Key(), primary, backup)
+}
+
+// SpeculationWon implements Observer.
+func (l *LogObserver) SpeculationWon(now units.Time, t *TaskState, winner, loser cluster.NodeID) {
+	fmt.Fprintf(l.W, "%-12v spec-won %-8v node%d beat node%d\n", now, t.Key(), winner, loser)
+}
+
+// SpeculationCancelled implements Observer.
+func (l *LogObserver) SpeculationCancelled(now units.Time, t *TaskState, backup cluster.NodeID) {
+	fmt.Fprintf(l.W, "%-12v spec-cancel %-8v node%d\n", now, t.Key(), backup)
+}
+
+// NodeBlacklisted implements Observer.
+func (l *LogObserver) NodeBlacklisted(now units.Time, node cluster.NodeID) {
+	fmt.Fprintf(l.W, "%-12v blacklist node%d\n", now, node)
 }

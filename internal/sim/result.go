@@ -83,6 +83,36 @@ type Result struct {
 	LocalityMisses int
 	// GrownTasks counts dynamically added tasks.
 	GrownTasks int
+	// TaskFaults counts injected transient task-attempt failures.
+	TaskFaults int
+	// Retries counts failed attempts (transient faults and crash
+	// evictions of running tasks) re-admitted under the retry budget.
+	Retries int
+	// TerminalFailures counts tasks that exhausted their retry budget;
+	// JobsFailed counts jobs terminated by them (directly or through a
+	// failed prerequisite job).
+	TerminalFailures int
+	JobsFailed       int
+	// TasksWasted counts tasks that completed but belong to jobs that
+	// later failed — work that produced no job-level output.
+	TasksWasted int
+	// GoodputPerMs is completed tasks of *successful* jobs per
+	// millisecond of makespan (TaskThroughputPerMs minus wasted work).
+	GoodputPerMs float64
+	// Blacklistings counts rising-edge node blacklist events.
+	Blacklistings int
+	// Speculations counts backup copies launched; SpeculationWins those
+	// that beat the primary; SpeculationCancels those abandoned.
+	Speculations       int
+	SpeculationWins    int
+	SpeculationCancels int
+	// SpeculativeWaste is slot time burned by losing copies (cancelled
+	// backups, and primaries whose backup won).
+	SpeculativeWaste units.Time
+	// LostWork is execution time destroyed by faults: progress past the
+	// last checkpoint at crash/fault time, plus the running burst of
+	// tasks killed when their job failed.
+	LostWork units.Time
 	// Jobs records each completed job's outcome, in completion order.
 	Jobs []JobRecord
 

@@ -39,6 +39,11 @@ const (
 	Suspended
 	// Done: finished.
 	Done
+	// Backoff: a failed attempt is waiting out its retry delay before
+	// re-admission to Pending.
+	Backoff
+	// Failed: the task exhausted its retry budget (terminal).
+	Failed
 )
 
 func (p Phase) String() string {
@@ -51,6 +56,10 @@ func (p Phase) String() string {
 		return "running"
 	case Suspended:
 		return "suspended"
+	case Backoff:
+		return "backoff"
+	case Failed:
+		return "failed"
 	default:
 		return "done"
 	}
@@ -80,6 +89,10 @@ type TaskState struct {
 	Deadline units.Time
 	// Preemptions counts how many times this task was suspended.
 	Preemptions int
+	// Attempts counts failed execution attempts (transient task faults
+	// and crash evictions of the running task) charged against the retry
+	// budget. Preemptions and queue evictions are not attempts.
+	Attempts int
 
 	// totalWait accumulates all time spent in waiting queues, including
 	// re-waits after each suspension.
@@ -98,6 +111,17 @@ type TaskState struct {
 	blockEv    eventq.Handle
 	hasBlockEv bool
 	everRan    bool
+	// execIndex numbers execution bursts, salting the per-attempt
+	// transient-fault draw so a retried task re-rolls its fate.
+	execIndex int
+	// attemptFailAt is the absolute time the current burst is fated to
+	// fail transiently (0 = the burst succeeds).
+	attemptFailAt units.Time
+	// retryEv re-admits the task to Pending when its backoff expires.
+	retryEv    eventq.Handle
+	hasRetryEv bool
+	// backup is the live speculative copy, if one is racing this task.
+	backup *backupRun
 }
 
 // Blocked reports whether the task is blind-started: occupying a slot but
@@ -213,7 +237,14 @@ type JobState struct {
 	// waitsFor are jobs that must complete before this one may be
 	// scheduled (cross-job dependencies).
 	waitsFor []*JobState
+	// failed marks a job terminated by a terminal task failure (or the
+	// terminal failure of a job it waits for).
+	failed bool
 }
+
+// Failed reports whether the job was terminated by a terminal task
+// failure (directly, or transitively via a failed prerequisite job).
+func (j *JobState) Failed() bool { return j.failed }
 
 // Eligible reports whether every cross-job prerequisite has completed.
 func (j *JobState) Eligible() bool {

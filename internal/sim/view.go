@@ -86,7 +86,7 @@ func (v *View) Jobs() []*JobState { return v.engine.jobs }
 // slot is already free.
 func (v *View) BusyUntil(k cluster.NodeID, now units.Time) units.Time {
 	ns := v.engine.nodes[k]
-	if len(ns.running) < ns.node.Slots {
+	if len(ns.running)+len(ns.spec) < ns.node.Slots {
 		return now
 	}
 	earliest := units.Forever
@@ -122,7 +122,7 @@ func (v *View) EarliestFree(k cluster.NodeID, now units.Time) units.Time {
 	if slots <= 0 {
 		return units.Forever
 	}
-	free := len(ns.running) < slots && len(ns.queue) == 0
+	free := len(ns.running)+len(ns.spec) < slots && len(ns.queue) == 0
 	if free {
 		return now
 	}
@@ -140,6 +140,26 @@ func (v *View) EarliestFree(k cluster.NodeID, now units.Time) units.Time {
 
 // Epoch returns the configured preemption epoch.
 func (v *View) Epoch() units.Time { return v.engine.cfg.Epoch }
+
+// Now returns the current simulated time (the event being processed).
+func (v *View) Now() units.Time { return v.engine.q.Now() }
+
+// NodePenalty returns node k's decayed failure-health penalty as of now:
+// +1 per crash or transient task fault, halving every HealthHalfLife.
+// Fault-aware schedulers discount nodes with high penalties.
+func (v *View) NodePenalty(k cluster.NodeID) float64 {
+	e := v.engine
+	return e.nodes[k].decayedPenalty(e.q.Now(), e.healthHalfLife())
+}
+
+// Blacklisted reports whether node k's penalty currently exceeds the
+// configured blacklist threshold. Always false when blacklisting is
+// disabled (Config.BlacklistThreshold = 0). Fault-aware schedulers must
+// not place work on blacklisted nodes.
+func (v *View) Blacklisted(k cluster.NodeID) bool {
+	e := v.engine
+	return e.isBlacklisted(k, e.q.Now())
+}
 
 // Observer returns the run's configured observer, or nil. Policies use it
 // to report decisions that never become Actions — e.g. the DSP PP filter
