@@ -7,9 +7,10 @@
 //	dspbench [flags]
 //
 //	-fig LIST    comma-separated figures to run: 5a,5b,6,7,8, table2 or "all";
-//	             "resilience" runs the degradation-under-faults sweep
-//	             (not part of "all" — it is this reproduction's extension,
-//	             not a paper figure)
+//	             "resilience" runs the degradation-under-faults sweep and
+//	             "overload" the graceful-degradation-under-overload sweep
+//	             (neither is part of "all" — they are this reproduction's
+//	             extensions, not paper figures)
 //	-scale F     workload task scale (default 0.03; 1.0 = paper size)
 //	-seed N      sweep seed
 //	-csv         emit CSV instead of aligned text
@@ -49,6 +50,10 @@ func run(args []string, out *os.File) error {
 	faultPcts := fs.String("faults", "0,5,10,20,30", "fault levels (%% flaky nodes) for -fig resilience, comma-separated")
 	resJobs := fs.Int("resilience-jobs", 150, "job count for the resilience sweep")
 	faultSeed := fs.Int64("fault-seed", 0, "fault-plan seed for the resilience sweep (0 = default)")
+	overMults := fs.String("overload-mults", "1,2,4,8", "arrival multipliers for -fig overload, comma-separated")
+	overJobs := fs.Int("overload-jobs", 150, "job count for the overload sweep")
+	overBase := fs.Float64("overload-base", 0, "base arrival rate in jobs/min for -fig overload (0 = default)")
+	overPending := fs.Int("overload-pending", 0, "ladder arm's admission bound on pending tasks (0 = default)")
 	tracePath := fs.String("trace", "", "write Chrome trace-event JSON to FILE (runs laid out back-to-back)")
 	auditPath := fs.String("audit", "", "write JSONL decision audit to FILE (run markers separate cells)")
 	seriesPath := fs.String("series", "", "write per-epoch time-series CSV to FILE (one section per cell)")
@@ -154,6 +159,32 @@ func run(args []string, out *os.File) error {
 			ro.FaultPercents = append(ro.FaultPercents, pct)
 		}
 		f, err := experiments.Resilience(experiments.Real, ro)
+		if err != nil {
+			return err
+		}
+		for _, t := range f.All() {
+			emit(t)
+		}
+	}
+	if want["overload"] {
+		oo := experiments.DefaultOverloadOptions()
+		oo.Options = o
+		oo.Jobs = *overJobs
+		if *overBase > 0 {
+			oo.BaseArrivalPerMin = *overBase
+		}
+		if *overPending > 0 {
+			oo.MaxPendingTasks = *overPending
+		}
+		oo.Multipliers = oo.Multipliers[:0]
+		for _, m := range strings.Split(*overMults, ",") {
+			var mult float64
+			if _, err := fmt.Sscanf(strings.TrimSpace(m), "%g", &mult); err != nil {
+				return fmt.Errorf("bad -overload-mults entry %q: %w", m, err)
+			}
+			oo.Multipliers = append(oo.Multipliers, mult)
+		}
+		f, err := experiments.Overload(experiments.Real, oo)
 		if err != nil {
 			return err
 		}

@@ -27,6 +27,18 @@
 //	-retry-backoff SEC     base retry backoff in seconds (doubles per attempt)
 //	-blacklist F           health-penalty threshold that blacklists a node
 //	                       (0 disables; also makes the DSP scheduler risk-averse)
+//
+// Overload flags (see DESIGN.md, "Graceful degradation under overload"):
+//
+//	-solver-budget N       branch-and-bound node budget per exact ILP solve;
+//	                       exhausted budgets fall down the degradation ladder
+//	                       (anytime incumbent -> list -> FIFO) instead of
+//	                       blocking (0 = default 20000)
+//	-admission N           shed arriving jobs once the pending-task backlog
+//	                       exceeds N, and shed deadline-infeasible jobs at
+//	                       arrival (0 disables admission control)
+//	-audit-invariants      re-check engine invariants at every scheduling
+//	                       boundary, quarantining offending nodes/tasks
 package main
 
 import (
@@ -71,6 +83,9 @@ func run(args []string) error {
 	retryBudget := fs.Int("retry-budget", 0, "execution attempts per task before terminal failure (0 = default, negative = unlimited)")
 	retryBackoff := fs.Float64("retry-backoff", 0, "base retry backoff in seconds (doubles per attempt)")
 	blacklist := fs.Float64("blacklist", 0, "health-penalty threshold that blacklists a node (0 disables)")
+	solverBudget := fs.Int("solver-budget", 0, "branch-and-bound node budget per exact ILP solve (0 = default)")
+	admission := fs.Int("admission", 0, "pending-task backlog bound for admission control (0 disables)")
+	auditInv := fs.Bool("audit-invariants", false, "re-check engine invariants every scheduling boundary")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -95,9 +110,14 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	if d, ok := s.(*sched.DSP); ok && *blacklist > 0 {
-		// A blacklist only helps if the offline scheduler honours it.
-		d.RiskAversion = 0.5
+	if d, ok := s.(*sched.DSP); ok {
+		if *blacklist > 0 {
+			// A blacklist only helps if the offline scheduler honours it.
+			d.RiskAversion = 0.5
+		}
+		d.ILPNodeBudget = *solverBudget
+	} else if *solverBudget > 0 {
+		return fmt.Errorf("-solver-budget applies to the DSP scheduler, not %q", *scheduler)
 	}
 	var pre sim.Preemptor
 	cp := cluster.DefaultCheckpoint()
@@ -135,6 +155,14 @@ func run(args []string) error {
 		RetryBudget:        *retryBudget,
 		RetryBackoff:       units.FromSeconds(*retryBackoff),
 		BlacklistThreshold: *blacklist,
+		AuditInvariants:    *auditInv,
+	}
+	if *admission > 0 {
+		cfg.Admission = &sim.Admission{
+			MaxPendingTasks: *admission,
+			ShedInfeasible:  true,
+			Margin:          1.5,
+		}
 	}
 	if *speculate {
 		cfg.Speculation = &sim.Speculation{}
@@ -194,6 +222,13 @@ func run(args []string) error {
 			res.Speculations, res.SpeculationWins, res.SpeculationCancels)
 		fmt.Printf("goodput:             %.4f tasks/ms\n", res.GoodputPerMs)
 		fmt.Printf("lost work:           %v (speculative waste %v)\n", res.LostWork, res.SpeculativeWaste)
+	}
+	if *admission > 0 || *auditInv || res.SolverDegradations > 0 || res.JobsShed > 0 {
+		fmt.Println()
+		fmt.Printf("jobs shed:           %d (peak pending tasks %d)\n", res.JobsShed, res.PeakPendingTasks)
+		fmt.Printf("solver degradations: %d\n", res.SolverDegradations)
+		fmt.Printf("invariant checks:    %d violations, %d quarantines\n",
+			res.InvariantViolations, res.Quarantines)
 	}
 	if sink.Counters != nil {
 		fmt.Printf("\nevent counters:\n%s", sink.Counters)

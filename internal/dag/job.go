@@ -153,6 +153,66 @@ func (j *Job) Validate() error {
 	return err
 }
 
+// CheckStructure validates the job's static structure beyond the
+// acyclicity Validate covers: every task slot holds a task whose ID
+// matches its position (duplicate or misplaced IDs corrupt ID-indexed
+// lookups), every edge endpoint is in range with a mirrored entry in the
+// opposite adjacency list (a dangling edge would panic or silently drop
+// a dependency), and the graph is acyclic. Errors name the offending
+// job and task or edge.
+func (j *Job) CheckStructure() error {
+	n := len(j.Tasks)
+	if len(j.children) != n || len(j.parents) != n {
+		return fmt.Errorf("dag: job %d: adjacency lists sized %d/%d for %d tasks",
+			j.ID, len(j.children), len(j.parents), n)
+	}
+	for i, t := range j.Tasks {
+		if t == nil {
+			return fmt.Errorf("dag: job %d: task slot %d is nil", j.ID, i)
+		}
+		if int(t.ID) != i {
+			return fmt.Errorf("dag: job %d: task slot %d holds task ID %d (duplicate or misplaced task ID)",
+				j.ID, i, t.ID)
+		}
+	}
+	mirrored := func(list []TaskID, want TaskID) bool {
+		for _, id := range list {
+			if id == want {
+				return true
+			}
+		}
+		return false
+	}
+	for p := range j.children {
+		for _, c := range j.children[p] {
+			if int(c) < 0 || int(c) >= n {
+				return fmt.Errorf("dag: job %d: edge %d->%d dangles (task %d outside [0,%d))",
+					j.ID, p, c, c, n)
+			}
+			if !mirrored(j.parents[c], TaskID(p)) {
+				return fmt.Errorf("dag: job %d: edge %d->%d missing from task %d's parent list",
+					j.ID, p, c, c)
+			}
+		}
+	}
+	for c := range j.parents {
+		for _, p := range j.parents[c] {
+			if int(p) < 0 || int(p) >= n {
+				return fmt.Errorf("dag: job %d: edge %d->%d dangles (task %d outside [0,%d))",
+					j.ID, p, c, p, n)
+			}
+			if !mirrored(j.children[p], TaskID(c)) {
+				return fmt.Errorf("dag: job %d: edge %d->%d missing from task %d's child list",
+					j.ID, p, c, p)
+			}
+		}
+	}
+	if err := j.Validate(); err != nil {
+		return fmt.Errorf("dag: job %d: %w", j.ID, err)
+	}
+	return nil
+}
+
 // TopoOrder returns a topological order of the tasks (parents before
 // children; ties broken by ascending task ID so the order is
 // deterministic). It returns ErrCycle if the graph has a cycle.

@@ -1,0 +1,82 @@
+package dag
+
+import (
+	"strings"
+	"testing"
+)
+
+// CheckStructure guards against corruption that AddDep can never
+// produce, so these tests reach into the unexported adjacency lists.
+func TestCheckStructureDetectsCorruption(t *testing.T) {
+	mk := func() *Job {
+		j := NewJob(7, 3)
+		for i := range j.Tasks {
+			j.Task(TaskID(i)).Size = 100
+		}
+		j.MustDep(0, 1)
+		j.MustDep(1, 2)
+		return j
+	}
+	cases := []struct {
+		name    string
+		corrupt func(j *Job)
+		want    string
+	}{
+		{
+			name:    "clean graph passes",
+			corrupt: func(j *Job) {},
+		},
+		{
+			name:    "dangling child edge",
+			corrupt: func(j *Job) { j.children[0] = append(j.children[0], 99) },
+			want:    "edge 0->99 dangles",
+		},
+		{
+			name:    "dangling parent edge",
+			corrupt: func(j *Job) { j.parents[2] = append(j.parents[2], -1) },
+			want:    "dangles",
+		},
+		{
+			name:    "unmirrored edge",
+			corrupt: func(j *Job) { j.children[0] = append(j.children[0], 2) },
+			want:    "edge 0->2 missing from task 2's parent list",
+		},
+		{
+			name:    "duplicate task ID",
+			corrupt: func(j *Job) { j.Tasks[2].ID = 0 },
+			want:    "task slot 2 holds task ID 0",
+		},
+		{
+			name:    "nil task slot",
+			corrupt: func(j *Job) { j.Tasks[1] = nil },
+			want:    "task slot 1 is nil",
+		},
+		{
+			name:    "truncated adjacency",
+			corrupt: func(j *Job) { j.children = j.children[:2] },
+			want:    "adjacency lists sized",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			j := mk()
+			tc.corrupt(j)
+			err := j.CheckStructure()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("clean graph rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("corrupted graph accepted")
+			}
+			if !strings.Contains(err.Error(), "job 7") {
+				t.Errorf("error %q does not name the job", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q, want substring %q", err, tc.want)
+			}
+		})
+	}
+}

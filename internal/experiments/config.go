@@ -165,13 +165,19 @@ func NewPreemptor(name string) (sim.Preemptor, cluster.CheckpointPolicy, error) 
 // (arrival work rate exceeds cluster capacity ~4×), which is why deep
 // queues form and preemption policy matters.
 func workloadFor(jobs int, o Options) (*trace.Workload, error) {
-	spec := trace.DefaultSpec(jobs, o.Seed+int64(jobs)*7919)
-	spec.TaskScale = o.Scale
-	spec.MeanTaskSizeMI /= o.Scale
 	// The paper draws the arrival rate once per experiment from [2,5]
 	// jobs/min; for comparable points along the x-axis every cell uses
 	// the midpoint.
-	spec.ArrivalRateMin = 3.5
-	spec.ArrivalRateMax = 3.5
+	return workloadAtRate(jobs, o, 3.5)
+}
+
+// workloadAtRate is workloadFor with an explicit arrival rate, for
+// sweeps (Overload) whose x-axis is the arrival intensity itself.
+func workloadAtRate(jobs int, o Options, jobsPerMin float64) (*trace.Workload, error) {
+	spec := trace.DefaultSpec(jobs, o.Seed+int64(jobs)*7919)
+	spec.TaskScale = o.Scale
+	spec.MeanTaskSizeMI /= o.Scale
+	spec.ArrivalRateMin = jobsPerMin
+	spec.ArrivalRateMax = jobsPerMin
 	return trace.Generate(spec)
 }

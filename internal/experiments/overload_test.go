@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// tinyOverloadOptions shrinks the sweep to smoke-test size: two
+// multipliers, a handful of jobs.
+func tinyOverloadOptions() OverloadOptions {
+	o := DefaultOverloadOptions()
+	o.Scale = 0.02
+	o.Jobs = 30
+	o.Multipliers = []float64{1, 6}
+	o.MaxPendingTasks = 120
+	o.FIFOTaskLimit = 90
+	return o
+}
+
+func TestOverloadSweepShapes(t *testing.T) {
+	r, err := Overload(Real, tinyOverloadOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	arms := overloadArms()
+	for _, tb := range r.All() {
+		if xs := tb.Xs(); len(xs) != 2 {
+			t.Fatalf("%s: xs = %v, want 2 multipliers", tb.Title, xs)
+		}
+		for _, c := range arms {
+			for i, v := range tb.Column(c) {
+				if math.IsNaN(v) || v < 0 {
+					t.Fatalf("%s %s[%d] = %v", tb.Title, c, i, v)
+				}
+			}
+		}
+	}
+	// The baseline arm has no admission control or auditor: it never
+	// sheds and never reports violations.
+	for _, mult := range []float64{1, 6} {
+		if s := r.Shed.Get(mult, "DSP"); s != 0 {
+			t.Errorf("baseline shed %v jobs at x%g", s, mult)
+		}
+	}
+	// Deep overload forces the ladder arm to shed.
+	if s := r.Shed.Get(6, "DSP+ladder"); s == 0 {
+		t.Error("ladder arm shed nothing at x6 overload")
+	}
+	// Admission control bounds the ladder arm's backlog below the
+	// baseline's under deep overload.
+	base, ladder := r.PeakPending.Get(6, "DSP"), r.PeakPending.Get(6, "DSP+ladder")
+	if ladder >= base {
+		t.Errorf("ladder peak backlog %v not below baseline %v at x6", ladder, base)
+	}
+	// The auditor rides along on every ladder cell and must stay silent.
+	for _, mult := range []float64{1, 6} {
+		for _, arm := range arms {
+			if v := r.Violations.Get(mult, arm); v != 0 {
+				t.Errorf("%s reported %v invariant violations at x%g", arm, v, mult)
+			}
+		}
+	}
+}

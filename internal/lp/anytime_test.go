@@ -1,0 +1,180 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestAnytimeMatchesExactOnSmallInstances: when the node budget covers
+// the exact search (budget == nodes the exact solve used), the budgeted
+// solve reproduces the exact result.
+func TestAnytimeMatchesExactOnSmallInstances(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randomILP(r)
+		exact := m.Solve()
+		if exact.Status != Optimal {
+			return true // infeasible instance; covered elsewhere
+		}
+		m.MaxNodes = exact.Nodes
+		got := m.Solve()
+		if got.Status != Optimal {
+			t.Logf("seed %d: budget %d gave %v, want optimal", seed, exact.Nodes, got.Status)
+			return false
+		}
+		if math.Abs(got.Objective-exact.Objective) > 1e-6 {
+			t.Logf("seed %d: objective %v != exact %v", seed, got.Objective, exact.Objective)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAnytimeIncumbentUnderTightBudget: sweeping the node budget from 1
+// up to the exact solve's need, every outcome must be sound — an
+// Incumbent is feasible, the search never claims Infeasible for a
+// feasible model, and once some budget yields an incumbent every larger
+// budget does too (DFS explores a deterministic prefix), with the
+// objective improving monotonically.
+func TestAnytimeIncumbentUnderTightBudget(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randomILP(r)
+		exact := m.Solve()
+		if exact.Status != Optimal || exact.Nodes > 80 {
+			return true
+		}
+		hadSolution := false
+		prevObj := math.Inf(1)
+		if m.sense == Maximize {
+			prevObj = math.Inf(-1)
+		}
+		for budget := 1; budget <= exact.Nodes; budget++ {
+			m.MaxNodes = budget
+			s := m.Solve()
+			switch s.Status {
+			case Optimal, Incumbent, NodeLimit:
+			default:
+				t.Logf("seed %d budget %d: unexpected status %v for feasible model", seed, budget, s.Status)
+				return false
+			}
+			if hadSolution && !s.HasSolution() {
+				t.Logf("seed %d budget %d: lost the incumbent a smaller budget found", seed, budget)
+				return false
+			}
+			if s.HasSolution() {
+				hadSolution = true
+				if !feasible(m, s.X) {
+					t.Logf("seed %d budget %d: %v solution infeasible: %v", seed, budget, s.Status, s.X)
+					return false
+				}
+				improving := s.Objective <= prevObj+1e-9
+				if m.sense == Maximize {
+					improving = s.Objective >= prevObj-1e-9
+				}
+				if !improving {
+					t.Logf("seed %d budget %d: objective %v worse than smaller budget's %v", seed, budget, s.Objective, prevObj)
+					return false
+				}
+				prevObj = s.Objective
+			}
+		}
+		if !hadSolution {
+			t.Logf("seed %d: no budget up to %d produced a solution for a feasible model", seed, exact.Nodes)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAnytimeNeverMutatesIncumbent locks in the satellite fix: the
+// Solution returned under a node budget must not be rewritten by the
+// solver afterwards (the old code stamped NodeLimit into the stored
+// incumbent, corrupting what the caller held).
+func TestAnytimeNeverMutatesIncumbent(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		m := randomILP(r)
+		exact := m.Solve()
+		if exact.Status != Optimal || exact.Nodes < 2 {
+			continue
+		}
+		for budget := 1; budget < exact.Nodes; budget++ {
+			m.MaxNodes = budget
+			s1 := m.Solve()
+			if s1.Status != Incumbent {
+				continue
+			}
+			status1, obj1 := s1.Status, s1.Objective
+			x1 := append([]float64(nil), s1.X...)
+			m.MaxNodes = 0
+			s2 := m.Solve()
+			if s2.Status != Optimal {
+				t.Fatalf("exact re-solve: got %v, want optimal", s2.Status)
+			}
+			if s1.Status != status1 || s1.Objective != obj1 {
+				t.Fatalf("incumbent mutated by later solve: %v/%v -> %v/%v",
+					status1, obj1, s1.Status, s1.Objective)
+			}
+			for i := range x1 {
+				if s1.X[i] != x1[i] {
+					t.Fatalf("incumbent X mutated: %v -> %v", x1, s1.X)
+				}
+			}
+			return
+		}
+	}
+	t.Fatal("no instance produced an Incumbent under any budget; generator too weak")
+}
+
+// TestPivotBudgetAborts: an absurdly small global pivot budget must end
+// the solve with a definite status (Aborted or Incumbent), never a hang
+// or a false Infeasible claim.
+func TestPivotBudgetAborts(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		m := randomILP(r)
+		exact := m.Solve()
+		m.MaxPivots = 1
+		s := m.Solve()
+		switch s.Status {
+		case Aborted, Incumbent, Optimal, NodeLimit:
+		case Infeasible:
+			if exact.Status == Optimal {
+				t.Fatalf("trial %d: pivot-starved solve claimed infeasible on a feasible model", trial)
+			}
+		default:
+			t.Fatalf("trial %d: unexpected status %v", trial, s.Status)
+		}
+		if s.Pivots > 1+1 {
+			t.Fatalf("trial %d: %d pivots spent against a budget of 1", trial, s.Pivots)
+		}
+	}
+}
+
+// TestTimeBudgetAborts: a deadline in the past (via the injected clock)
+// stops the search immediately with the incumbent-or-Aborted contract.
+func TestTimeBudgetAborts(t *testing.T) {
+	m := NewModel("deadline", Minimize)
+	x := m.AddIntVar(0, 5, 1, "x")
+	m.AddConstraint([]Term{{x, 1}}, GE, 2, "floor")
+	now := time.Unix(0, 0)
+	m.MaxTime = time.Nanosecond
+	m.Clock = func() time.Time {
+		now = now.Add(time.Second) // every glance at the clock blows the deadline
+		return now
+	}
+	s := m.Solve()
+	if s.Status != Aborted && s.Status != Incumbent {
+		t.Fatalf("expired deadline: got %v, want aborted or incumbent", s.Status)
+	}
+}

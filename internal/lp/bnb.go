@@ -8,7 +8,15 @@ const intTol = 1e-6
 // bound over the LP relaxation. Branching variable: most fractional
 // integer variable; children explored floor-side first (a good heuristic
 // for scheduling models where small start slots are preferred).
-func (m *Model) branchAndBound(lo, hi []float64) *Solution {
+//
+// The search is anytime: it respects the model's node budget (MaxNodes)
+// plus the shared pivot/time budgets in ctx, and when any of them runs
+// out it returns the best incumbent found so far as Status Incumbent (or
+// the bare limit status when no incumbent exists yet). Every exit path
+// returns a fresh Solution with Status, Nodes, and Pivots set — the
+// stored incumbent is never aliased, so callers may hold the result
+// across later solves.
+func (m *Model) branchAndBound(lo, hi []float64, ctx *solveCtx) *Solution {
 	maxNodes := m.MaxNodes
 	if maxNodes == 0 {
 		maxNodes = 50000
@@ -31,29 +39,59 @@ func (m *Model) branchAndBound(lo, hi []float64) *Solution {
 	}
 
 	nodes := 0
+	// sawLimit records that at least one node relaxation hit its iteration
+	// cap. Such nodes are skipped without being explored, so the search is
+	// no longer exhaustive: a drained stack proves neither optimality nor
+	// infeasibility.
+	sawLimit := false
+
+	// final renders the outcome as a fresh Solution: the incumbent (when
+	// one exists) is copied, never returned directly, and Status/Nodes/
+	// Pivots are set on every path. limit describes why the search ended
+	// when no incumbent upgrades it.
+	final := func(limit Status) *Solution {
+		out := &Solution{Status: limit, Nodes: nodes, Pivots: ctx.pivots}
+		if best != nil {
+			if limit == Optimal {
+				out.Status = Optimal
+			} else {
+				out.Status = Incumbent
+			}
+			out.Objective = best.Objective
+			out.X = append([]float64(nil), best.X...)
+		}
+		return out
+	}
+
 	for len(stack) > 0 {
 		if nodes >= maxNodes {
-			if best != nil {
-				best.Status = NodeLimit
-				best.Nodes = nodes
-				return best
-			}
-			return &Solution{Status: NodeLimit, Nodes: nodes}
+			return final(NodeLimit)
+		}
+		if ctx.expired || ctx.overTime() {
+			return final(Aborted)
 		}
 		nd := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		nodes++
 
-		rel := m.solveLP(nd.lo, nd.hi)
+		rel := m.solveLP(nd.lo, nd.hi, ctx)
 		if rel.Status == Unbounded {
 			// A bounded-integer model with an unbounded relaxation: report
 			// unbounded (integrality cannot rescue a truly unbounded LP
 			// when the integer variables are bounded).
 			rel.Nodes = nodes
+			rel.Pivots = ctx.pivots
 			return rel
 		}
+		if rel.Status == IterLimit {
+			if ctx.expired {
+				return final(Aborted)
+			}
+			sawLimit = true // pruned without proof; the search is inexact now
+			continue
+		}
 		if rel.Status != Optimal {
-			continue // infeasible or iteration-limited node: prune
+			continue // infeasible node: prune
 		}
 		if worse(rel.Objective) {
 			continue
@@ -101,9 +139,17 @@ func (m *Model) branchAndBound(lo, hi []float64) *Solution {
 			stack = append(stack, node{lo: dnLo, hi: dnHi})
 		}
 	}
-	if best == nil {
-		return &Solution{Status: Infeasible, Nodes: nodes}
+	switch {
+	case best != nil && !sawLimit:
+		return final(Optimal)
+	case best != nil:
+		// Some subtree was pruned only because its relaxation ran out of
+		// iterations; the incumbent is feasible but optimality is unproven.
+		return final(Aborted) // renders as Incumbent
+	case sawLimit:
+		// Infeasibility is unproven for the same reason.
+		return final(Aborted)
+	default:
+		return final(Infeasible)
 	}
-	best.Nodes = nodes
-	return best
 }

@@ -1,0 +1,82 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// FuzzModelSolve drives randomly shaped models — degenerate, unbounded,
+// infeasible, budget-starved — through Solve. The contract under fuzz:
+// always return a Solution with a known Status, never panic, never loop
+// (budgets and default caps bound every run), and any Status claiming a
+// solution must carry a bound-respecting, integral assignment.
+func FuzzModelSolve(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(2), false, false)
+	f.Add(int64(42), uint8(4), uint8(0), true, false)
+	f.Add(int64(7), uint8(1), uint8(5), false, true)
+	f.Add(int64(-3), uint8(3), uint8(3), true, true)
+	f.Fuzz(func(t *testing.T, seed int64, nv, nc uint8, tight, unbounded bool) {
+		r := rand.New(rand.NewSource(seed))
+		m := NewModel("fuzz", Sense(int(nv)%2))
+
+		vars := int(nv)%5 + 1
+		for i := 0; i < vars; i++ {
+			lo := float64(r.Intn(5) - 2)
+			hi := lo + float64(r.Intn(4))
+			obj := float64(r.Intn(21) - 10)
+			if r.Intn(2) == 0 {
+				m.AddIntVar(lo, hi, obj, "x")
+			} else {
+				m.AddVar(lo, hi, obj, "x")
+			}
+		}
+		if unbounded {
+			m.AddVar(0, math.Inf(1), float64(r.Intn(7)-3), "u")
+		}
+		for c := 0; c < int(nc)%6; c++ {
+			var terms []Term
+			for i := 0; i < m.NumVars(); i++ {
+				if coef := r.Intn(7) - 3; coef != 0 {
+					terms = append(terms, Term{Var: VarID(i), Coef: float64(coef)})
+				}
+			}
+			op := Op(r.Intn(3))
+			rhs := float64(r.Intn(17) - 8)
+			m.AddConstraint(terms, op, rhs, "c")
+		}
+		if tight {
+			m.MaxNodes = 1 + r.Intn(4)
+			m.MaxIters = 1 + r.Intn(16)
+			m.MaxPivots = 1 + r.Intn(32)
+		}
+
+		sol := m.Solve()
+		if sol == nil {
+			t.Fatal("Solve returned nil")
+		}
+		switch sol.Status {
+		case Optimal, Infeasible, Unbounded, IterLimit, NodeLimit, Incumbent, Aborted:
+		default:
+			t.Fatalf("unknown status %v", sol.Status)
+		}
+		if !sol.HasSolution() {
+			return
+		}
+		if len(sol.X) != m.NumVars() {
+			t.Fatalf("status %v with %d values for %d vars", sol.Status, len(sol.X), m.NumVars())
+		}
+		for i, v := range m.vars {
+			x := sol.X[i]
+			if math.IsNaN(x) {
+				t.Fatalf("var %d is NaN", i)
+			}
+			if x < v.lo-1e-6 || (!math.IsInf(v.hi, 1) && x > v.hi+1e-6) {
+				t.Fatalf("var %d = %v outside [%v, %v]", i, x, v.lo, v.hi)
+			}
+			if v.integer && math.Abs(x-math.Round(x)) > 1e-6 {
+				t.Fatalf("integer var %d = %v not integral", i, x)
+			}
+		}
+	})
+}

@@ -13,6 +13,7 @@ package lp
 import (
 	"fmt"
 	"math"
+	"time"
 )
 
 // Sense is the optimization direction.
@@ -80,6 +81,20 @@ type Model struct {
 	MaxIters int
 	// MaxNodes caps branch-and-bound nodes (0 = default).
 	MaxNodes int
+	// MaxPivots caps the total simplex pivots across the whole solve —
+	// all branch-and-bound node relaxations combined — making the solve
+	// anytime: when the budget runs out, the best incumbent found so far
+	// is returned with Status Incumbent (or Aborted when none exists).
+	// 0 = unlimited beyond the per-LP MaxIters cap.
+	MaxPivots int
+	// MaxTime caps the wall-clock duration of the solve (0 = unlimited).
+	// Checked between branch-and-bound nodes, so one LP relaxation may
+	// overshoot; combine with MaxPivots for a hard bound. Wall-clock
+	// budgets are inherently nondeterministic — callers that need
+	// reproducible runs (the simulator) should prefer MaxNodes/MaxPivots.
+	MaxTime time.Duration
+	// Clock overrides the time source used for MaxTime (nil = time.Now).
+	Clock func() time.Time
 }
 
 // NewModel creates an empty model.
@@ -143,13 +158,28 @@ func (m *Model) AddConstraint(terms []Term, op Op, rhs float64, name string) {
 // Status reports the outcome of a solve.
 type Status int
 
-// Solve outcomes.
+// Solve outcomes. The lattice for budgeted solves:
+//
+//   - Optimal: solved to proven optimality.
+//   - Incumbent: a budget (nodes, pivots, or time) ran out — or pruning
+//     was inexact because a node LP hit its iteration cap — after at
+//     least one integer-feasible incumbent was found; X holds the best
+//     one. Anytime callers can use it as a valid (possibly suboptimal)
+//     solution.
+//   - NodeLimit: the branch-and-bound node budget ran out before any
+//     incumbent was found.
+//   - Infeasible: proven infeasible (every branch pruned exactly).
+//   - Aborted: a pivot/time budget ran out — or infeasibility could not
+//     be proven because node LPs hit their iteration cap — with no
+//     incumbent; nothing is known about the model.
 const (
 	Optimal Status = iota
 	Infeasible
 	Unbounded
 	IterLimit
 	NodeLimit
+	Incumbent
+	Aborted
 )
 
 func (s Status) String() string {
@@ -162,8 +192,14 @@ func (s Status) String() string {
 		return "unbounded"
 	case IterLimit:
 		return "iteration-limit"
-	default:
+	case NodeLimit:
 		return "node-limit"
+	case Incumbent:
+		return "incumbent"
+	case Aborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
 	}
 }
 
@@ -175,16 +211,29 @@ type Solution struct {
 	// Nodes is the number of branch-and-bound nodes explored (0 for pure
 	// LPs).
 	Nodes int
+	// Pivots is the total number of simplex pivots performed across the
+	// solve (all branch-and-bound relaxations combined).
+	Pivots int
 }
 
 // Value returns the solved value of v.
 func (s *Solution) Value(v VarID) float64 { return s.X[v] }
 
+// HasSolution reports whether X holds a usable feasible assignment: the
+// solve either finished (Optimal) or ran out of budget after finding at
+// least one incumbent (Incumbent).
+func (s *Solution) HasSolution() bool {
+	return s.Status == Optimal || s.Status == Incumbent
+}
+
 // Solve optimizes the model. Pure LPs go straight to the simplex; models
-// with integer variables run branch-and-bound. The returned Solution is
-// valid whenever Status is Optimal; for IterLimit/NodeLimit the incumbent
-// (possibly none) is returned.
+// with integer variables run branch-and-bound. The returned Solution
+// holds a feasible assignment whenever HasSolution reports true; other
+// statuses carry only the diagnosis (see Status). The returned Solution
+// never aliases solver-internal state, so it stays valid across later
+// solves of the same model.
 func (m *Model) Solve() *Solution {
+	ctx := m.newSolveCtx()
 	hasInt := false
 	for _, v := range m.vars {
 		if v.integer {
@@ -199,7 +248,62 @@ func (m *Model) Solve() *Solution {
 		hi[i] = v.hi
 	}
 	if !hasInt {
-		return m.solveLP(lo, hi)
+		sol := m.solveLP(lo, hi, ctx)
+		sol.Pivots = ctx.pivots
+		return sol
 	}
-	return m.branchAndBound(lo, hi)
+	return m.branchAndBound(lo, hi, ctx)
+}
+
+// solveCtx carries the work budgets shared by every LP solved within one
+// Solve call: branch-and-bound re-solves relaxations many times, and the
+// pivot and time budgets are global across them, not per node.
+type solveCtx struct {
+	pivots    int // total pivots performed so far
+	maxPivots int // 0 = unlimited
+	deadline  time.Time
+	now       func() time.Time // nil = no time budget
+	expired   bool             // the global pivot budget ran out mid-LP
+}
+
+func (m *Model) newSolveCtx() *solveCtx {
+	ctx := &solveCtx{maxPivots: m.MaxPivots}
+	if m.MaxTime > 0 {
+		now := m.Clock
+		if now == nil {
+			now = time.Now
+		}
+		ctx.now = now
+		ctx.deadline = now().Add(m.MaxTime)
+	}
+	return ctx
+}
+
+// overTime reports whether the wall-clock budget has run out.
+func (ctx *solveCtx) overTime() bool {
+	return ctx.now != nil && ctx.now().After(ctx.deadline)
+}
+
+// iterBudget caps a single LP's iteration count at the smaller of its own
+// limit and what remains of the global pivot budget.
+func (ctx *solveCtx) iterBudget(perLP int) int {
+	if ctx.maxPivots <= 0 {
+		return perLP
+	}
+	if rem := ctx.maxPivots - ctx.pivots; rem < perLP {
+		if rem < 0 {
+			return 0
+		}
+		return rem
+	}
+	return perLP
+}
+
+// charge records pivots performed and flags budget exhaustion when an LP
+// was cut short by the global cap rather than its own.
+func (ctx *solveCtx) charge(used int) {
+	ctx.pivots += used
+	if ctx.maxPivots > 0 && ctx.pivots >= ctx.maxPivots {
+		ctx.expired = true
+	}
 }

@@ -18,7 +18,10 @@ type tableau struct {
 
 // solveLP solves the continuous relaxation with the given per-variable
 // bounds (overriding the model's own bounds; used by branch-and-bound).
-func (m *Model) solveLP(lo, hi []float64) *Solution {
+// Pivots performed are charged against ctx's global budget; when that
+// budget (rather than the per-LP MaxIters) cuts the solve short, ctx is
+// marked expired so branch-and-bound can stop instead of mispruning.
+func (m *Model) solveLP(lo, hi []float64, ctx *solveCtx) *Solution {
 	nv := len(m.vars)
 
 	// Shift every variable by its lower bound: x = lo + y, y >= 0. Track
@@ -150,7 +153,8 @@ func (m *Model) solveLP(lo, hi []float64) *Solution {
 		for _, a := range artCols {
 			c1[a] = 1
 		}
-		st, obj1 := t.iterate(c1, maxIters)
+		st, obj1, used := t.iterate(c1, ctx.iterBudget(maxIters))
+		ctx.charge(used)
 		if st == IterLimit {
 			return &Solution{Status: IterLimit}
 		}
@@ -206,7 +210,8 @@ func (m *Model) solveLP(lo, hi []float64) *Solution {
 	for _, a := range artCols {
 		c2[a] = math.Inf(1)
 	}
-	st, obj := t.iterate(c2, maxIters)
+	st, obj, used := t.iterate(c2, ctx.iterBudget(maxIters))
+	ctx.charge(used)
 	switch st {
 	case IterLimit:
 		return &Solution{Status: IterLimit}
@@ -236,8 +241,9 @@ func (m *Model) solveLP(lo, hi []float64) *Solution {
 }
 
 // iterate runs primal simplex pivots minimizing cost over the current
-// basis. It returns the final status and objective value.
-func (t *tableau) iterate(cost []float64, maxIters int) (Status, float64) {
+// basis. It returns the final status, objective value, and the number of
+// pivots performed.
+func (t *tableau) iterate(cost []float64, maxIters int) (Status, float64, int) {
 	mRows := len(t.rows)
 	total := t.n
 	// Reduced costs: z_j - c_j computed via the current basis. Maintain a
@@ -284,7 +290,7 @@ func (t *tableau) iterate(cost []float64, maxIters int) (Status, float64) {
 			}
 		}
 		if enter == -1 {
-			return Optimal, z[total]
+			return Optimal, z[total], iter
 		}
 		// Ratio test: smallest rhs/col over positive col entries; Bland tie
 		// break on basis index.
@@ -301,7 +307,7 @@ func (t *tableau) iterate(cost []float64, maxIters int) (Status, float64) {
 			}
 		}
 		if leave == -1 {
-			return Unbounded, 0
+			return Unbounded, 0, iter
 		}
 		t.pivot(leave, enter)
 		// Update price row.
@@ -313,7 +319,7 @@ func (t *tableau) iterate(cost []float64, maxIters int) (Status, float64) {
 			z[enter] = 0
 		}
 	}
-	return IterLimit, 0
+	return IterLimit, 0, maxIters
 }
 
 // pivot makes column col basic in row r.

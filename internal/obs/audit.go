@@ -137,5 +137,27 @@ func (a *AuditWriter) NodeBlacklisted(now units.Time, node cluster.NodeID) {
 	fmt.Fprintf(a.w, "{\"t\":%d,\"ev\":\"blacklisted\",\"node\":%d}\n", int64(now), int(node))
 }
 
+// SolverDegraded implements sim.Observer.
+func (a *AuditWriter) SolverDegraded(now units.Time, d sim.SolverDegradation) {
+	fmt.Fprintf(a.w, "{\"t\":%d,\"ev\":\"solver-degraded\",\"from\":%q,\"to\":%q,\"reason\":%q,\"pending_tasks\":%d,\"bnb_nodes\":%d}\n",
+		int64(now), d.From.String(), d.To.String(), d.Reason, d.PendingTasks, d.Nodes)
+}
+
+// JobShed implements sim.Observer.
+func (a *AuditWriter) JobShed(now units.Time, j *sim.JobState, reason sim.ShedReason) {
+	fmt.Fprintf(a.w, "{\"t\":%d,\"ev\":\"job-shed\",\"job\":%d,\"reason\":%q}\n",
+		int64(now), int(j.Dag.ID), reason.String())
+}
+
+// InvariantViolated implements sim.Observer.
+func (a *AuditWriter) InvariantViolated(now units.Time, v sim.InvariantViolation) {
+	tkey := ""
+	if v.Task != nil {
+		tkey = v.Task.Key().String()
+	}
+	fmt.Fprintf(a.w, "{\"t\":%d,\"ev\":\"invariant-violated\",\"check\":%q,\"node\":%d,\"task\":%q,\"detail\":%q}\n",
+		int64(now), v.Check, int(v.Node), tkey, v.Detail)
+}
+
 // Flush drains the buffer to the underlying writer.
 func (a *AuditWriter) Flush() error { return a.w.Flush() }

@@ -261,6 +261,39 @@ func (tb *TraceBuilder) NodeBlacklisted(now units.Time, node cluster.NodeID) {
 	})
 }
 
+// SolverDegraded implements sim.Observer: a global marker per downgrade
+// along the scheduler's degradation ladder.
+func (tb *TraceBuilder) SolverDegraded(now units.Time, d sim.SolverDegradation) {
+	tb.emit(traceEvent{
+		Name: "solver-degraded", Cat: "overload", Ph: "i",
+		TS: int64(now + tb.offset), PID: enginePID, TID: 0, S: "g",
+		Args: map[string]any{"from": d.From.String(), "to": d.To.String(),
+			"reason": d.Reason, "pending_tasks": d.PendingTasks},
+	})
+}
+
+// JobShed implements sim.Observer.
+func (tb *TraceBuilder) JobShed(now units.Time, j *sim.JobState, reason sim.ShedReason) {
+	tb.emit(traceEvent{
+		Name: "job-shed", Cat: "overload", Ph: "i",
+		TS: int64(now + tb.offset), PID: enginePID, TID: 0, S: "g",
+		Args: map[string]any{"job": int(j.Dag.ID), "reason": reason.String()},
+	})
+}
+
+// InvariantViolated implements sim.Observer.
+func (tb *TraceBuilder) InvariantViolated(now units.Time, v sim.InvariantViolation) {
+	args := map[string]any{"check": v.Check, "detail": v.Detail}
+	if v.Task != nil {
+		args["task"] = v.Task.Key().String()
+	}
+	tb.emit(traceEvent{
+		Name: "invariant-violated", Cat: "audit", Ph: "i",
+		TS: int64(now + tb.offset), PID: int(v.Node), TID: 0, S: "p",
+		Args: args,
+	})
+}
+
 // Export renders the trace as a JSON object with one event per line
 // (valid Chrome trace-event format, and diff-friendly). Metadata events
 // naming processes and thread lanes come first, in sorted order, so the

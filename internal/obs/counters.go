@@ -44,6 +44,12 @@ type Counters struct {
 	SpecWins         atomic.Int64
 	SpecCancels      atomic.Int64
 	Blacklistings    atomic.Int64
+
+	// Overload tallies: scheduler degradation-ladder downgrades,
+	// admission-control sheddings, and invariant-auditor detections.
+	SolverDegradations  atomic.Int64
+	JobSheds            atomic.Int64
+	InvariantViolations atomic.Int64
 }
 
 // NewCounters returns a zeroed registry.
@@ -139,6 +145,21 @@ func (c *Counters) NodeBlacklisted(units.Time, cluster.NodeID) {
 	c.Blacklistings.Add(1)
 }
 
+// SolverDegraded implements sim.Observer.
+func (c *Counters) SolverDegraded(units.Time, sim.SolverDegradation) {
+	c.SolverDegradations.Add(1)
+}
+
+// JobShed implements sim.Observer.
+func (c *Counters) JobShed(units.Time, *sim.JobState, sim.ShedReason) {
+	c.JobSheds.Add(1)
+}
+
+// InvariantViolated implements sim.Observer.
+func (c *Counters) InvariantViolated(units.Time, sim.InvariantViolation) {
+	c.InvariantViolations.Add(1)
+}
+
 // Counter is one named tally in a snapshot.
 type Counter struct {
 	Name  string
@@ -168,6 +189,9 @@ func (c *Counters) Snapshot() []Counter {
 		{"speculations-won", c.SpecWins.Load()},
 		{"speculations-cancelled", c.SpecCancels.Load()},
 		{"node-blacklistings", c.Blacklistings.Load()},
+		{"solver-degradations", c.SolverDegradations.Load()},
+		{"jobs-shed", c.JobSheds.Load()},
+		{"invariant-violations", c.InvariantViolations.Load()},
 	}
 }
 

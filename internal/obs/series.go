@@ -21,6 +21,10 @@ const (
 	colCompleted   = "completed"
 	colRetries     = "retries"
 	colSpecs       = "speculations"
+	colDegrades    = "degradations"
+	colSheds       = "sheds"
+	colViolations  = "violations"
+	colPending     = "pending-tasks"
 )
 
 // SeriesRecorder samples cluster-wide gauges at every preemption epoch
@@ -39,6 +43,7 @@ type SeriesRecorder struct {
 
 	// Event-rate accumulators since the last sampled epoch.
 	preempts, disorders, completed, retries, specs int
+	degrades, sheds, violations                    int
 }
 
 type runSeries struct {
@@ -54,6 +59,7 @@ func (s *SeriesRecorder) BeginRun(label string) {
 	s.pending = label
 	s.runs = append(s.runs, nil) // materialized on first epoch
 	s.preempts, s.disorders, s.completed, s.retries, s.specs = 0, 0, 0, 0, 0
+	s.degrades, s.sheds, s.violations = 0, 0, 0
 }
 
 // TaskPreempted implements sim.Observer.
@@ -79,6 +85,21 @@ func (s *SeriesRecorder) TaskRetried(units.Time, *sim.TaskState, cluster.NodeID,
 // SpeculationLaunched implements sim.Observer.
 func (s *SeriesRecorder) SpeculationLaunched(units.Time, *sim.TaskState, cluster.NodeID, cluster.NodeID) {
 	s.specs++
+}
+
+// SolverDegraded implements sim.Observer.
+func (s *SeriesRecorder) SolverDegraded(units.Time, sim.SolverDegradation) {
+	s.degrades++
+}
+
+// JobShed implements sim.Observer.
+func (s *SeriesRecorder) JobShed(units.Time, *sim.JobState, sim.ShedReason) {
+	s.sheds++
+}
+
+// InvariantViolated implements sim.Observer.
+func (s *SeriesRecorder) InvariantViolated(units.Time, sim.InvariantViolation) {
+	s.violations++
 }
 
 // EpochEnded implements sim.Observer: sample the cluster after the
@@ -115,7 +136,23 @@ func (s *SeriesRecorder) EpochEnded(now units.Time, _ int, v *sim.View) {
 	t.Set(x, colCompleted, float64(s.completed))
 	t.Set(x, colRetries, float64(s.retries))
 	t.Set(x, colSpecs, float64(s.specs))
+	t.Set(x, colDegrades, float64(s.degrades))
+	t.Set(x, colSheds, float64(s.sheds))
+	t.Set(x, colViolations, float64(s.violations))
+	pending := 0
+	for _, j := range v.Jobs() {
+		if j.Arrival > now || j.Failed() || j.Shed() || j.Done() {
+			continue
+		}
+		for _, ts := range j.Tasks {
+			if ts.Phase == sim.Pending {
+				pending++
+			}
+		}
+	}
+	t.Set(x, colPending, float64(pending))
 	s.preempts, s.disorders, s.completed, s.retries, s.specs = 0, 0, 0, 0, 0
+	s.degrades, s.sheds, s.violations = 0, 0, 0
 }
 
 // currentRun returns the active run section, materializing its table
@@ -127,7 +164,8 @@ func (s *SeriesRecorder) currentRun(c *cluster.Cluster) *runSeries {
 	last := len(s.runs) - 1
 	if s.runs[last] == nil {
 		cols := []string{colQueued, colRunning, colBusySlots, colSlotUtil,
-			colPreemptions, colDisorders, colCompleted, colRetries, colSpecs}
+			colPreemptions, colDisorders, colCompleted, colRetries, colSpecs,
+			colDegrades, colSheds, colViolations, colPending}
 		if s.PerNode {
 			for k := 0; k < c.Len(); k++ {
 				cols = append(cols, fmt.Sprintf("node%d-run", k), fmt.Sprintf("node%d-wait", k))

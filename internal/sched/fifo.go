@@ -1,0 +1,60 @@
+package sched
+
+import (
+	"sort"
+
+	"dsp/internal/cluster"
+	"dsp/internal/sim"
+	"dsp/internal/units"
+)
+
+// scheduleFIFO is the bottom rung of the degradation ladder: O(tasks)
+// placement with no ranking, no finish-time estimation and no locality
+// or risk terms. Jobs are taken in arrival order, each job's tasks in
+// topological order, and tasks are dealt round-robin across the usable
+// nodes with Start = now (the engine's per-node queues serialize them).
+// It trades plan quality for a cost that stays flat under any backlog,
+// which is exactly what an overloaded scheduler period needs.
+func (d *DSP) scheduleFIFO(now units.Time, pending []*sim.JobState, v *sim.View) []sim.Assignment {
+	c := v.Cluster()
+	var usable []cluster.NodeID
+	for k := 0; k < c.Len(); k++ {
+		id := cluster.NodeID(k)
+		if v.Speed(id) <= 0 || c.Node(id).Slots <= 0 {
+			continue
+		}
+		if d.RiskAversion > 0 && v.Blacklisted(id) {
+			continue
+		}
+		usable = append(usable, id)
+	}
+	if len(usable) == 0 {
+		return nil
+	}
+
+	jobs := append([]*sim.JobState(nil), pending...)
+	sort.Slice(jobs, func(a, b int) bool {
+		if jobs[a].Arrival != jobs[b].Arrival {
+			return jobs[a].Arrival < jobs[b].Arrival
+		}
+		return jobs[a].Dag.ID < jobs[b].Dag.ID
+	})
+
+	var out []sim.Assignment
+	next := 0
+	for _, j := range jobs {
+		order, err := j.Dag.TopoOrder()
+		if err != nil {
+			continue // cyclic DAG can never run
+		}
+		for _, id := range order {
+			t := j.Tasks[id]
+			if t.Phase != sim.Pending {
+				continue
+			}
+			out = append(out, sim.Assignment{Task: t, Node: usable[next], Start: now})
+			next = (next + 1) % len(usable)
+		}
+	}
+	return out
+}

@@ -19,10 +19,22 @@ type vm struct {
 	avail float64 // seconds from now until the slot frees
 }
 
+// ilpOutcome reports how an exact solve went, so Schedule can walk the
+// degradation ladder and label the downgrade it takes.
+type ilpOutcome struct {
+	ok     bool   // a usable (possibly non-optimal) plan was produced
+	exact  bool   // the plan is provably optimal
+	reason string // why the solve fell short of exact, for the event log
+	nodes  int    // branch-and-bound nodes explored
+}
+
 // scheduleILP builds the paper's ILP (Equations 3–11) over the pending
-// tasks and solves it exactly. It returns ok=false when the model cannot
-// be solved within the node budget (the caller falls back to the list
-// engine, mirroring the paper's relax-and-round escape hatch).
+// tasks and solves it under the configured node/pivot budgets. An
+// Optimal solve returns exact=true; an Incumbent (budget exhausted
+// mid-search) still returns ok=true with the best feasible plan found —
+// the anytime contract — and anything else returns ok=false (the caller
+// falls back to the list engine, mirroring the paper's relax-and-round
+// escape hatch).
 //
 // Formulation, with start_t the start time of task t (seconds from now),
 // e_{t,k} its execution time on machine k, p_t its estimated preemption
@@ -35,25 +47,25 @@ type vm struct {
 //	start_c ≥ start_p + Σ_k e_{p,k}·x_{p,k}         ∀ edge p→c      (7)
 //	Σ_k x_{t,k} = 1, x binary                       ∀t              (10)
 //	start_t ≥ avail_k − M(1 − x_{t,k})              ∀t,k            (11)
-func (d *DSP) scheduleILP(now units.Time, pending []*sim.JobState, v *sim.View) ([]sim.Assignment, bool) {
+func (d *DSP) scheduleILP(now units.Time, pending []*sim.JobState, v *sim.View) ([]sim.Assignment, ilpOutcome) {
 	var tasks []*sim.TaskState
 	for _, j := range pending {
 		tasks = append(tasks, j.PendingTasks()...)
 	}
 	if len(tasks) == 0 {
-		return nil, true
+		return nil, ilpOutcome{ok: true, exact: true}
 	}
 
 	vms := buildVMs(now, v)
 	if len(vms) == 0 {
-		return nil, false
+		return nil, ilpOutcome{reason: "no-usable-machines"}
 	}
 	// The exact solver is exponential in assignment binaries (tasks ×
 	// VMs); past a small VM budget the relax-and-round list engine is the
 	// right tool (a node with S slots contributes S VMs, so a "small"
 	// cluster can still be a large ILP).
 	if len(vms) > 2*d.ILPNodeLimit {
-		return nil, false
+		return nil, ilpOutcome{reason: "model-too-large"}
 	}
 
 	// Execution times and preemption cost estimates.
@@ -98,7 +110,11 @@ func (d *DSP) scheduleILP(now units.Time, pending []*sim.JobState, v *sim.View) 
 	M = M*2 + 1
 
 	model := lp.NewModel("dsp-offline", lp.Minimize)
-	model.MaxNodes = 20000
+	model.MaxNodes = d.ILPNodeBudget
+	if model.MaxNodes <= 0 {
+		model.MaxNodes = DefaultILPNodeBudget
+	}
+	model.MaxPivots = d.ILPPivotBudget
 
 	ms := model.AddVar(0, math.Inf(1), 1, "MS")
 	start := make([]lp.VarID, nT)
@@ -212,8 +228,8 @@ func (d *DSP) scheduleILP(now units.Time, pending []*sim.JobState, v *sim.View) 
 	}
 
 	sol := model.Solve()
-	if sol.Status != lp.Optimal {
-		return nil, false
+	if !sol.HasSolution() {
+		return nil, ilpOutcome{reason: sol.Status.String(), nodes: sol.Nodes}
 	}
 
 	out := make([]sim.Assignment, 0, nT)
@@ -229,7 +245,12 @@ func (d *DSP) scheduleILP(now units.Time, pending []*sim.JobState, v *sim.View) 
 			}
 		}
 	}
-	return out, true
+	return out, ilpOutcome{
+		ok:     true,
+		exact:  sol.Status == lp.Optimal,
+		reason: sol.Status.String(),
+		nodes:  sol.Nodes,
+	}
 }
 
 // buildVMs expands nodes into per-slot machines with availability

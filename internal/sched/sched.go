@@ -41,6 +41,10 @@ const (
 	ListOnly
 )
 
+// DefaultILPNodeBudget is the branch-and-bound node budget of an exact
+// solve when DSP.ILPNodeBudget is zero.
+const DefaultILPNodeBudget = 20000
+
 // DSP is the dependency-aware offline scheduler.
 type DSP struct {
 	// Mode selects between the exact ILP and the list heuristic.
@@ -51,6 +55,21 @@ type DSP struct {
 	// ILPNodeLimit caps the number of (node × slot) virtual machines
 	// offered to the ILP.
 	ILPNodeLimit int
+	// ILPNodeBudget caps branch-and-bound nodes per exact solve
+	// (0 = DefaultILPNodeBudget). When the budget runs out, the solve is
+	// anytime: the best incumbent found is still used and the downgrade
+	// is reported as a SolverDegraded event.
+	ILPNodeBudget int
+	// ILPPivotBudget optionally caps total simplex pivots per exact
+	// solve (0 = no extra cap beyond the per-LP default), bounding worst
+	// cases where few branch-and-bound nodes each burn many pivots.
+	ILPPivotBudget int
+	// FIFOTaskLimit, when positive, demotes the scheduler below the list
+	// engine to plain FIFO placement once the pending-task count exceeds
+	// it — the bottom rung of the degradation ladder, for overloads
+	// where even the list engine's ranking work is not worth paying.
+	// 0 disables the demotion.
+	FIFOTaskLimit int
 	// Gamma is the level coefficient γ ∈ (0,1) of the dependency score
 	// (Table II sets 0.5).
 	Gamma float64
@@ -95,7 +114,11 @@ func (d *DSP) Name() string {
 	}
 }
 
-// Schedule implements sim.Scheduler.
+// Schedule implements sim.Scheduler. It walks the degradation ladder:
+// exact ILP → anytime ILP incumbent → list engine → FIFO. Each rung is
+// tried only when its preconditions hold, and every downgrade is
+// reported through the view as a SolverDegraded event so overload
+// behaviour is visible in metrics and traces.
 func (d *DSP) Schedule(now units.Time, pending []*sim.JobState, v *sim.View) []sim.Assignment {
 	nTasks := 0
 	for _, j := range pending {
@@ -110,11 +133,35 @@ func (d *DSP) Schedule(now units.Time, pending []*sim.JobState, v *sim.View) []s
 			v.Cluster().Len() <= d.ILPNodeLimit
 	}
 	if useILP {
-		if out, ok := d.scheduleILP(now, pending, v); ok {
+		out, res := d.scheduleILP(now, pending, v)
+		switch {
+		case res.ok && res.exact:
 			return out
+		case res.ok:
+			// Budget ran out mid-search; the incumbent is feasible, just
+			// not provably optimal. Use it — that is the anytime contract.
+			v.ReportSolverDegraded(now, sim.SolverDegradation{
+				From: sim.TierILPExact, To: sim.TierILPIncumbent,
+				Reason: res.reason, PendingTasks: nTasks, Nodes: res.nodes,
+			})
+			return out
+		default:
+			// Exact solve produced nothing usable (model too large, no
+			// usable machines, infeasible, budget spent before any
+			// incumbent): fall to the heuristic rather than dropping the
+			// period.
+			v.ReportSolverDegraded(now, sim.SolverDegradation{
+				From: sim.TierILPExact, To: sim.TierList,
+				Reason: res.reason, PendingTasks: nTasks, Nodes: res.nodes,
+			})
 		}
-		// Exact solve failed (node limit, infeasible deadlines):
-		// fall back to the heuristic rather than dropping the period.
+	}
+	if d.FIFOTaskLimit > 0 && nTasks > d.FIFOTaskLimit {
+		v.ReportSolverDegraded(now, sim.SolverDegradation{
+			From: sim.TierList, To: sim.TierFIFO,
+			Reason: "pending-tasks-over-limit", PendingTasks: nTasks,
+		})
+		return d.scheduleFIFO(now, pending, v)
 	}
 	return d.scheduleList(now, pending, v)
 }

@@ -1,0 +1,53 @@
+package sim_test
+
+import (
+	"testing"
+
+	"dsp/internal/chaos"
+	"dsp/internal/cluster"
+	"dsp/internal/preempt"
+	"dsp/internal/sched"
+	"dsp/internal/sim"
+	"dsp/internal/trace"
+	"dsp/internal/units"
+)
+
+// TestAuditorZeroViolationsUnderChaos runs the full DSP stack — offline
+// scheduler, online preemptor, fault injection, retries, speculation —
+// with the invariant auditor armed at every epoch. The auditor exists
+// to catch engine corruption; a healthy engine under maximal churn must
+// produce zero detections, or the checks (or the engine) are wrong.
+func TestAuditorZeroViolationsUnderChaos(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		spec := trace.DefaultSpec(20, seed)
+		spec.TaskScale = 0.03
+		w, err := trace.Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := cluster.RealCluster(10)
+		cs := chaos.DefaultSpec(c.Len(), seed)
+		cs.FaultyFraction = 0.3
+		plan, err := cs.Plan()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(sim.Config{
+			Cluster:         c,
+			Scheduler:       sched.NewDSP(),
+			Preemptor:       preempt.NewDSP(),
+			Checkpoint:      cluster.DefaultCheckpoint(),
+			Epoch:           10 * units.Second,
+			Faults:          plan,
+			Speculation:     &sim.Speculation{},
+			AuditInvariants: true,
+		}, w)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.InvariantViolations != 0 || res.Quarantines != 0 {
+			t.Errorf("seed %d: violations=%d quarantines=%d, want 0/0",
+				seed, res.InvariantViolations, res.Quarantines)
+		}
+	}
+}

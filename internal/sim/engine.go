@@ -60,6 +60,18 @@ type Config struct {
 	// Speculation, when non-nil, launches backup copies of straggling
 	// tasks on idle slots (see Speculation).
 	Speculation *Speculation
+	// Admission, when non-nil, enables admission control: jobs can be
+	// shed at arrival — bounded pending backlog, provably
+	// deadline-infeasible work rejected — instead of growing the queues
+	// without bound under overload (see Admission).
+	Admission *Admission
+	// AuditInvariants enables the runtime invariant auditor: the engine's
+	// core state invariants (slot conservation, phase/membership
+	// consistency, dependency order, queue ordering) are re-checked at
+	// every scheduling boundary, and a violation quarantines the
+	// offending node or task instead of letting the run silently compute
+	// garbage (see auditor.go).
+	AuditInvariants bool
 	// Observer, when non-nil, receives lifecycle events.
 	Observer Observer
 }
@@ -204,9 +216,11 @@ func Run(cfg Config, w *trace.Workload) (*Result, error) {
 		if tj.Arrival < e.firstArrival {
 			e.firstArrival = tj.Arrival
 		}
-		e.q.At(tj.Arrival, eventq.Func(func(units.Time) {
-			// Arrival is implicit: pending tasks become visible to the
-			// next scheduling period via arrivedPending.
+		e.q.At(tj.Arrival, eventq.Func(func(at units.Time) {
+			// Pending tasks become visible to the next scheduling period
+			// via arrivedPending — unless admission control sheds the job
+			// here at the door.
+			e.admitJob(js, at)
 		}))
 	}
 
@@ -253,9 +267,9 @@ func Run(cfg Config, w *trace.Workload) (*Result, error) {
 		return nil, fmt.Errorf("sim: %d jobs incomplete after event queue drained (scheduler %q never assigned their tasks?)",
 			e.jobsRemaining, cfg.Scheduler.Name())
 	}
-	if e.metrics.JobsCompleted+e.metrics.JobsFailed != len(e.jobs) {
-		return nil, fmt.Errorf("sim: job accounting broken: %d completed + %d failed != %d jobs",
-			e.metrics.JobsCompleted, e.metrics.JobsFailed, len(e.jobs))
+	if e.metrics.JobsCompleted+e.metrics.JobsFailed+e.metrics.JobsShed != len(e.jobs) {
+		return nil, fmt.Errorf("sim: job accounting broken: %d completed + %d failed + %d shed != %d jobs",
+			e.metrics.JobsCompleted, e.metrics.JobsFailed, e.metrics.JobsShed, len(e.jobs))
 	}
 	e.finalize()
 	return &e.metrics, nil
@@ -266,15 +280,23 @@ func Run(cfg Config, w *trace.Workload) (*Result, error) {
 func (e *Engine) arrivedPending(now units.Time) []*JobState {
 	var out []*JobState
 	for _, j := range e.jobs {
-		if j.Arrival <= now && !j.failed && j.assigned < len(j.Tasks) && j.Eligible() {
+		if j.Arrival <= now && !j.failed && !j.shed && j.assigned < len(j.Tasks) && j.Eligible() {
 			out = append(out, j)
 		}
 	}
 	return out
 }
 
-// validateJobGraph rejects cyclic cross-job dependencies.
+// validateJobGraph rejects structurally broken per-job DAGs (in-job
+// cycles, dangling edges, duplicate or misplaced task IDs — see
+// dag.CheckStructure) and cyclic cross-job dependencies. Errors name the
+// offending job (and task, for per-job defects).
 func validateJobGraph(jobs []*JobState) error {
+	for _, j := range jobs {
+		if err := j.Dag.CheckStructure(); err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
+	}
 	const (
 		white = iota
 		grey
@@ -309,6 +331,7 @@ func validateJobGraph(jobs []*JobState) error {
 // periodTick runs the offline scheduler and re-arms itself while work
 // remains.
 func (e *Engine) periodTick(now units.Time) {
+	e.notePendingPeak(now)
 	pending := e.arrivedPending(now)
 	if len(pending) > 0 {
 		assignments := e.cfg.Scheduler.Schedule(now, pending, e.view)
@@ -318,6 +341,11 @@ func (e *Engine) periodTick(now units.Time) {
 		for k := range e.nodes {
 			e.tryFill(cluster.NodeID(k), now)
 		}
+	}
+	if e.cfg.AuditInvariants && e.cfg.Preemptor == nil {
+		// No epochs run in this configuration; audit at the period
+		// boundary instead.
+		e.auditInvariants(now)
 	}
 	if e.jobsRemaining > 0 {
 		e.q.After(e.cfg.Period, eventq.Func(e.periodTick))
@@ -648,6 +676,9 @@ func (e *Engine) epochTick(now units.Time) {
 	}
 	for k := range e.nodes {
 		e.tryFill(cluster.NodeID(k), now)
+	}
+	if e.cfg.AuditInvariants {
+		e.auditInvariants(now)
 	}
 	if e.cfg.Observer != nil {
 		e.cfg.Observer.EpochEnded(now, e.epochIndex, e.view)

@@ -62,8 +62,8 @@ func (e *Engine) installGrowth(plans []TaskGrowth) error {
 
 // applyGrowth extends the job's DAG and task set.
 func (e *Engine) applyGrowth(js *JobState, g TaskGrowth, now units.Time) {
-	if js.failed {
-		return // the job died before its extension arrived
+	if js.failed || js.shed {
+		return // the job died (or was shed) before its extension arrived
 	}
 	ids := js.Dag.Grow(len(g.Tasks))
 	for i, spec := range g.Tasks {

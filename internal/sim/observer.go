@@ -114,6 +114,103 @@ func (r RetryReason) String() string {
 	}
 }
 
+// SolverTier names a rung of the offline scheduler's degradation ladder,
+// from the exact Section III ILP at the top down to arrival-order FIFO
+// placement at the bottom.
+type SolverTier uint8
+
+// Degradation-ladder rungs.
+const (
+	// TierILPExact: the Section III ILP solved to proven optimality.
+	TierILPExact SolverTier = iota
+	// TierILPIncumbent: the ILP's best incumbent, used after a work
+	// budget ran out before optimality was proven.
+	TierILPIncumbent
+	// TierList: the dependency-aware list/HEFT heuristic.
+	TierList
+	// TierFIFO: arrival-order round-robin placement, the last resort
+	// under extreme overload.
+	TierFIFO
+)
+
+func (t SolverTier) String() string {
+	switch t {
+	case TierILPExact:
+		return "ilp-exact"
+	case TierILPIncumbent:
+		return "ilp-incumbent"
+	case TierList:
+		return "list"
+	case TierFIFO:
+		return "fifo"
+	default:
+		return fmt.Sprintf("tier(%d)", uint8(t))
+	}
+}
+
+// SolverDegradation describes one downgrade along the scheduler's ladder:
+// which rung was attempted, which one actually produced the placement,
+// and why.
+type SolverDegradation struct {
+	From, To SolverTier
+	// Reason is a short machine-readable cause: a solver status
+	// ("node-limit", "aborted", "infeasible"), "model-too-large" for the
+	// ILP size cutoff, "no-usable-machines", or
+	// "pending-tasks-over-limit" for the FIFO demotion.
+	Reason string
+	// PendingTasks is the instance size (unassigned tasks) being placed.
+	PendingTasks int
+	// Nodes is the number of branch-and-bound nodes explored before the
+	// downgrade (0 when no exact solve ran).
+	Nodes int
+}
+
+// ShedReason says why admission control rejected a job at arrival.
+type ShedReason uint8
+
+// Shed reasons.
+const (
+	// ShedQueueFull: admitting the job would push the pending-task
+	// backlog past Admission.MaxPendingTasks.
+	ShedQueueFull ShedReason = iota
+	// ShedDeadlineInfeasible: the job's critical path alone, run
+	// back-to-back on the fastest node, already overshoots its deadline —
+	// it provably cannot meet it, so running it would only waste slots.
+	ShedDeadlineInfeasible
+	// ShedDependency: a job this one waits for was itself shed, so this
+	// one can never become eligible.
+	ShedDependency
+)
+
+func (r ShedReason) String() string {
+	switch r {
+	case ShedQueueFull:
+		return "queue-full"
+	case ShedDeadlineInfeasible:
+		return "deadline-infeasible"
+	case ShedDependency:
+		return "dependency-shed"
+	default:
+		return fmt.Sprintf("shed(%d)", uint8(r))
+	}
+}
+
+// InvariantViolation describes one inconsistency the runtime auditor
+// caught in the engine's own state (see Config.AuditInvariants).
+type InvariantViolation struct {
+	// Check names the violated invariant: "slot-capacity",
+	// "down-node-running", "duplicate-task", "phase-running",
+	// "phase-queued", "node-mismatch", "dependency-order", "queue-order",
+	// or "progress-overflow".
+	Check string
+	// Node is the node involved (-1 when not node-specific).
+	Node cluster.NodeID
+	// Task is the offending task (nil for node-level violations).
+	Task *TaskState
+	// Detail is a human-readable description of what was found.
+	Detail string
+}
+
 // Observer receives simulation lifecycle and decision events; attach one
 // via Config.Observer to trace a run (debugging, visualization, custom
 // metrics, audit logs). All callbacks run synchronously inside the event
@@ -175,6 +272,17 @@ type Observer interface {
 	// NodeBlacklisted fires when a node's decayed failure penalty crosses
 	// the blacklist threshold (rising edge only).
 	NodeBlacklisted(now units.Time, node cluster.NodeID)
+	// SolverDegraded fires when the offline scheduler falls down its
+	// degradation ladder (exact ILP → anytime incumbent → list → FIFO)
+	// instead of placing work with the tier it attempted.
+	SolverDegraded(now units.Time, d SolverDegradation)
+	// JobShed fires when admission control rejects a job at arrival; the
+	// job counts as shed, not failed or deadline-missed.
+	JobShed(now units.Time, j *JobState, reason ShedReason)
+	// InvariantViolated fires when the runtime auditor catches the engine
+	// in an inconsistent state; the offending node or task is quarantined
+	// rather than allowed to keep computing garbage.
+	InvariantViolated(now units.Time, v InvariantViolation)
 }
 
 // NopObserver implements Observer with no-ops. Embed it to write
@@ -234,6 +342,15 @@ func (NopObserver) SpeculationCancelled(units.Time, *TaskState, cluster.NodeID) 
 
 // NodeBlacklisted implements Observer.
 func (NopObserver) NodeBlacklisted(units.Time, cluster.NodeID) {}
+
+// SolverDegraded implements Observer.
+func (NopObserver) SolverDegraded(units.Time, SolverDegradation) {}
+
+// JobShed implements Observer.
+func (NopObserver) JobShed(units.Time, *JobState, ShedReason) {}
+
+// InvariantViolated implements Observer.
+func (NopObserver) InvariantViolated(units.Time, InvariantViolation) {}
 
 // Observers composes multiple observers; nil entries are skipped, so call
 // sites can build the slice from optional components without filtering.
@@ -401,6 +518,33 @@ func (os Observers) NodeBlacklisted(now units.Time, node cluster.NodeID) {
 	}
 }
 
+// SolverDegraded implements Observer.
+func (os Observers) SolverDegraded(now units.Time, d SolverDegradation) {
+	for _, o := range os {
+		if o != nil {
+			o.SolverDegraded(now, d)
+		}
+	}
+}
+
+// JobShed implements Observer.
+func (os Observers) JobShed(now units.Time, j *JobState, reason ShedReason) {
+	for _, o := range os {
+		if o != nil {
+			o.JobShed(now, j, reason)
+		}
+	}
+}
+
+// InvariantViolated implements Observer.
+func (os Observers) InvariantViolated(now units.Time, v InvariantViolation) {
+	for _, o := range os {
+		if o != nil {
+			o.InvariantViolated(now, v)
+		}
+	}
+}
+
 // LogObserver writes one line per event, suitable for debugging small
 // simulations.
 type LogObserver struct {
@@ -506,4 +650,23 @@ func (l *LogObserver) SpeculationCancelled(now units.Time, t *TaskState, backup 
 // NodeBlacklisted implements Observer.
 func (l *LogObserver) NodeBlacklisted(now units.Time, node cluster.NodeID) {
 	fmt.Fprintf(l.W, "%-12v blacklist node%d\n", now, node)
+}
+
+// SolverDegraded implements Observer.
+func (l *LogObserver) SolverDegraded(now units.Time, d SolverDegradation) {
+	fmt.Fprintf(l.W, "%-12v degrade  %s -> %s (%s, %d tasks)\n", now, d.From, d.To, d.Reason, d.PendingTasks)
+}
+
+// JobShed implements Observer.
+func (l *LogObserver) JobShed(now units.Time, j *JobState, reason ShedReason) {
+	fmt.Fprintf(l.W, "%-12v shed     J%d (%s)\n", now, j.Dag.ID, reason)
+}
+
+// InvariantViolated implements Observer.
+func (l *LogObserver) InvariantViolated(now units.Time, v InvariantViolation) {
+	tkey := "-"
+	if v.Task != nil {
+		tkey = v.Task.Key().String()
+	}
+	fmt.Fprintf(l.W, "%-12v INVARIANT %s node%d %s: %s\n", now, v.Check, v.Node, tkey, v.Detail)
 }

@@ -108,7 +108,7 @@ func (e *Engine) retryOrFail(k cluster.NodeID, t *TaskState, now units.Time, rea
 // delay elapses; the RetryBackoff == 0 path keeps the passive
 // wait-for-the-period behaviour.
 func (e *Engine) redispatch(now units.Time, j *JobState) {
-	if j.failed || j.Arrival > now || j.assigned >= len(j.Tasks) || !j.Eligible() {
+	if j.failed || j.shed || j.Arrival > now || j.assigned >= len(j.Tasks) || !j.Eligible() {
 		return
 	}
 	assignments := e.cfg.Scheduler.Schedule(now, []*JobState{j}, e.view)
@@ -124,7 +124,7 @@ func (e *Engine) redispatch(now units.Time, j *JobState) {
 // is withdrawn, in-flight work is written off, and jobs transitively
 // waiting on this one fail too (they can never become eligible).
 func (e *Engine) failJob(j *JobState, now units.Time) {
-	if j.failed || j.Done() {
+	if j.failed || j.shed || j.Done() {
 		return
 	}
 	j.failed = true
@@ -176,7 +176,7 @@ func (e *Engine) failJob(j *JobState, now units.Time) {
 		}
 	}
 	for _, other := range e.jobs {
-		if other.failed || other.Done() {
+		if other.failed || other.shed || other.Done() {
 			continue
 		}
 		for _, p := range other.waitsFor {

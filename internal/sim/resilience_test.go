@@ -87,8 +87,8 @@ func TestUnlimitedRetryEventuallyCompletes(t *testing.T) {
 		RetryBudget: -1,
 		// Seed 4: attempts 1 and 2 draw under 0.6 (fail), attempt 3
 		// survives.
-		Faults:      &FaultPlan{Tasks: &TaskFaults{Rate: 0.6, Seed: 4}},
-		MaxEvents:   1_000_000,
+		Faults:    &FaultPlan{Tasks: &TaskFaults{Rate: 0.6, Seed: 4}},
+		MaxEvents: 1_000_000,
 	}, mkWorkload([]units.Time{0}, j))
 	if err != nil {
 		t.Fatal(err)

@@ -113,6 +113,22 @@ type Result struct {
 	// last checkpoint at crash/fault time, plus the running burst of
 	// tasks killed when their job failed.
 	LostWork units.Time
+	// JobsShed counts jobs rejected by admission control — load the
+	// system declined at the door rather than missed (see Admission).
+	JobsShed int
+	// PeakPendingTasks is the high-water mark of the admitted-but-
+	// unassigned task backlog, sampled at arrivals and period boundaries.
+	// Bounded admission keeps it near Admission.MaxPendingTasks no matter
+	// the overload.
+	PeakPendingTasks int
+	// SolverDegradations counts downgrades along the scheduler's
+	// degradation ladder (SolverDegraded events).
+	SolverDegradations int
+	// InvariantViolations counts runtime-auditor detections, and
+	// Quarantines the nodes and tasks it isolated in response (see
+	// Config.AuditInvariants).
+	InvariantViolations int
+	Quarantines         int
 	// Jobs records each completed job's outcome, in completion order.
 	Jobs []JobRecord
 

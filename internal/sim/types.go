@@ -240,11 +240,19 @@ type JobState struct {
 	// failed marks a job terminated by a terminal task failure (or the
 	// terminal failure of a job it waits for).
 	failed bool
+	// shed marks a job rejected by admission control at arrival (or the
+	// shedding of a job it waits for). Shed jobs never run; they count
+	// as shed, not failed or deadline-missed.
+	shed bool
 }
 
 // Failed reports whether the job was terminated by a terminal task
 // failure (directly, or transitively via a failed prerequisite job).
 func (j *JobState) Failed() bool { return j.failed }
+
+// Shed reports whether admission control rejected the job (directly, or
+// transitively via a shed prerequisite job).
+func (j *JobState) Shed() bool { return j.shed }
 
 // Eligible reports whether every cross-job prerequisite has completed.
 func (j *JobState) Eligible() bool {

@@ -169,3 +169,15 @@ func (v *View) Observer() Observer { return v.engine.cfg.Observer }
 
 // Checkpoint returns the active checkpoint policy.
 func (v *View) Checkpoint() cluster.CheckpointPolicy { return v.engine.cfg.Checkpoint }
+
+// ReportSolverDegraded records a downgrade along the scheduler's
+// degradation ladder: the engine counts it in Result.SolverDegradations
+// and forwards it to the observer. Schedulers call this (rather than the
+// observer directly) so the count lands in the run's metrics even when
+// no observer is attached.
+func (v *View) ReportSolverDegraded(now units.Time, d SolverDegradation) {
+	v.engine.metrics.SolverDegradations++
+	if o := v.engine.cfg.Observer; o != nil {
+		o.SolverDegraded(now, d)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package dsp
+
+// raceEnabled reports that this binary was built with the race
+// detector, whose instrumentation invalidates wall-clock perf guards.
+const raceEnabled = true
