@@ -7,9 +7,10 @@
 //	dspbench [flags]
 //
 //	-fig LIST    comma-separated figures to run: 5a,5b,6,7,8, table2 or "all";
-//	             "resilience" runs the degradation-under-faults sweep and
-//	             "overload" the graceful-degradation-under-overload sweep
-//	             (neither is part of "all" — they are this reproduction's
+//	             "resilience" runs the degradation-under-faults sweep,
+//	             "overload" the graceful-degradation-under-overload sweep,
+//	             and "attrib" the completion-time blame decomposition
+//	             (none is part of "all" — they are this reproduction's
 //	             extensions, not paper figures)
 //	-scale F     workload task scale (default 0.03; 1.0 = paper size)
 //	-seed N      sweep seed
@@ -18,6 +19,8 @@
 //	-audit FILE  write JSONL decision audit (run markers separate cells)
 //	-series FILE write per-epoch time-series CSV (one section per cell)
 //	-pprof ADDR  serve /debug/pprof on ADDR (e.g. :6060)
+//	-listen ADDR serve live telemetry (/metrics, /healthz, /snapshot)
+//	             while the sweep runs
 package main
 
 import (
@@ -58,6 +61,8 @@ func run(args []string, out *os.File) error {
 	auditPath := fs.String("audit", "", "write JSONL decision audit to FILE (run markers separate cells)")
 	seriesPath := fs.String("series", "", "write per-epoch time-series CSV to FILE (one section per cell)")
 	pprofAddr := fs.String("pprof", "", "serve /debug/pprof on ADDR (e.g. :6060)")
+	listenAddr := fs.String("listen", "", "serve live telemetry (/metrics, /healthz, /snapshot) on ADDR")
+	attribJobs := fs.String("attrib-jobs", "", "job counts for -fig attrib, comma-separated (default: the Figure 6 x-axis)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -77,11 +82,15 @@ func run(args []string, out *os.File) error {
 		TracePath:  *tracePath,
 		AuditPath:  *auditPath,
 		SeriesPath: *seriesPath,
+		ListenAddr: *listenAddr,
 	})
 	if err != nil {
 		return err
 	}
 	defer sink.Close()
+	if sink.Telemetry != nil {
+		fmt.Fprintf(os.Stderr, "telemetry listening on %s\n", sink.Telemetry.Addr())
+	}
 	if sink.Enabled() {
 		o.Observer = sink
 	}
@@ -185,6 +194,27 @@ func run(args []string, out *os.File) error {
 			oo.Multipliers = append(oo.Multipliers, mult)
 		}
 		f, err := experiments.Overload(experiments.Real, oo)
+		if err != nil {
+			return err
+		}
+		for _, t := range f.All() {
+			emit(t)
+		}
+	}
+	if want["attrib"] {
+		ao := experiments.DefaultAttributionOptions()
+		ao.Options = o
+		if *attribJobs != "" {
+			ao.JobCounts = ao.JobCounts[:0]
+			for _, j := range strings.Split(*attribJobs, ",") {
+				var n int
+				if _, err := fmt.Sscanf(strings.TrimSpace(j), "%d", &n); err != nil {
+					return fmt.Errorf("bad -attrib-jobs entry %q: %w", j, err)
+				}
+				ao.JobCounts = append(ao.JobCounts, n)
+			}
+		}
+		f, err := experiments.Attribution(experiments.Real, ao)
 		if err != nil {
 			return err
 		}

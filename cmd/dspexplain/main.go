@@ -1,0 +1,341 @@
+// Command dspexplain answers "where did this job's time go" from a JSONL
+// audit log alone — no simulator needed. It reads the "span" and
+// "job-blame" lines a run with -audit produced, independently recomputes
+// every job's blame decomposition from the raw spans via the same
+// attrib.Decompose the engine used, cross-checks it against the recorded
+// vector, and prints blame tables.
+//
+// Usage:
+//
+//	dspexplain -audit run.jsonl             per-run aggregate + top jobs
+//	dspexplain -audit run.jsonl -job j17    one job's critical-path breakdown
+//	dspexplain -audit run.jsonl -top 20     widen the top-jobs table
+//	dspexplain -audit a.jsonl -diff b.jsonl per-cause comparison of two logs
+//
+// Every invocation re-derives the attribution offline and fails loudly if
+// the recomputation disagrees with what the engine logged, so a passing
+// run doubles as an integrity check of the audit artifact.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dsp/internal/attrib"
+	"dsp/internal/dag"
+	"dsp/internal/units"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dspexplain:", err)
+		os.Exit(1)
+	}
+}
+
+// pathStep is one recorded critical-path window with its blame split.
+type pathStep struct {
+	Task  int          `json:"task"`
+	Start int64        `json:"start"`
+	End   int64        `json:"end"`
+	Blame attrib.Blame `json:"blame"`
+}
+
+// jobRecord is one parsed "job-blame" line.
+type jobRecord struct {
+	Run        string
+	Job        int          `json:"job"`
+	Arrival    int64        `json:"arrival"`
+	Eligible   int64        `json:"eligible"`
+	Done       int64        `json:"done"`
+	Completion int64        `json:"completion"`
+	Blame      attrib.Blame `json:"blame"`
+	Path       []pathStep   `json:"path"`
+}
+
+// auditLog is the attribution-relevant content of one JSONL audit file.
+type auditLog struct {
+	// Spans maps "J3.T7"-style task keys to their closed spans, across
+	// all runs in the file (task keys restart per run; spans are kept per
+	// run label to disambiguate).
+	Spans map[string]map[string][]attrib.Span // run label -> task key -> spans
+	Jobs  []jobRecord
+}
+
+// readAudit parses the span and job-blame lines of a JSONL audit stream;
+// all other event lines are skipped.
+func readAudit(r io.Reader) (*auditLog, error) {
+	log := &auditLog{Spans: map[string]map[string][]attrib.Span{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	run := ""
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		var probe struct {
+			Ev    string `json:"ev"`
+			Label string `json:"label"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		switch probe.Ev {
+		case "run":
+			run = probe.Label
+		case "span":
+			var line struct {
+				Task  string `json:"task"`
+				Kind  string `json:"kind"`
+				Cause string `json:"cause"`
+				Node  int    `json:"node"`
+				Start int64  `json:"start"`
+				End   int64  `json:"end"`
+			}
+			if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			cause, ok := attrib.ParseSpanCause(line.Kind, line.Cause)
+			if !ok {
+				return nil, fmt.Errorf("line %d: unknown span kind %q", lineNo, line.Kind)
+			}
+			if log.Spans[run] == nil {
+				log.Spans[run] = map[string][]attrib.Span{}
+			}
+			log.Spans[run][line.Task] = append(log.Spans[run][line.Task], attrib.Span{
+				Cause: cause,
+				Start: units.Time(line.Start),
+				End:   units.Time(line.End),
+				Node:  line.Node,
+			})
+		case "job-blame":
+			var rec jobRecord
+			if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			rec.Run = run
+			log.Jobs = append(log.Jobs, rec)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return log, nil
+}
+
+// recompute re-derives one job's blame from the raw spans — the same
+// windows, the same Decompose — and returns it for cross-checking.
+func (l *auditLog) recompute(rec jobRecord) (attrib.Blame, []attrib.Step) {
+	windows := make([]attrib.Window, 0, len(rec.Path))
+	for _, st := range rec.Path {
+		windows = append(windows, attrib.Window{
+			Task:  dag.TaskID(st.Task),
+			Start: units.Time(st.Start),
+			End:   units.Time(st.End),
+		})
+	}
+	spans := l.Spans[rec.Run]
+	return attrib.Decompose(units.Time(rec.Eligible), windows, func(id dag.TaskID) []attrib.Span {
+		return spans[fmt.Sprintf("J%d.T%d", rec.Job, int(id))]
+	})
+}
+
+// verify recomputes every job and returns the mismatches.
+func (l *auditLog) verify() []string {
+	var bad []string
+	for _, rec := range l.Jobs {
+		got, _ := l.recompute(rec)
+		if got != rec.Blame {
+			bad = append(bad, fmt.Sprintf("job %d (run %q): recomputed %v != recorded %v",
+				rec.Job, rec.Run, got, rec.Blame))
+		}
+	}
+	return bad
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dspexplain", flag.ContinueOnError)
+	auditPath := fs.String("audit", "", "JSONL audit log to explain (required)")
+	jobFlag := fs.String("job", "", "show one job's critical-path breakdown (j17, J17 or 17)")
+	top := fs.Int("top", 10, "how many jobs to list in the blame table")
+	diffPath := fs.String("diff", "", "second audit log: compare per-cause means against -audit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *auditPath == "" {
+		return fmt.Errorf("-audit FILE is required")
+	}
+	log, err := readFile(*auditPath)
+	if err != nil {
+		return err
+	}
+	if len(log.Jobs) == 0 {
+		return fmt.Errorf("%s has no job-blame lines (was the run recorded with -audit on a build with attribution?)", *auditPath)
+	}
+	if bad := log.verify(); len(bad) > 0 {
+		for _, b := range bad {
+			fmt.Fprintln(os.Stderr, "dspexplain: VERIFY FAILED:", b)
+		}
+		return fmt.Errorf("%d of %d jobs failed offline recomputation", len(bad), len(log.Jobs))
+	}
+	fmt.Fprintf(out, "%s: %d jobs, offline recomputation matches recorded blame for all\n\n",
+		*auditPath, len(log.Jobs))
+
+	if *diffPath != "" {
+		other, err := readFile(*diffPath)
+		if err != nil {
+			return err
+		}
+		if bad := other.verify(); len(bad) > 0 {
+			return fmt.Errorf("%s: %d jobs failed offline recomputation", *diffPath, len(bad))
+		}
+		printDiff(out, *auditPath, log, *diffPath, other)
+		return nil
+	}
+	if *jobFlag != "" {
+		id, err := parseJobID(*jobFlag)
+		if err != nil {
+			return err
+		}
+		return printJob(out, log, id)
+	}
+	printSummary(out, log, *top)
+	return nil
+}
+
+func readFile(path string) (*auditLog, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	log, err := readAudit(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return log, nil
+}
+
+// parseJobID accepts "17", "j17" or "J17".
+func parseJobID(s string) (int, error) {
+	t := strings.TrimPrefix(strings.TrimPrefix(s, "j"), "J")
+	id, err := strconv.Atoi(t)
+	if err != nil {
+		return 0, fmt.Errorf("bad -job %q (want j17, J17 or 17)", s)
+	}
+	return id, nil
+}
+
+// aggregate sums blame over jobs and returns the total with the count.
+func aggregate(jobs []jobRecord) (attrib.Blame, int) {
+	var b attrib.Blame
+	for _, rec := range jobs {
+		b.Merge(rec.Blame)
+	}
+	return b, len(jobs)
+}
+
+// printSummary renders the aggregate blame split and the top-K jobs by
+// completion time with their dominant causes.
+func printSummary(out io.Writer, log *auditLog, top int) {
+	agg, n := aggregate(log.Jobs)
+	total := agg.Total()
+	fmt.Fprintf(out, "aggregate blame (%d jobs):\n", n)
+	for _, c := range attrib.Causes() {
+		if agg[c] == 0 {
+			continue
+		}
+		fmt.Fprintf(out, "  %-16s %12.3fs  mean %10.3fs  %5.1f%%\n",
+			c.String(), agg[c].Seconds(), agg[c].Seconds()/float64(n),
+			100*float64(agg[c])/float64(total))
+	}
+
+	jobs := append([]jobRecord(nil), log.Jobs...)
+	sort.Slice(jobs, func(i, k int) bool {
+		if jobs[i].Completion != jobs[k].Completion {
+			return jobs[i].Completion > jobs[k].Completion
+		}
+		return jobs[i].Job < jobs[k].Job
+	})
+	if top > len(jobs) {
+		top = len(jobs)
+	}
+	fmt.Fprintf(out, "\ntop %d jobs by completion time:\n", top)
+	fmt.Fprintf(out, "  %-6s %-14s %-16s %s\n", "job", "completion", "dominant cause", "share")
+	for _, rec := range jobs[:top] {
+		dom := rec.Blame.Dominant()
+		share := 0.0
+		if rec.Completion > 0 {
+			share = 100 * float64(rec.Blame[dom]) / float64(rec.Completion)
+		}
+		fmt.Fprintf(out, "  j%-5d %-14v %-16s %5.1f%%\n",
+			rec.Job, units.Time(rec.Completion), dom, share)
+	}
+}
+
+// printJob renders one job's critical-path breakdown, step by step.
+func printJob(out io.Writer, log *auditLog, id int) error {
+	for _, rec := range log.Jobs {
+		if rec.Job != id {
+			continue
+		}
+		fmt.Fprintf(out, "job j%d", rec.Job)
+		if rec.Run != "" {
+			fmt.Fprintf(out, " (run %q)", rec.Run)
+		}
+		fmt.Fprintf(out, ": completion %v (arrival %v, eligible %v, done %v)\n",
+			units.Time(rec.Completion), units.Time(rec.Arrival),
+			units.Time(rec.Eligible), units.Time(rec.Done))
+		fmt.Fprintf(out, "realized critical path (%d steps):\n", len(rec.Path))
+		for i, st := range rec.Path {
+			fmt.Fprintf(out, "  %2d. task T%-4d [%v, %v)\n", i+1, st.Task,
+				units.Time(st.Start), units.Time(st.End))
+			for _, c := range attrib.Causes() {
+				if st.Blame[c] == 0 {
+					continue
+				}
+				fmt.Fprintf(out, "        %-16s %v\n", c.String(), st.Blame[c])
+			}
+		}
+		fmt.Fprintf(out, "blame:\n")
+		for _, c := range attrib.Causes() {
+			if rec.Blame[c] == 0 {
+				continue
+			}
+			fmt.Fprintf(out, "  %-16s %-14v %5.1f%%\n", c.String(), rec.Blame[c],
+				100*float64(rec.Blame[c])/float64(rec.Completion))
+		}
+		return nil
+	}
+	return fmt.Errorf("job %d has no job-blame record", id)
+}
+
+// printDiff compares two logs' per-cause mean blame.
+func printDiff(out io.Writer, aPath string, a *auditLog, bPath string, b *auditLog) {
+	aAgg, an := aggregate(a.Jobs)
+	bAgg, bn := aggregate(b.Jobs)
+	fmt.Fprintf(out, "per-cause mean blame, s/job:\n")
+	fmt.Fprintf(out, "  %-16s %14s %14s %14s\n", "cause",
+		trunc(aPath, 14)+" ("+strconv.Itoa(an)+")", trunc(bPath, 14)+" ("+strconv.Itoa(bn)+")", "delta")
+	for _, c := range attrib.Causes() {
+		am := aAgg[c].Seconds() / float64(an)
+		bm := bAgg[c].Seconds() / float64(bn)
+		if am == 0 && bm == 0 {
+			continue
+		}
+		fmt.Fprintf(out, "  %-16s %14.3f %14.3f %+14.3f\n", c.String(), am, bm, bm-am)
+	}
+}
+
+func trunc(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return "…" + s[len(s)-n+1:]
+}

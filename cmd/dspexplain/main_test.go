@@ -1,0 +1,184 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dsp/internal/attrib"
+	"dsp/internal/chaos"
+	"dsp/internal/cluster"
+	"dsp/internal/obs"
+	"dsp/internal/preempt"
+	"dsp/internal/sched"
+	"dsp/internal/sim"
+	"dsp/internal/trace"
+	"dsp/internal/units"
+)
+
+// writeAuditedRun runs a chaotic simulation with both the JSONL audit
+// writer and a live recorder attached, returning the audit path and the
+// online attributions.
+func writeAuditedRun(t *testing.T, dir string, jobs int, seed int64, faulty float64) (string, []attrib.JobAttribution) {
+	t.Helper()
+	spec := trace.DefaultSpec(jobs, seed)
+	spec.TaskScale = 0.03
+	w, err := trace.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := cluster.RealCluster(6)
+	cfg := sim.Config{
+		Cluster:    cl,
+		Scheduler:  sched.NewDSP(),
+		Preemptor:  preempt.NewDSP(),
+		Checkpoint: cluster.DefaultCheckpoint(),
+		Epoch:      10 * units.Second,
+		Period:     units.Minute,
+	}
+	if faulty > 0 {
+		cs := chaos.DefaultSpec(cl.Len(), seed)
+		cs.FaultyFraction = faulty
+		plan, err := cs.Plan()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Faults = plan
+		cfg.Speculation = &sim.Speculation{}
+		cfg.RetryBackoff = 2 * units.Second
+	}
+	path := filepath.Join(dir, fmt.Sprintf("audit-%d-%g.jsonl", seed, faulty))
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aw := obs.NewAuditWriter(f)
+	rec := attrib.NewRecorder()
+	cfg.Observer = sim.Observers{aw, rec}
+	if _, err := sim.Run(cfg, w); err != nil {
+		t.Fatal(err)
+	}
+	if err := aw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, rec.Jobs()
+}
+
+// TestOfflineMatchesOnline is the acceptance check: dspexplain's offline
+// recomputation from the JSONL alone must reproduce the engine-side
+// attribution for every job, spans and paths included.
+func TestOfflineMatchesOnline(t *testing.T) {
+	path, online := writeAuditedRun(t, t.TempDir(), 10, 3, 0.3)
+	log, err := readFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(online) == 0 {
+		t.Fatal("no jobs completed online")
+	}
+	if len(log.Jobs) != len(online) {
+		t.Fatalf("audit has %d job-blame lines, online recorder has %d", len(log.Jobs), len(online))
+	}
+	if bad := log.verify(); len(bad) > 0 {
+		t.Fatalf("offline recomputation mismatches:\n%s", strings.Join(bad, "\n"))
+	}
+	byID := map[int]attrib.JobAttribution{}
+	for _, a := range online {
+		byID[int(a.Job)] = a
+	}
+	for _, rec := range log.Jobs {
+		want, ok := byID[rec.Job]
+		if !ok {
+			t.Errorf("job %d in audit but not online", rec.Job)
+			continue
+		}
+		if rec.Blame != want.Blame {
+			t.Errorf("job %d: audit blame %v, online %v", rec.Job, rec.Blame, want.Blame)
+		}
+		got, steps := log.recompute(rec)
+		if got != want.Blame {
+			t.Errorf("job %d: offline recompute %v, online %v", rec.Job, got, want.Blame)
+		}
+		if len(steps) != len(want.Path) {
+			t.Errorf("job %d: %d offline steps, %d online", rec.Job, len(steps), len(want.Path))
+		}
+	}
+}
+
+// TestCLIOutputs exercises the flag surface end to end.
+func TestCLIOutputs(t *testing.T) {
+	dir := t.TempDir()
+	path, online := writeAuditedRun(t, dir, 10, 3, 0.3)
+	other, _ := writeAuditedRun(t, dir, 10, 3, 0)
+
+	var buf bytes.Buffer
+	if err := run([]string{"-audit", path, "-top", "3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "offline recomputation matches") {
+		t.Errorf("summary missing verification line:\n%s", out)
+	}
+	if !strings.Contains(out, "aggregate blame") || !strings.Contains(out, "service") {
+		t.Errorf("summary missing blame table:\n%s", out)
+	}
+	if !strings.Contains(out, "top 3 jobs") {
+		t.Errorf("summary missing top table:\n%s", out)
+	}
+
+	jobID := int(online[0].Job)
+	for _, form := range []string{fmt.Sprintf("j%d", jobID), fmt.Sprintf("J%d", jobID), fmt.Sprintf("%d", jobID)} {
+		buf.Reset()
+		if err := run([]string{"-audit", path, "-job", form}, &buf); err != nil {
+			t.Fatalf("-job %s: %v", form, err)
+		}
+		if !strings.Contains(buf.String(), "realized critical path") {
+			t.Errorf("-job %s output missing path:\n%s", form, buf.String())
+		}
+	}
+
+	buf.Reset()
+	if err := run([]string{"-audit", path, "-diff", other}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "per-cause mean blame") || !strings.Contains(buf.String(), "delta") {
+		t.Errorf("-diff output malformed:\n%s", buf.String())
+	}
+
+	if err := run([]string{"-audit", path, "-job", "99999"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown job accepted")
+	}
+	if err := run([]string{}, &bytes.Buffer{}); err == nil {
+		t.Error("missing -audit accepted")
+	}
+}
+
+// TestVerifyCatchesTampering corrupts a recorded blame vector and
+// asserts the offline check notices.
+func TestVerifyCatchesTampering(t *testing.T) {
+	path, _ := writeAuditedRun(t, t.TempDir(), 6, 1, 0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Relabel every service span as overhead: the recorded blame no
+	// longer matches what the spans imply.
+	tampered := bytes.ReplaceAll(data, []byte(`"kind":"service"`), []byte(`"kind":"overhead"`))
+	bad := filepath.Join(t.TempDir(), "tampered.jsonl")
+	if err := os.WriteFile(bad, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	log, err := readFile(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mism := log.verify(); len(mism) == 0 {
+		t.Error("tampered audit passed verification")
+	}
+}

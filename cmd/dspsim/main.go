@@ -15,6 +15,9 @@
 //	-series FILE           write per-epoch time-series CSV
 //	-counters              print event counters after the run
 //	-pprof ADDR            serve /debug/pprof on ADDR (e.g. :6060)
+//	-listen ADDR           serve live telemetry on ADDR (:0 for ephemeral):
+//	                       Prometheus /metrics, /healthz, JSON /snapshot;
+//	                       also prints a latency-attribution summary
 //
 // Resilience flags (see DESIGN.md, "Resilience subsystem"):
 //
@@ -46,6 +49,7 @@ import (
 	"fmt"
 	"os"
 
+	"dsp/internal/attrib"
 	"dsp/internal/chaos"
 	"dsp/internal/cluster"
 	"dsp/internal/experiments"
@@ -77,6 +81,7 @@ func run(args []string) error {
 	seriesPath := fs.String("series", "", "write per-epoch time-series CSV to FILE")
 	counters := fs.Bool("counters", false, "print event counters after the run")
 	pprofAddr := fs.String("pprof", "", "serve /debug/pprof on ADDR (e.g. :6060)")
+	listenAddr := fs.String("listen", "", "serve live telemetry (/metrics, /healthz, /snapshot) on ADDR")
 	faults := fs.Float64("faults", 0, "fraction of flaky nodes (0 disables fault injection)")
 	faultSeed := fs.Int64("fault-seed", 0, "fault-plan seed (0 = workload seed)")
 	speculate := fs.Bool("speculate", false, "launch backup copies of straggling tasks on idle slots")
@@ -141,9 +146,13 @@ func run(args []string) error {
 		AuditPath:  *auditPath,
 		SeriesPath: *seriesPath,
 		Counters:   *counters,
+		ListenAddr: *listenAddr,
 	})
 	if err != nil {
 		return err
+	}
+	if sink.Telemetry != nil {
+		fmt.Fprintf(os.Stderr, "telemetry listening on %s\n", sink.Telemetry.Addr())
 	}
 	cfg := sim.Config{
 		Cluster:            plat.Cluster(),
@@ -232,6 +241,17 @@ func run(args []string) error {
 	}
 	if sink.Counters != nil {
 		fmt.Printf("\nevent counters:\n%s", sink.Counters)
+	}
+	if sink.Attrib != nil {
+		if blame, n := sink.Attrib.Aggregate(); n > 0 {
+			fmt.Printf("\nlatency attribution (%d jobs, mean s/job):\n", n)
+			for _, c := range attrib.Causes() {
+				if blame[c] == 0 {
+					continue
+				}
+				fmt.Printf("  %-16s %10.3f\n", c.String(), blame[c].Seconds()/float64(n))
+			}
+		}
 	}
 	for _, a := range []struct{ what, path string }{
 		{"trace", *tracePath},

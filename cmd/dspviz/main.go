@@ -1,11 +1,13 @@
 // Command dspviz runs a small simulation and writes an SVG Gantt chart
 // of the resulting schedule — one band per node, a lane per busy slot,
-// one color per job, preempted spans outlined in red.
+// one color per job, preempted spans outlined in red. By default each
+// job's realized critical path is overlaid, its execution spans outlined
+// in the color of the dominant blame cause (-critpath=false disables).
 //
 // Usage:
 //
 //	dspviz [-jobs N] [-nodes N] [-scale F] [-seed N] [-preemptor NAME] [-o FILE]
-//	       [-trace FILE] [-audit FILE] [-pprof ADDR]
+//	       [-critpath] [-trace FILE] [-audit FILE] [-pprof ADDR]
 package main
 
 import (
@@ -13,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"dsp/internal/attrib"
 	"dsp/internal/cluster"
 	"dsp/internal/experiments"
 	"dsp/internal/obs"
@@ -38,6 +41,7 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "workload seed")
 	preemptor := fs.String("preemptor", "DSP", "preemption method or 'none'")
 	out := fs.String("o", "gantt.svg", "output SVG path")
+	critpath := fs.Bool("critpath", true, "overlay each job's realized critical path, colored by blame cause")
 	tracePath := fs.String("trace", "", "also write Chrome trace-event JSON to FILE")
 	auditPath := fs.String("audit", "", "also write JSONL decision audit to FILE")
 	pprofAddr := fs.String("pprof", "", "serve /debug/pprof on ADDR (e.g. :6060)")
@@ -76,11 +80,16 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	if sink.Enabled() {
-		cfg.Observer = sim.Observers{rec, sink}
-	} else {
-		cfg.Observer = rec
+	observers := sim.Observers{rec}
+	var arec *attrib.Recorder
+	if *critpath {
+		arec = attrib.NewRecorder()
+		observers = append(observers, arec)
 	}
+	if sink.Enabled() {
+		observers = append(observers, sink)
+	}
+	cfg.Observer = observers
 
 	res, err := sim.Run(cfg, w)
 	if err != nil {
@@ -96,7 +105,12 @@ func run(args []string) error {
 		return err
 	}
 	defer f.Close()
-	if err := rec.Gantt(f); err != nil {
+	if arec != nil {
+		err = rec.GanttWithAttribution(f, arec.Jobs())
+	} else {
+		err = rec.Gantt(f)
+	}
+	if err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s: %d spans, makespan %v, %d preemptions\n",

@@ -1,0 +1,410 @@
+// Package attrib is the latency-attribution engine: it consumes the
+// execution spans the simulator emits (sim.TaskSpan), reconstructs each
+// completed job's realized critical path over its dependency DAG, and
+// decomposes the job's completion time into a blame vector — one
+// duration per cause — whose components sum exactly to the measured
+// completion time. Every simulated microsecond of a completed job is
+// attributed to exactly one cause.
+//
+// The realized critical path is the chain of tasks that actually gated
+// completion: starting from the last-finishing task, repeatedly step to
+// the parent that finished last (the blocking parent) until a task with
+// no parents. Because a task cannot finish before its parents, the
+// segments [previous task's finish, this task's finish] tile the
+// interval [job arrival, job completion] with no gaps or overlaps; the
+// spans of the task owning each segment, clipped to the segment, then
+// split the segment's time by cause. The pre-eligibility stretch (while
+// cross-job prerequisites ran) is blamed on cross-job-wait regardless
+// of span content, since nothing the job did could overlap it.
+package attrib
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"dsp/internal/dag"
+	"dsp/internal/sim"
+	"dsp/internal/units"
+)
+
+// Cause is one component of the blame vector.
+type Cause int
+
+// Blame causes, in canonical (serialization) order.
+const (
+	// CrossJobWait: the job had arrived but could not be scheduled
+	// because a cross-job prerequisite had not completed.
+	CrossJobWait Cause = iota
+	// Dispatch: a path task sat unassigned, waiting for an offline
+	// scheduling period (or a post-failure redispatch) to place it.
+	Dispatch
+	// QueueWait: a path task waited in a node queue before first start.
+	QueueWait
+	// PreemptWait: a path task sat suspended after a preemption.
+	PreemptWait
+	// Service: useful execution that survived to completion.
+	Service
+	// Overhead: slot time paying a startup cost — resume penalty after a
+	// preemption or fault, remote-input fetch.
+	Overhead
+	// PreemptLoss: executed work rolled back because the online policy
+	// suspended the burst past its last checkpoint.
+	PreemptLoss
+	// FaultLoss: executed work rolled back because a transient task
+	// fault or node crash killed the burst.
+	FaultLoss
+	// Backoff: a failed attempt waiting out its retry delay.
+	Backoff
+	// Blocked: a blind-started path task occupying a slot with
+	// unfinished precedents (dependency-blind schedulers only).
+	Blocked
+	// Unattributed: path time not covered by any span. Zero for tasks
+	// that exist from job arrival; dynamically grown tasks leave the
+	// window before their creation uncovered.
+	Unattributed
+
+	// NumCauses is the number of blame causes.
+	NumCauses
+)
+
+var causeNames = [NumCauses]string{
+	CrossJobWait: "cross-job-wait",
+	Dispatch:     "dispatch",
+	QueueWait:    "queue-wait",
+	PreemptWait:  "preempt-wait",
+	Service:      "service",
+	Overhead:     "overhead",
+	PreemptLoss:  "preempt-loss",
+	FaultLoss:    "fault-loss",
+	Backoff:      "backoff",
+	Blocked:      "blocked",
+	Unattributed: "unattributed",
+}
+
+func (c Cause) String() string {
+	if c >= 0 && c < NumCauses {
+		return causeNames[c]
+	}
+	return fmt.Sprintf("cause(%d)", int(c))
+}
+
+// ParseCause resolves a cause name produced by Cause.String.
+func ParseCause(s string) (Cause, bool) {
+	for c, name := range causeNames {
+		if s == name {
+			return Cause(c), true
+		}
+	}
+	return 0, false
+}
+
+// Causes returns all causes in canonical order.
+func Causes() []Cause {
+	out := make([]Cause, NumCauses)
+	for i := range out {
+		out[i] = Cause(i)
+	}
+	return out
+}
+
+// Blame is a duration per cause. The zero value is empty.
+type Blame [NumCauses]units.Time
+
+// Add charges d to cause c.
+func (b *Blame) Add(c Cause, d units.Time) { b[c] += d }
+
+// Merge adds every component of o into b.
+func (b *Blame) Merge(o Blame) {
+	for c, d := range o {
+		b[c] += d
+	}
+}
+
+// Total returns the sum of all components.
+func (b Blame) Total() units.Time {
+	var t units.Time
+	for _, d := range b {
+		t += d
+	}
+	return t
+}
+
+// Dominant returns the cause with the largest share (ties resolve to
+// the earlier cause in canonical order).
+func (b Blame) Dominant() Cause {
+	best := Cause(0)
+	for c := Cause(1); c < NumCauses; c++ {
+		if b[c] > b[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// MarshalJSON renders the blame as an object of nonzero components in
+// canonical cause order, with microsecond integer values.
+func (b Blame) MarshalJSON() ([]byte, error) {
+	buf := []byte{'{'}
+	first := true
+	for c := Cause(0); c < NumCauses; c++ {
+		if b[c] == 0 {
+			continue
+		}
+		if !first {
+			buf = append(buf, ',')
+		}
+		first = false
+		buf = append(buf, fmt.Sprintf("%q:%d", c.String(), int64(b[c]))...)
+	}
+	return append(buf, '}'), nil
+}
+
+// UnmarshalJSON parses the object form written by MarshalJSON.
+func (b *Blame) UnmarshalJSON(data []byte) error {
+	var m map[string]int64
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	var out Blame
+	for name, v := range m {
+		c, ok := ParseCause(name)
+		if !ok {
+			return fmt.Errorf("attrib: unknown blame cause %q", name)
+		}
+		out[c] = units.Time(v)
+	}
+	*b = out
+	return nil
+}
+
+// Span is one closed slice of a task's timeline, already mapped to the
+// blame cause it charges. It is the offline-friendly form of
+// sim.TaskSpan: Decompose works from these alone, so a JSONL audit can
+// reproduce the attribution without the engine.
+type Span struct {
+	Cause Cause
+	Start units.Time
+	End   units.Time
+	// Node is where the span was spent (-1 for off-node waits).
+	Node int
+}
+
+// CauseOfSpan maps a simulator span to the blame cause it charges.
+func CauseOfSpan(k sim.SpanKind, c sim.SpanCause) Cause {
+	switch k {
+	case sim.SpanPending:
+		return Dispatch
+	case sim.SpanQueued:
+		return QueueWait
+	case sim.SpanSuspendWait:
+		return PreemptWait
+	case sim.SpanBackoff:
+		return Backoff
+	case sim.SpanBlocked:
+		return Blocked
+	case sim.SpanOverhead:
+		return Overhead
+	case sim.SpanService:
+		return Service
+	case sim.SpanLost:
+		if c == sim.CausePreemption {
+			return PreemptLoss
+		}
+		return FaultLoss
+	}
+	return Unattributed
+}
+
+// ParseSpanCause maps the (kind, cause) string pair of an audit "span"
+// line back to its blame cause. Kind strings are sim.SpanKind.String
+// values; cause strings sim.SpanCause.String values.
+func ParseSpanCause(kind, cause string) (Cause, bool) {
+	switch kind {
+	case "pending":
+		return Dispatch, true
+	case "queued":
+		return QueueWait, true
+	case "suspend-wait":
+		return PreemptWait, true
+	case "backoff":
+		return Backoff, true
+	case "blocked":
+		return Blocked, true
+	case "overhead":
+		return Overhead, true
+	case "service":
+		return Service, true
+	case "lost":
+		if cause == "preemption" {
+			return PreemptLoss, true
+		}
+		return FaultLoss, true
+	}
+	return 0, false
+}
+
+// Window is one segment of the realized critical path: the stretch of
+// the job's completion interval that Task's finish gated, from the
+// previous path task's finish (or the job's arrival, for the root) to
+// Task's own finish.
+type Window struct {
+	Task  dag.TaskID
+	Start units.Time
+	End   units.Time
+}
+
+// Step is a decomposed path window: the window plus the blame split of
+// its time.
+type Step struct {
+	Task  dag.TaskID
+	Start units.Time
+	End   units.Time
+	Blame Blame
+}
+
+// JobAttribution is the full attribution of one completed job.
+type JobAttribution struct {
+	Job      dag.JobID
+	Arrival  units.Time
+	Eligible units.Time
+	DoneAt   units.Time
+	// Path is the realized critical path, root first; its windows tile
+	// [Arrival, DoneAt].
+	Path []Step
+	// Blame sums the step blames; Blame.Total() == Completion().
+	Blame Blame
+}
+
+// Completion returns the job's measured completion time.
+func (a JobAttribution) Completion() units.Time { return a.DoneAt - a.Arrival }
+
+// RealizedPath reconstructs the chain of tasks that actually gated the
+// job's completion: from the last-finishing task, walk to the parent
+// that finished last until a task with no parents. Ties resolve to the
+// smallest task ID for determinism. Returns nil for incomplete jobs.
+func RealizedPath(j *sim.JobState) []dag.TaskID {
+	if !j.Done() || len(j.Tasks) == 0 {
+		return nil
+	}
+	last := dag.TaskID(0)
+	for id, ts := range j.Tasks {
+		if ts.DoneAt > j.Tasks[last].DoneAt {
+			last = dag.TaskID(id)
+		}
+	}
+	var rev []dag.TaskID
+	cur := last
+	for {
+		rev = append(rev, cur)
+		parents := j.Dag.Parents(cur)
+		if len(parents) == 0 {
+			break
+		}
+		pick := parents[0]
+		for _, p := range parents[1:] {
+			if j.Tasks[p].DoneAt > j.Tasks[pick].DoneAt ||
+				(j.Tasks[p].DoneAt == j.Tasks[pick].DoneAt && p < pick) {
+				pick = p
+			}
+		}
+		cur = pick
+	}
+	for i, k := 0, len(rev)-1; i < k; i, k = i+1, k-1 {
+		rev[i], rev[k] = rev[k], rev[i]
+	}
+	return rev
+}
+
+// PathWindows turns a realized path into its tiling windows over
+// [j.Arrival, j.DoneAt].
+func PathWindows(j *sim.JobState, path []dag.TaskID) []Window {
+	ws := make([]Window, len(path))
+	start := j.Arrival
+	for i, id := range path {
+		end := j.Tasks[id].DoneAt
+		if end < start {
+			end = start // defensive; parents finish before children
+		}
+		ws[i] = Window{Task: id, Start: start, End: end}
+		start = end
+	}
+	return ws
+}
+
+// Decompose splits the completion interval tiled by windows into a
+// blame vector, clipping each window's task spans to the window.
+// spansOf returns the closed spans of a task in any order. Time inside
+// a window covered by no span is Unattributed; time before eligible is
+// cross-job wait regardless of span content. The returned blame totals
+// exactly the windows' combined length, so when the windows come from
+// PathWindows the total is the job's completion time.
+func Decompose(eligible units.Time, windows []Window, spansOf func(dag.TaskID) []Span) (Blame, []Step) {
+	var total Blame
+	steps := make([]Step, 0, len(windows))
+	for _, w := range windows {
+		var b Blame
+		spans := append([]Span(nil), spansOf(w.Task)...)
+		sort.Slice(spans, func(a, c int) bool { return spans[a].Start < spans[c].Start })
+		cursor := w.Start
+		for _, s := range spans {
+			st, en := s.Start, s.End
+			if st < cursor {
+				st = cursor // never double-count overlap
+			}
+			if en > w.End {
+				en = w.End
+			}
+			if en <= st {
+				continue
+			}
+			if gap := st - cursor; gap > 0 {
+				charge(&b, cursor, st, eligible, Unattributed)
+			}
+			charge(&b, st, en, eligible, s.Cause)
+			cursor = en
+		}
+		if cursor < w.End {
+			charge(&b, cursor, w.End, eligible, Unattributed)
+		}
+		steps = append(steps, Step{Task: w.Task, Start: w.Start, End: w.End, Blame: b})
+		total.Merge(b)
+	}
+	return total, steps
+}
+
+// charge books [st, en) to cause, diverting any part before eligible to
+// cross-job wait.
+func charge(b *Blame, st, en, eligible units.Time, cause Cause) {
+	if st >= en {
+		return
+	}
+	if st < eligible {
+		ce := eligible
+		if ce > en {
+			ce = en
+		}
+		b.Add(CrossJobWait, ce-st)
+		st = ce
+	}
+	if en > st {
+		b.Add(cause, en-st)
+	}
+}
+
+// Attribute runs the full pipeline for one completed job given its
+// recorded spans: realized path, windows, decomposition.
+func Attribute(j *sim.JobState, spansOf func(dag.TaskID) []Span) JobAttribution {
+	path := RealizedPath(j)
+	windows := PathWindows(j, path)
+	eligible := j.EligibleAt()
+	blame, steps := Decompose(eligible, windows, spansOf)
+	return JobAttribution{
+		Job:      j.Dag.ID,
+		Arrival:  j.Arrival,
+		Eligible: eligible,
+		DoneAt:   j.DoneAt,
+		Path:     steps,
+		Blame:    blame,
+	}
+}

@@ -1,0 +1,256 @@
+package attrib_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"dsp/internal/attrib"
+	"dsp/internal/chaos"
+	"dsp/internal/cluster"
+	"dsp/internal/dag"
+	"dsp/internal/preempt"
+	"dsp/internal/sched"
+	"dsp/internal/sim"
+	"dsp/internal/trace"
+	"dsp/internal/units"
+)
+
+// TestBlameSumsToCompletionUnderChaosOverload is the acceptance bar:
+// a seeded RealCluster(50) run under the full chaos + overload stack —
+// crashes, stragglers, transient faults, retries with backoff,
+// speculation, a constrained solver budget and admission control — must
+// attribute every completed job's time exactly: blame components sum to
+// the measured completion within 1 time unit (they are integers, so
+// exactly), with nothing left unattributed.
+func TestBlameSumsToCompletionUnderChaosOverload(t *testing.T) {
+	spec := trace.DefaultSpec(60, 20180901)
+	spec.TaskScale = 0.05
+	w, err := trace.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := cluster.RealCluster(50)
+	cs := chaos.DefaultSpec(cl.Len(), 20180901)
+	cs.FaultyFraction = 0.2
+	plan, err := cs.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sched.NewDSP()
+	s.ILPNodeBudget = 500
+	rec := attrib.NewRecorder()
+	res, err := sim.Run(sim.Config{
+		Cluster:      cl,
+		Scheduler:    s,
+		Preemptor:    preempt.NewDSP(),
+		Checkpoint:   cluster.DefaultCheckpoint(),
+		Epoch:        10 * units.Second,
+		Faults:       plan,
+		Speculation:  &sim.Speculation{},
+		RetryBackoff: 2 * units.Second,
+		Admission: &sim.Admission{
+			MaxPendingTasks: 2000,
+			ShedInfeasible:  true,
+			Margin:          1.5,
+		},
+		AuditInvariants: true,
+		Observer:        rec,
+	}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := rec.Jobs()
+	if len(jobs) != res.JobsCompleted {
+		t.Fatalf("recorded %d attributions, %d jobs completed", len(jobs), res.JobsCompleted)
+	}
+	if len(jobs) == 0 {
+		t.Fatal("no jobs completed")
+	}
+	var agg attrib.Blame
+	for _, a := range jobs {
+		diff := a.Blame.Total() - a.Completion()
+		if diff < -1 || diff > 1 {
+			t.Errorf("job %d: blame total %v != completion %v (diff %v)\nblame: %+v",
+				a.Job, a.Blame.Total(), a.Completion(), diff, a.Blame)
+		}
+		if a.Blame[attrib.Unattributed] != 0 {
+			t.Errorf("job %d: %v unattributed (want 0 without dynamic growth)",
+				a.Job, a.Blame[attrib.Unattributed])
+		}
+		if len(a.Path) == 0 {
+			t.Errorf("job %d: empty realized path", a.Job)
+		}
+		// Path windows must tile [Arrival, DoneAt].
+		cursor := a.Arrival
+		for i, st := range a.Path {
+			if st.Start != cursor {
+				t.Errorf("job %d: step %d starts at %v, want %v", a.Job, i, st.Start, cursor)
+			}
+			if st.Blame.Total() != st.End-st.Start {
+				t.Errorf("job %d: step %d blame %v != window %v",
+					a.Job, i, st.Blame.Total(), st.End-st.Start)
+			}
+			cursor = st.End
+		}
+		if cursor != a.DoneAt {
+			t.Errorf("job %d: path ends at %v, want %v", a.Job, cursor, a.DoneAt)
+		}
+		agg.Merge(a.Blame)
+	}
+	if agg[attrib.Service] == 0 {
+		t.Error("aggregate service blame is zero; attribution is vacuous")
+	}
+	t.Logf("%d jobs attributed; aggregate blame: %+v", len(jobs), agg)
+}
+
+// TestRecorderAggregateMatchesJobs cross-checks Aggregate against the
+// per-job list and exercises Reset.
+func TestRecorderAggregateMatchesJobs(t *testing.T) {
+	spec := trace.DefaultSpec(4, 7)
+	spec.TaskScale = 0.02
+	w, err := trace.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := attrib.NewRecorder()
+	var fromCallback int
+	rec.OnJob(func(attrib.JobAttribution) { fromCallback++ })
+	if _, err := sim.Run(sim.Config{
+		Cluster:    cluster.RealCluster(2),
+		Scheduler:  sched.NewDSP(),
+		Preemptor:  preempt.NewDSP(),
+		Checkpoint: cluster.DefaultCheckpoint(),
+		Period:     units.Minute,
+		Epoch:      units.Second,
+		Observer:   rec,
+	}, w); err != nil {
+		t.Fatal(err)
+	}
+	jobs := rec.Jobs()
+	if len(jobs) == 0 {
+		t.Fatal("no attributions recorded")
+	}
+	if fromCallback != len(jobs) {
+		t.Errorf("OnJob fired %d times for %d jobs", fromCallback, len(jobs))
+	}
+	var want attrib.Blame
+	for _, a := range jobs {
+		want.Merge(a.Blame)
+	}
+	got, n := rec.Aggregate()
+	if got != want || n != len(jobs) {
+		t.Errorf("Aggregate() = %+v (%d jobs), want %+v (%d)", got, n, want, len(jobs))
+	}
+	rec.Reset()
+	if _, n := rec.Aggregate(); n != 0 {
+		t.Errorf("after Reset, %d jobs remain", n)
+	}
+}
+
+// TestDecomposeClipping feeds hand-built windows and spans through
+// Decompose: overlap clipping, the cross-job split, and unattributed
+// gap accounting.
+func TestDecomposeClipping(t *testing.T) {
+	sec := func(s int64) units.Time { return units.Time(s) * units.Second }
+	windows := []attrib.Window{
+		{Task: 0, Start: 0, End: sec(10)},
+		{Task: 1, Start: sec(10), End: sec(20)},
+	}
+	spans := map[dag.TaskID][]attrib.Span{
+		// Task 0: pending [0,4), queued [4,6), service [6,10) — but the
+		// job only became eligible at 3s, so [0,3) is cross-job wait.
+		0: {
+			{Cause: attrib.Dispatch, Start: 0, End: sec(4)},
+			{Cause: attrib.QueueWait, Start: sec(4), End: sec(6)},
+			{Cause: attrib.Service, Start: sec(6), End: sec(10)},
+		},
+		// Task 1: spans overlap the window boundary and each other, and
+		// leave [18,20) uncovered.
+		1: {
+			{Cause: attrib.QueueWait, Start: sec(8), End: sec(12)}, // clipped to [10,12)
+			{Cause: attrib.Service, Start: sec(11), End: sec(18)},  // overlap [11,12) dropped
+			{Cause: attrib.Overhead, Start: sec(13), End: sec(15)}, // fully shadowed
+		},
+	}
+	blame, steps := attrib.Decompose(sec(3), windows, func(id dag.TaskID) []attrib.Span {
+		return spans[id]
+	})
+	if got := blame.Total(); got != sec(20) {
+		t.Fatalf("total blame %v, want %v", got, sec(20))
+	}
+	want := attrib.Blame{}
+	want[attrib.CrossJobWait] = sec(3)
+	want[attrib.Dispatch] = sec(1)
+	want[attrib.QueueWait] = sec(2) + sec(2)
+	want[attrib.Service] = sec(4) + sec(6)
+	want[attrib.Unattributed] = sec(2)
+	if blame != want {
+		t.Errorf("blame = %+v\nwant    %+v", blame, want)
+	}
+	if len(steps) != 2 {
+		t.Fatalf("got %d steps, want 2", len(steps))
+	}
+}
+
+// TestBlameJSONRoundTrip checks the custom (Un)MarshalJSON pair.
+func TestBlameJSONRoundTrip(t *testing.T) {
+	var b attrib.Blame
+	b[attrib.Service] = 123456
+	b[attrib.PreemptLoss] = 789
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"service":123456,"preempt-loss":789}`
+	if string(data) != want {
+		t.Errorf("marshal = %s, want %s", data, want)
+	}
+	var back attrib.Blame
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != b {
+		t.Errorf("round trip = %+v, want %+v", back, b)
+	}
+	if _, err := json.Marshal(attrib.Blame{}); err != nil {
+		t.Fatal(err)
+	}
+	var bad attrib.Blame
+	if err := json.Unmarshal([]byte(`{"nonsense":1}`), &bad); err == nil {
+		t.Error("unknown cause accepted")
+	}
+}
+
+// TestParseCause checks String/ParseCause are inverse over all causes,
+// and that the span-string mapping covers every span kind.
+func TestParseCause(t *testing.T) {
+	for _, c := range attrib.Causes() {
+		got, ok := attrib.ParseCause(c.String())
+		if !ok || got != c {
+			t.Errorf("ParseCause(%q) = %v, %v", c.String(), got, ok)
+		}
+	}
+	if _, ok := attrib.ParseCause("bogus"); ok {
+		t.Error("ParseCause accepted bogus name")
+	}
+	for _, tc := range []struct {
+		kind, cause string
+		want        attrib.Cause
+	}{
+		{"pending", "none", attrib.Dispatch},
+		{"queued", "none", attrib.QueueWait},
+		{"suspend-wait", "preemption", attrib.PreemptWait},
+		{"backoff", "none", attrib.Backoff},
+		{"blocked", "none", attrib.Blocked},
+		{"overhead", "none", attrib.Overhead},
+		{"service", "none", attrib.Service},
+		{"lost", "preemption", attrib.PreemptLoss},
+		{"lost", "task-fault", attrib.FaultLoss},
+		{"lost", "crash", attrib.FaultLoss},
+	} {
+		got, ok := attrib.ParseSpanCause(tc.kind, tc.cause)
+		if !ok || got != tc.want {
+			t.Errorf("ParseSpanCause(%q, %q) = %v, %v; want %v", tc.kind, tc.cause, got, ok, tc.want)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package attrib
+
+import (
+	"sync"
+
+	"dsp/internal/dag"
+	"dsp/internal/sim"
+	"dsp/internal/units"
+)
+
+// Recorder is a sim.Observer that collects task spans as the engine
+// emits them and attributes each job the moment it completes. It is
+// safe for concurrent reads (the telemetry server scrapes aggregates
+// while the simulation owns the write path).
+type Recorder struct {
+	sim.NopObserver
+
+	mu    sync.Mutex
+	spans map[dag.Key][]Span
+	jobs  []JobAttribution
+	onJob func(JobAttribution)
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{spans: make(map[dag.Key][]Span)}
+}
+
+// OnJob registers a callback invoked (synchronously, from the engine's
+// event loop) with each completed job's attribution.
+func (r *Recorder) OnJob(fn func(JobAttribution)) { r.onJob = fn }
+
+// BeginRun resets the recorder between runs of a sweep.
+func (r *Recorder) BeginRun(string) { r.Reset() }
+
+// Reset discards all recorded spans and attributions.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.spans = make(map[dag.Key][]Span)
+	r.jobs = nil
+}
+
+// TaskSpanClosed implements sim.Observer.
+func (r *Recorder) TaskSpanClosed(s sim.TaskSpan) {
+	k := s.Task.Key()
+	r.mu.Lock()
+	r.spans[k] = append(r.spans[k], Span{
+		Cause: CauseOfSpan(s.Kind, s.Cause),
+		Start: s.Start,
+		End:   s.End,
+		Node:  int(s.Node),
+	})
+	r.mu.Unlock()
+}
+
+// JobCompleted implements sim.Observer: the job is attributed
+// immediately and its per-task span records released, bounding memory
+// to in-flight jobs.
+func (r *Recorder) JobCompleted(_ units.Time, j *sim.JobState) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	att := Attribute(j, func(id dag.TaskID) []Span {
+		return r.spans[dag.Key{Job: j.Dag.ID, Task: id}]
+	})
+	for id := range j.Tasks {
+		delete(r.spans, dag.Key{Job: j.Dag.ID, Task: dag.TaskID(id)})
+	}
+	r.jobs = append(r.jobs, att)
+	if r.onJob != nil {
+		r.onJob(att)
+	}
+}
+
+// Jobs returns a copy of the attributions recorded so far, in
+// completion order.
+func (r *Recorder) Jobs() []JobAttribution {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]JobAttribution(nil), r.jobs...)
+}
+
+// Aggregate sums the blame vectors of all completed jobs and returns
+// the sum with the job count.
+func (r *Recorder) Aggregate() (Blame, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b Blame
+	for i := range r.jobs {
+		b.Merge(r.jobs[i].Blame)
+	}
+	return b, len(r.jobs)
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dsp/internal/attrib"
+	"dsp/internal/metrics"
+	"dsp/internal/sched"
+	"dsp/internal/sim"
+)
+
+// AttributionOptions configures the latency-attribution sweep.
+type AttributionOptions struct {
+	Options
+	// JobCounts is the x-axis (falls back to Options.JobCounts).
+	JobCounts []int
+	// Methods lists the preemption methods, one table each (falls back
+	// to DSP, Natjam, SRPT — the methods whose wait/loss trade-offs the
+	// blame vector separates most sharply).
+	Methods []string
+}
+
+// DefaultAttributionOptions returns the reduced-scale sweep defaults.
+func DefaultAttributionOptions() AttributionOptions {
+	return AttributionOptions{
+		Options: DefaultOptions(),
+		Methods: []string{"DSP", "Natjam", "SRPT"},
+	}
+}
+
+// AttributionTables holds one table per preemption method: mean seconds
+// per completed job charged to each blame cause, versus job count.
+type AttributionTables struct {
+	PerMethod []*metrics.Table
+}
+
+// All returns the tables in method order.
+func (a *AttributionTables) All() []*metrics.Table { return a.PerMethod }
+
+// attributionColumns is the cause-name column set, canonical order.
+func attributionColumns() []string {
+	var cols []string
+	for _, c := range attrib.Causes() {
+		cols = append(cols, c.String())
+	}
+	return cols
+}
+
+// Attribution decomposes mean job completion time by blame cause for
+// each preemption method as the job count grows: where a method's
+// latency actually goes (queueing, preemption waits, rollback loss,
+// service) rather than just how much of it there is. Every method at one
+// x sees the same workload; the offline phase is always DSP, as in
+// Figure 6.
+func Attribution(p Platform, o AttributionOptions) (*AttributionTables, error) {
+	jobCounts := o.JobCounts
+	if len(jobCounts) == 0 {
+		jobCounts = o.Options.JobCounts
+	}
+	methods := o.Methods
+	if len(methods) == 0 {
+		methods = DefaultAttributionOptions().Methods
+	}
+	out := &AttributionTables{}
+	cols := attributionColumns()
+	for _, method := range methods {
+		table := metrics.NewTable(
+			fmt.Sprintf("Attribution — completion-time blame, %s preemption (%s)", method, p),
+			"jobs", "mean s/job by cause", cols...)
+		for _, jobs := range jobCounts {
+			pre, cp, err := NewPreemptor(method)
+			if err != nil {
+				return nil, err
+			}
+			rec := attrib.NewRecorder()
+			var observer sim.Observer = rec
+			if sweep := o.observe(fmt.Sprintf("attrib-%s-%s-j%d", p, method, jobs)); sweep != nil {
+				observer = sim.Observers{rec, sweep}
+			}
+			w, err := workloadFor(jobs, o.Options)
+			if err != nil {
+				return nil, err
+			}
+			res, err := sim.Run(sim.Config{
+				Cluster:    p.Cluster(),
+				Scheduler:  sched.NewDSP(),
+				Preemptor:  pre,
+				Checkpoint: cp,
+				Period:     o.Period,
+				Epoch:      o.Epoch,
+				Observer:   observer,
+			}, w)
+			if err != nil {
+				return nil, fmt.Errorf("attribution %s j=%d: %w", method, jobs, err)
+			}
+			blame, n := rec.Aggregate()
+			if n != res.JobsCompleted {
+				return nil, fmt.Errorf("attribution %s j=%d: %d attributions for %d completed jobs",
+					method, jobs, n, res.JobsCompleted)
+			}
+			for _, c := range attrib.Causes() {
+				var mean float64
+				if n > 0 {
+					mean = blame[c].Seconds() / float64(n)
+				}
+				table.Set(float64(jobs), c.String(), mean)
+			}
+		}
+		out.PerMethod = append(out.PerMethod, table)
+	}
+	return out, nil
+}

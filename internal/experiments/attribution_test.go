@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"dsp/internal/attrib"
+)
+
+// tinyAttributionOptions shrinks the sweep to smoke-test size.
+func tinyAttributionOptions() AttributionOptions {
+	o := DefaultAttributionOptions()
+	o.Scale = 0.02
+	o.JobCounts = []int{8}
+	o.Methods = []string{"DSP", "SRPT"}
+	return o
+}
+
+func TestAttributionSweepShapes(t *testing.T) {
+	r, err := Attribution(Real, tinyAttributionOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.All()) != 2 {
+		t.Fatalf("got %d tables, want one per method", len(r.All()))
+	}
+	for _, tb := range r.All() {
+		xs := tb.Xs()
+		if len(xs) != 1 || xs[0] != 8 {
+			t.Fatalf("%s: xs = %v, want [8]", tb.Title, xs)
+		}
+		var total float64
+		for _, c := range attrib.Causes() {
+			v := tb.Get(8, c.String())
+			if math.IsNaN(v) || v < 0 {
+				t.Fatalf("%s %s = %v", tb.Title, c, v)
+			}
+			total += v
+		}
+		if tb.Get(8, attrib.Service.String()) <= 0 {
+			t.Errorf("%s: zero mean service time", tb.Title)
+		}
+		if total <= 0 {
+			t.Errorf("%s: blame columns sum to %v", tb.Title, total)
+		}
+		// Nothing may be unattributed for statically-shaped jobs.
+		if u := tb.Get(8, attrib.Unattributed.String()); u != 0 {
+			t.Errorf("%s: unattributed mean %v, want 0", tb.Title, u)
+		}
+	}
+}

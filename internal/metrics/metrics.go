@@ -217,13 +217,20 @@ func (t *Table) CSV() string {
 }
 
 // Percentile returns the p-quantile (p in [0,1]) of xs by linear
-// interpolation between closest ranks, without mutating xs. NaN with no
-// samples. Observability samplers use it for per-epoch series summaries.
+// interpolation between closest ranks, without mutating xs. NaN samples
+// are ignored (sort.Float64s places NaNs first, which would shift every
+// rank and corrupt the low quantiles); NaN with no valid samples.
+// Observability samplers use it for per-epoch series summaries.
 func Percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
+	sorted := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			sorted = append(sorted, x)
+		}
+	}
+	if len(sorted) == 0 {
 		return math.NaN()
 	}
-	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
 	if p <= 0 {
 		return sorted[0]

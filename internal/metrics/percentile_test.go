@@ -1,0 +1,96 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refPercentile is the straight-line reference: filter NaNs, sort, take
+// the linearly interpolated closest-rank quantile.
+func refPercentile(xs []float64, p float64) float64 {
+	var clean []float64
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			clean = append(clean, x)
+		}
+	}
+	if len(clean) == 0 {
+		return math.NaN()
+	}
+	sort.Float64s(clean)
+	switch {
+	case p <= 0:
+		return clean[0]
+	case p >= 1:
+		return clean[len(clean)-1]
+	}
+	rank := p * float64(len(clean)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(clean) {
+		return clean[lo]
+	}
+	return clean[lo]*(1-frac) + clean[lo+1]*frac
+}
+
+// TestPercentileAgainstReference is the property test: random inputs
+// (including NaN contamination) at the percentiles the series summaries
+// use must match the sort-based reference exactly.
+func TestPercentileAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(20180901))
+	ps := []float64{0, 0.5, 0.95, 0.99, 1}
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			switch rng.Intn(10) {
+			case 0:
+				xs[i] = math.NaN()
+			case 1:
+				xs[i] = -rng.Float64() * 1e6
+			default:
+				xs[i] = rng.Float64() * 1e3
+			}
+		}
+		orig := append([]float64(nil), xs...)
+		for _, p := range ps {
+			got := Percentile(xs, p)
+			want := refPercentile(xs, p)
+			if math.IsNaN(want) != math.IsNaN(got) || (!math.IsNaN(want) && math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want))) {
+				t.Fatalf("trial %d: Percentile(%v, %v) = %v, want %v", trial, xs, p, got, want)
+			}
+		}
+		for i := range xs {
+			if !math.IsNaN(orig[i]) && xs[i] != orig[i] {
+				t.Fatalf("trial %d: Percentile mutated its input at %d", trial, i)
+			}
+		}
+	}
+}
+
+// TestPercentileEdges pins the documented edge cases.
+func TestPercentileEdges(t *testing.T) {
+	if got := Percentile(nil, 0.5); !math.IsNaN(got) {
+		t.Errorf("empty input: got %v, want NaN", got)
+	}
+	if got := Percentile([]float64{math.NaN(), math.NaN()}, 0.5); !math.IsNaN(got) {
+		t.Errorf("all-NaN input: got %v, want NaN", got)
+	}
+	for _, p := range []float64{0, 0.5, 0.95, 1} {
+		if got := Percentile([]float64{42}, p); got != 42 {
+			t.Errorf("single element at p=%v: got %v, want 42", p, got)
+		}
+	}
+	// A NaN sample must not shift the ranks: p0 of {NaN, 1, 2} is 1.
+	if got := Percentile([]float64{math.NaN(), 2, 1}, 0); got != 1 {
+		t.Errorf("p0 with NaN contamination: got %v, want 1", got)
+	}
+	if got := Percentile([]float64{math.NaN(), 2, 1}, 0.5); got != 1.5 {
+		t.Errorf("p50 with NaN contamination: got %v, want 1.5", got)
+	}
+	if got := Percentile([]float64{1, 2, 3, 4}, 0.5); got != 2.5 {
+		t.Errorf("even-length median: got %v, want 2.5", got)
+	}
+}

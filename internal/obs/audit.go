@@ -2,9 +2,11 @@ package obs
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 
+	"dsp/internal/attrib"
 	"dsp/internal/cluster"
 	"dsp/internal/sim"
 	"dsp/internal/units"
@@ -14,11 +16,15 @@ import (
 // one line per decision-level event, in simulation order. It answers
 // queries like "why was task X preempted at t=Y" (grep the candidate or
 // victim key) and lets offline tooling recompute any counter the engine
-// reports. Fields are printed in a fixed order so output is byte-stable
-// for a given run.
+// reports. Every task-timeline span is logged ("span" lines) and every
+// completed job gets a "job-blame" line carrying its realized critical
+// path and blame vector, so cmd/dspexplain can reproduce — and verify —
+// the full latency attribution from the JSONL alone. Fields are printed
+// in a fixed order so output is byte-stable for a given run.
 type AuditWriter struct {
 	sim.NopObserver
-	w *bufio.Writer
+	w   *bufio.Writer
+	rec *attrib.Recorder
 	// Verdicts tallies PreemptionConsidered lines by verdict string, a
 	// convenience for cross-checking against sim.Result totals.
 	Verdicts map[string]int
@@ -27,13 +33,30 @@ type AuditWriter struct {
 // NewAuditWriter wraps w in a buffered JSONL emitter; call Flush when
 // the run finishes.
 func NewAuditWriter(w io.Writer) *AuditWriter {
-	return &AuditWriter{w: bufio.NewWriter(w), Verdicts: make(map[string]int)}
+	a := &AuditWriter{w: bufio.NewWriter(w), Verdicts: make(map[string]int)}
+	a.rec = attrib.NewRecorder()
+	a.rec.OnJob(a.writeJobBlame)
+	return a
+}
+
+// jstr renders a free-form string as a JSON string literal. %q is not a
+// JSON escaper — it emits Go escapes like \a and \x07 that json.Valid
+// rejects — so every field that can carry arbitrary text (run labels,
+// degradation reasons, violation details) goes through here instead.
+func jstr(s string) string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return `""` // cannot happen for a string input
+	}
+	return string(b)
 }
 
 // BeginRun writes a run-boundary marker so multi-run sweeps (dspbench)
-// keep their decisions attributable.
+// keep their decisions attributable, and resets the per-run attribution
+// state.
 func (a *AuditWriter) BeginRun(label string) {
-	fmt.Fprintf(a.w, "{\"ev\":\"run\",\"label\":%q}\n", label)
+	a.rec.Reset()
+	fmt.Fprintf(a.w, "{\"ev\":\"run\",\"label\":%s}\n", jstr(label))
 }
 
 // PreemptionConsidered implements sim.Observer.
@@ -139,8 +162,8 @@ func (a *AuditWriter) NodeBlacklisted(now units.Time, node cluster.NodeID) {
 
 // SolverDegraded implements sim.Observer.
 func (a *AuditWriter) SolverDegraded(now units.Time, d sim.SolverDegradation) {
-	fmt.Fprintf(a.w, "{\"t\":%d,\"ev\":\"solver-degraded\",\"from\":%q,\"to\":%q,\"reason\":%q,\"pending_tasks\":%d,\"bnb_nodes\":%d}\n",
-		int64(now), d.From.String(), d.To.String(), d.Reason, d.PendingTasks, d.Nodes)
+	fmt.Fprintf(a.w, "{\"t\":%d,\"ev\":\"solver-degraded\",\"from\":%q,\"to\":%q,\"reason\":%s,\"pending_tasks\":%d,\"bnb_nodes\":%d}\n",
+		int64(now), d.From.String(), d.To.String(), jstr(d.Reason), d.PendingTasks, d.Nodes)
 }
 
 // JobShed implements sim.Observer.
@@ -155,8 +178,75 @@ func (a *AuditWriter) InvariantViolated(now units.Time, v sim.InvariantViolation
 	if v.Task != nil {
 		tkey = v.Task.Key().String()
 	}
-	fmt.Fprintf(a.w, "{\"t\":%d,\"ev\":\"invariant-violated\",\"check\":%q,\"node\":%d,\"task\":%q,\"detail\":%q}\n",
-		int64(now), v.Check, int(v.Node), tkey, v.Detail)
+	fmt.Fprintf(a.w, "{\"t\":%d,\"ev\":\"invariant-violated\",\"check\":%q,\"node\":%d,\"task\":%q,\"detail\":%s}\n",
+		int64(now), v.Check, int(v.Node), tkey, jstr(v.Detail))
+}
+
+// TaskSpanClosed implements sim.Observer: one line per closed timeline
+// span, the raw material for offline latency attribution.
+func (a *AuditWriter) TaskSpanClosed(s sim.TaskSpan) {
+	fmt.Fprintf(a.w, "{\"t\":%d,\"ev\":\"span\",\"task\":%q,\"kind\":%q,\"cause\":%q,\"node\":%d,\"start\":%d,\"end\":%d}\n",
+		int64(s.End), s.Task.Key().String(), s.Kind.String(), s.Cause.String(),
+		int(s.Node), int64(s.Start), int64(s.End))
+	a.rec.TaskSpanClosed(s)
+}
+
+// JobCompleted implements sim.Observer: the internal recorder attributes
+// the job and writeJobBlame (its OnJob callback) emits the line.
+func (a *AuditWriter) JobCompleted(now units.Time, j *sim.JobState) {
+	a.rec.JobCompleted(now, j)
+}
+
+// auditStep mirrors attrib.Step for the JSONL encoding.
+type auditStep struct {
+	Task  int          `json:"task"`
+	Start int64        `json:"start"`
+	End   int64        `json:"end"`
+	Blame attrib.Blame `json:"blame"`
+}
+
+// auditBlame is the "job-blame" line layout.
+type auditBlame struct {
+	T          int64        `json:"t"`
+	Ev         string       `json:"ev"`
+	Job        int          `json:"job"`
+	Arrival    int64        `json:"arrival"`
+	Eligible   int64        `json:"eligible"`
+	Done       int64        `json:"done"`
+	Completion int64        `json:"completion"`
+	Blame      attrib.Blame `json:"blame"`
+	Path       []auditStep  `json:"path"`
+}
+
+// writeJobBlame emits the full attribution of one completed job: its
+// blame vector and the realized critical path with per-step blame, so
+// dspexplain can both display and independently re-derive the result.
+func (a *AuditWriter) writeJobBlame(att attrib.JobAttribution) {
+	line := auditBlame{
+		T:          int64(att.DoneAt),
+		Ev:         "job-blame",
+		Job:        int(att.Job),
+		Arrival:    int64(att.Arrival),
+		Eligible:   int64(att.Eligible),
+		Done:       int64(att.DoneAt),
+		Completion: int64(att.Completion()),
+		Blame:      att.Blame,
+		Path:       make([]auditStep, 0, len(att.Path)),
+	}
+	for _, st := range att.Path {
+		line.Path = append(line.Path, auditStep{
+			Task:  int(st.Task),
+			Start: int64(st.Start),
+			End:   int64(st.End),
+			Blame: st.Blame,
+		})
+	}
+	b, err := json.Marshal(line)
+	if err != nil {
+		return // cannot happen: fixed struct layout
+	}
+	a.w.Write(b)
+	a.w.WriteByte('\n')
 }
 
 // Flush drains the buffer to the underlying writer.

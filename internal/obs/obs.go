@@ -13,10 +13,17 @@
 //     and epoch markers.
 //   - AuditWriter: a JSONL decision log answering "why was task X
 //     preempted at t=Y": one line per preemption decision with both
-//     priorities, the gain, the PP threshold and the verdict.
+//     priorities, the gain, the PP threshold and the verdict — plus one
+//     line per task-timeline span and a "job-blame" attribution line per
+//     completed job, enough for cmd/dspexplain to reproduce the latency
+//     attribution offline.
+//   - Server: an opt-in live telemetry endpoint (Prometheus /metrics,
+//     /healthz, JSON /snapshot) scraping the counters, the attribution
+//     aggregate and per-epoch gauges while a simulation runs.
 //
 // A Sink bundles any subset of the above behind one sim.Observer and one
-// Close call; the cmd/ tools wire it to --trace/--audit/--series flags.
+// Close call; the cmd/ tools wire it to --trace/--audit/--series/--listen
+// flags.
 package obs
 
 import (
@@ -24,6 +31,7 @@ import (
 	"io"
 	"os"
 
+	"dsp/internal/attrib"
 	"dsp/internal/sim"
 )
 
@@ -37,6 +45,14 @@ type Sink struct {
 	Series   *SeriesRecorder
 	Trace    *TraceBuilder
 	Audit    *AuditWriter
+
+	// Attrib is the live latency-attribution recorder, attached when the
+	// telemetry server is on (it feeds the dsp_attrib_seconds gauges) and
+	// available for end-of-run summaries.
+	Attrib *attrib.Recorder
+	// Telemetry is the live endpoint, non-nil when Options.ListenAddr was
+	// set; Telemetry.Addr() reports the bound address.
+	Telemetry *Server
 
 	traceOut  io.WriteCloser
 	seriesOut io.WriteCloser
@@ -58,12 +74,20 @@ type Options struct {
 	// PerNodeSeries adds per-node running/waiting columns to the series
 	// (one pair of columns per node; off by default to keep CSVs narrow).
 	PerNodeSeries bool
+	// ListenAddr, when non-empty, starts the live telemetry HTTP server
+	// on that address (":0" binds an ephemeral port; see Sink.Telemetry
+	// for the resolved address). Implies Counters and attaches a live
+	// attribution recorder.
+	ListenAddr string
 }
 
 // Open builds a Sink from Options, creating the output files eagerly so
 // path errors surface before a long simulation, not after.
 func Open(o Options) (*Sink, error) {
 	s := &Sink{}
+	if o.ListenAddr != "" {
+		o.Counters = true // the endpoint is vacuous without tallies
+	}
 	if o.Counters {
 		s.Counters = NewCounters()
 		s.Observers = append(s.Observers, s.Counters)
@@ -98,6 +122,16 @@ func Open(o Options) (*Sink, error) {
 		s.Audit = NewAuditWriter(f)
 		s.Observers = append(s.Observers, s.Audit)
 	}
+	if o.ListenAddr != "" {
+		s.Attrib = attrib.NewRecorder()
+		srv, err := StartServer(o.ListenAddr, s.Counters, s.Attrib)
+		if err != nil {
+			s.closeFiles()
+			return nil, err
+		}
+		s.Telemetry = srv
+		s.Observers = append(s.Observers, s.Attrib, s.Telemetry)
+	}
 	return s, nil
 }
 
@@ -117,6 +151,9 @@ func (s *Sink) BeginRun(label string) {
 	}
 	if s.Audit != nil {
 		s.Audit.BeginRun(label)
+	}
+	if s.Attrib != nil {
+		s.Attrib.BeginRun(label)
 	}
 }
 
@@ -138,6 +175,10 @@ func (s *Sink) Close() error {
 	}
 	if s.Audit != nil {
 		keep(s.Audit.Flush())
+	}
+	if s.Telemetry != nil {
+		keep(s.Telemetry.Close())
+		s.Telemetry = nil
 	}
 	keep(s.closeFiles())
 	return first

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"dsp/internal/attrib"
+	"dsp/internal/cluster"
+	"dsp/internal/sim"
+	"dsp/internal/units"
+)
+
+// EpochSnapshot is the cluster-wide gauge set sampled at each epoch
+// boundary, the live analogue of the audit log's "epoch" lines.
+type EpochSnapshot struct {
+	SimTimeMicros int64 `json:"sim_time_us"`
+	Epoch         int   `json:"epoch"`
+	QueuedTasks   int   `json:"queued_tasks"`
+	RunningTasks  int   `json:"running_tasks"`
+	BusySlots     int   `json:"busy_slots"`
+	TotalSlots    int   `json:"total_slots"`
+}
+
+// Server is the opt-in live telemetry endpoint: a plain net/http server
+// exposing the observability state of a running simulation.
+//
+//   - /metrics: Prometheus text exposition — every Counters tally as a
+//     dsp_<name> counter, the latency-attribution aggregate as
+//     dsp_attrib_seconds{cause="..."} gauges, and the epoch gauges.
+//   - /healthz: liveness probe, returns "ok".
+//   - /snapshot: the same state as one JSON document.
+//
+// It observes the simulation (EpochEnded copies the gauge set under a
+// mutex) while HTTP handlers read concurrently; Counters are atomic and
+// the attribution recorder locks internally, so attaching the server
+// never blocks the event loop on a scrape.
+type Server struct {
+	sim.NopObserver
+
+	counters *Counters
+	attrib   *attrib.Recorder
+
+	mu   sync.Mutex
+	snap EpochSnapshot
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartServer binds addr (e.g. "127.0.0.1:9090", or ":0" for an
+// ephemeral port) and serves telemetry until Close. counters and rec may
+// be nil; the corresponding sections are omitted from the exposition.
+func StartServer(addr string, counters *Counters, rec *attrib.Recorder) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{counters: counters, attrib: rec, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return s, nil
+}
+
+// Addr returns the bound address ("127.0.0.1:54321"), useful when the
+// caller asked for port 0.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops serving. In-flight scrapes are cut off; the simulation is
+// unaffected.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// EpochEnded implements sim.Observer: copy the epoch gauges out of the
+// engine-owned view so scrapes never touch live engine state.
+func (s *Server) EpochEnded(now units.Time, epoch int, v *sim.View) {
+	var snap EpochSnapshot
+	snap.SimTimeMicros = int64(now)
+	snap.Epoch = epoch
+	c := v.Cluster()
+	for k := 0; k < c.Len(); k++ {
+		node := cluster.NodeID(k)
+		snap.QueuedTasks += len(v.Queue(node))
+		r := len(v.Running(node))
+		snap.RunningTasks += r
+		snap.BusySlots += r
+		snap.TotalSlots += c.Nodes[k].Slots
+	}
+	s.mu.Lock()
+	s.snap = snap
+	s.mu.Unlock()
+}
+
+// metricName converts a Counters snapshot name ("task-starts") to a
+// Prometheus metric name ("dsp_task_starts").
+func metricName(name string) string {
+	return "dsp_" + strings.ReplaceAll(name, "-", "_")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
+	if s.counters != nil {
+		for _, ct := range s.counters.Snapshot() {
+			n := metricName(ct.Name)
+			fmt.Fprintf(&b, "# HELP %s Simulator event tally (%s).\n", n, ct.Name)
+			fmt.Fprintf(&b, "# TYPE %s counter\n", n)
+			fmt.Fprintf(&b, "%s %d\n", n, ct.Value)
+		}
+	}
+	if s.attrib != nil {
+		blame, jobs := s.attrib.Aggregate()
+		fmt.Fprintf(&b, "# HELP dsp_attrib_jobs Jobs with a completed latency attribution.\n")
+		fmt.Fprintf(&b, "# TYPE dsp_attrib_jobs counter\n")
+		fmt.Fprintf(&b, "dsp_attrib_jobs %d\n", jobs)
+		fmt.Fprintf(&b, "# HELP dsp_attrib_seconds Aggregate completion-time blame by cause, over attributed jobs.\n")
+		fmt.Fprintf(&b, "# TYPE dsp_attrib_seconds gauge\n")
+		for _, c := range attrib.Causes() {
+			fmt.Fprintf(&b, "dsp_attrib_seconds{cause=%q} %g\n", c.String(), blame[c].Seconds())
+		}
+	}
+	s.mu.Lock()
+	snap := s.snap
+	s.mu.Unlock()
+	for _, g := range []struct {
+		name, help string
+		value      float64
+	}{
+		{"dsp_sim_time_seconds", "Simulated time at the last epoch boundary.", units.Time(snap.SimTimeMicros).Seconds()},
+		{"dsp_epoch", "Last completed scheduling epoch.", float64(snap.Epoch)},
+		{"dsp_queued_tasks", "Tasks waiting in node queues.", float64(snap.QueuedTasks)},
+		{"dsp_running_tasks", "Tasks occupying slots.", float64(snap.RunningTasks)},
+		{"dsp_busy_slots", "Occupied slots cluster-wide.", float64(snap.BusySlots)},
+		{"dsp_total_slots", "Total slots cluster-wide.", float64(snap.TotalSlots)},
+	} {
+		fmt.Fprintf(&b, "# HELP %s %s\n", g.name, g.help)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n", g.name)
+		fmt.Fprintf(&b, "%s %g\n", g.name, g.value)
+	}
+	fmt.Fprint(w, b.String())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// snapshotDoc is the /snapshot JSON layout.
+type snapshotDoc struct {
+	Epoch    EpochSnapshot    `json:"epoch"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+	Attrib   *attribDoc       `json:"attrib,omitempty"`
+}
+
+type attribDoc struct {
+	Jobs  int          `json:"jobs"`
+	Blame attrib.Blame `json:"blame"`
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	doc := snapshotDoc{Epoch: s.snap}
+	s.mu.Unlock()
+	if s.counters != nil {
+		doc.Counters = make(map[string]int64)
+		for _, ct := range s.counters.Snapshot() {
+			doc.Counters[ct.Name] = ct.Value
+		}
+	}
+	if s.attrib != nil {
+		blame, jobs := s.attrib.Aggregate()
+		doc.Attrib = &attribDoc{Jobs: jobs, Blame: blame}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc) //nolint:errcheck // best-effort scrape response
+}

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dsp/internal/attrib"
+	"dsp/internal/sim"
+)
+
+// get fetches path from the server and returns the body.
+func get(t *testing.T, addr, path string) string {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// checkPromText asserts the body parses as Prometheus text exposition:
+// every non-comment line is "name[{labels}] value", every sample name is
+// preceded by a TYPE declaration.
+func checkPromText(t *testing.T, body string) {
+	t.Helper()
+	typed := map[string]bool{}
+	for i, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if line == "" {
+			t.Errorf("blank line %d in exposition", i+1)
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 || (parts[3] != "counter" && parts[3] != "gauge") {
+				t.Errorf("malformed TYPE line: %s", line)
+				continue
+			}
+			typed[parts[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Errorf("sample line %d not 'name value': %s", i+1, line)
+			continue
+		}
+		name := fields[0]
+		if k := strings.IndexByte(name, '{'); k >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				t.Errorf("unterminated label set: %s", line)
+			}
+			name = name[:k]
+		}
+		if !strings.HasPrefix(name, "dsp_") {
+			t.Errorf("metric %q missing dsp_ prefix", name)
+		}
+		if !typed[name] {
+			t.Errorf("sample %q has no preceding TYPE declaration", name)
+		}
+	}
+}
+
+// TestServerEndpoints drives a simulation with the telemetry server
+// attached and scrapes all three endpoints: /metrics must be Prometheus
+// text whose counters match the live registry and whose attribution
+// gauges are present, /snapshot must decode, /healthz must answer ok.
+func TestServerEndpoints(t *testing.T) {
+	ctr := NewCounters()
+	rec := attrib.NewRecorder()
+	srv, err := StartServer("127.0.0.1:0", ctr, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if !strings.Contains(srv.Addr(), ":") {
+		t.Fatalf("bad bound address %q", srv.Addr())
+	}
+	res := twoJobSim(t, sim.Observers{ctr, rec, srv})
+
+	if got := get(t, srv.Addr(), "/healthz"); strings.TrimSpace(got) != "ok" {
+		t.Errorf("/healthz = %q, want ok", got)
+	}
+
+	body := get(t, srv.Addr(), "/metrics")
+	checkPromText(t, body)
+	for _, want := range []string{
+		"dsp_task_starts ",
+		"dsp_attrib_jobs ",
+		`dsp_attrib_seconds{cause="service"}`,
+		"dsp_total_slots ",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	wantLine := "dsp_task_completions " + strconv.FormatInt(ctr.TaskCompletions.Load(), 10)
+	if !strings.Contains(body, wantLine+"\n") {
+		t.Errorf("/metrics does not carry the live counter value %q", wantLine)
+	}
+
+	var snap struct {
+		Epoch    EpochSnapshot    `json:"epoch"`
+		Counters map[string]int64 `json:"counters"`
+		Attrib   *struct {
+			Jobs  int          `json:"jobs"`
+			Blame attrib.Blame `json:"blame"`
+		} `json:"attrib"`
+	}
+	if err := json.Unmarshal([]byte(get(t, srv.Addr(), "/snapshot")), &snap); err != nil {
+		t.Fatalf("/snapshot not valid JSON: %v", err)
+	}
+	if snap.Counters["task-completions"] != ctr.TaskCompletions.Load() {
+		t.Errorf("snapshot counter %d, registry %d",
+			snap.Counters["task-completions"], ctr.TaskCompletions.Load())
+	}
+	if snap.Attrib == nil || snap.Attrib.Jobs != res.JobsCompleted {
+		t.Errorf("snapshot attrib = %+v, want %d jobs", snap.Attrib, res.JobsCompleted)
+	}
+	if snap.Epoch.TotalSlots == 0 {
+		t.Error("snapshot epoch gauges never sampled")
+	}
+}
+
+// TestSinkListen exercises the Sink wiring: ListenAddr implies counters,
+// starts the server, and Close shuts it down.
+func TestSinkListen(t *testing.T) {
+	sink, err := Open(Options{ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.Counters == nil || sink.Attrib == nil || sink.Telemetry == nil {
+		t.Fatal("ListenAddr did not attach counters+attrib+server")
+	}
+	if !sink.Enabled() {
+		t.Fatal("sink with server reports disabled")
+	}
+	twoJobSim(t, sink)
+	addr := sink.Telemetry.Addr()
+	body := get(t, addr, "/metrics")
+	if !strings.Contains(body, "dsp_job_completions ") {
+		t.Errorf("/metrics via sink missing job completions:\n%.300s", body)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Error("server still serving after Close")
+	}
+}

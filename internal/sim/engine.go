@@ -205,6 +205,7 @@ func Run(cfg Config, w *trace.Workload) (*Result, error) {
 				FirstStart: -1,
 				DoneAt:     -1,
 				Deadline:   units.Forever,
+				spanStart:  tj.Arrival,
 			}
 			if taskDeadlines != nil {
 				ts.Deadline = tj.Arrival + units.FromSeconds(taskDeadlines[task.ID])
@@ -364,6 +365,7 @@ func (e *Engine) applyAssignment(a Assignment, now units.Time) {
 	if e.nodes[a.Node].down {
 		return // stays pending; the next period re-places it
 	}
+	e.closeWaitSpan(t, now)
 	t.Phase = Queued
 	t.Node = a.Node
 	t.PlannedStart = units.Max(a.Start, now)
@@ -439,6 +441,7 @@ func (e *Engine) tryFill(k cluster.NodeID, now units.Time) {
 func (e *Engine) start(k cluster.NodeID, t *TaskState, now units.Time) {
 	e.dequeue(k, t)
 	ns := e.nodes[k]
+	e.closeWaitSpan(t, now)
 	t.Phase = Running
 	ns.running = append(ns.running, t)
 	if now > t.QueuedAt {
@@ -475,7 +478,13 @@ func (e *Engine) beginWork(k cluster.NodeID, t *TaskState, now units.Time) {
 	speed := e.speedOf(k)
 	penalty := t.resumePenalty
 	t.resumePenalty = 0
+	if t.blocked {
+		// A blind start spent [spanStart, now) holding the slot with
+		// unfinished precedents; real work begins only now.
+		e.emitSpan(t, SpanBlocked, CauseNone, k, t.spanStart, now)
+	}
 	t.blocked = false
+	t.spanStart = now
 	if !t.everRan && t.Task.Preferred >= 0 {
 		if int(k) == t.Task.Preferred {
 			e.metrics.LocalityHits++
@@ -506,6 +515,8 @@ func (e *Engine) kickBlocked(k cluster.NodeID, t *TaskState, now units.Time) {
 		}
 	}
 	e.metrics.BlockedSlotTime += e.cfg.BlindTimeout
+	e.emitSpan(t, SpanBlocked, CauseNone, k, t.spanStart, now)
+	t.spanStart = now
 	t.blocked = false
 	t.Phase = Queued
 	t.QueuedAt = now
@@ -542,9 +553,12 @@ func (e *Engine) suspend(k cluster.NodeID, t *TaskState, now units.Time) {
 		// A blocked blind-start never began work: nothing to roll back
 		// and no state to restore on resume.
 		e.metrics.BlockedSlotTime += now - t.effStart
+		e.emitSpan(t, SpanBlocked, CauseNone, k, t.spanStart, now)
+		t.spanStart = now
 		t.blocked = false
 	} else {
 		speed := e.speedOf(k)
+		var lost units.Time
 		if now > t.effStart {
 			worked := now - t.effStart
 			retained := e.cfg.Checkpoint.RetainedProgress(worked)
@@ -552,7 +566,11 @@ func (e *Engine) suspend(k cluster.NodeID, t *TaskState, now units.Time) {
 			if t.doneMI > t.Task.Size {
 				t.doneMI = t.Task.Size
 			}
+			if worked > retained {
+				lost = worked - retained
+			}
 		}
+		e.closeBurstSpans(t, k, now, CausePreemption, lost)
 		t.resumePenalty = e.cfg.Checkpoint.ResumePenalty()
 	}
 	t.attemptFailAt = 0 // the burst died with the slot; resume re-rolls
@@ -578,6 +596,7 @@ func (e *Engine) complete(k cluster.NodeID, t *TaskState, now units.Time) {
 	if t.backup != nil {
 		e.cancelBackup(t.backup, now)
 	}
+	e.closeBurstSpans(t, k, now, CauseNone, 0)
 	e.finish(k, t, now)
 }
 

@@ -201,17 +201,24 @@ func (e *Engine) failNode(k cluster.NodeID, now units.Time) {
 		}
 		if t.blocked {
 			e.metrics.BlockedSlotTime += now - t.effStart
+			e.emitSpan(t, SpanBlocked, CauseNone, k, t.spanStart, now)
+			t.spanStart = now
 			t.blocked = false
-		} else if now > t.effStart {
-			worked := now - t.effStart
-			retained := e.cfg.Checkpoint.RetainedProgress(worked)
-			t.doneMI += retained.Seconds() * speed
-			if t.doneMI > t.Task.Size {
-				t.doneMI = t.Task.Size
+		} else {
+			var lost units.Time
+			if now > t.effStart {
+				worked := now - t.effStart
+				retained := e.cfg.Checkpoint.RetainedProgress(worked)
+				t.doneMI += retained.Seconds() * speed
+				if t.doneMI > t.Task.Size {
+					t.doneMI = t.Task.Size
+				}
+				if worked > retained {
+					lost = worked - retained
+					e.metrics.LostWork += lost
+				}
 			}
-			if worked > retained {
-				e.metrics.LostWork += worked - retained
-			}
+			e.closeBurstSpans(t, k, now, CauseCrash, lost)
 		}
 		t.resumePenalty = e.cfg.Checkpoint.ResumePenalty()
 		t.attemptFailAt = 0
@@ -234,6 +241,7 @@ func (e *Engine) failNode(k cluster.NodeID, now units.Time) {
 // evictToPending returns a queued task to the unassigned pool (no retry
 // charge: the task never held the slot, so nothing of it was lost).
 func (e *Engine) evictToPending(t *TaskState, k cluster.NodeID, now units.Time) {
+	e.closeWaitSpan(t, now)
 	t.Phase = Pending
 	t.Node = -1
 	t.Job.assigned--
@@ -277,6 +285,10 @@ func (e *Engine) setSpeedFactor(k cluster.NodeID, factor float64, now units.Time
 				t.doneMI = t.Task.Size
 			}
 		}
+		// The re-pace banks the burst so far (nothing is lost) and, below,
+		// restarts the burst at now with no penalty — close its spans here
+		// so the next burst's spans open cleanly at now.
+		e.closeBurstSpans(t, k, now, CauseNone, 0)
 		e.q.Cancel(t.doneEv)
 		t.hasDoneEv = false
 	}

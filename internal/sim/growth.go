@@ -85,6 +85,7 @@ func (e *Engine) applyGrowth(js *JobState, g TaskGrowth, now units.Time) {
 			FirstStart: -1,
 			DoneAt:     -1,
 			Deadline:   units.Forever,
+			spanStart:  now,
 		}
 		js.Tasks = append(js.Tasks, ts)
 		e.metrics.GrownTasks++

@@ -283,6 +283,11 @@ type Observer interface {
 	// in an inconsistent state; the offending node or task is quarantined
 	// rather than allowed to keep computing garbage.
 	InvariantViolated(now units.Time, v InvariantViolation)
+	// TaskSpanClosed fires when one span of a task's timeline closes
+	// (see TaskSpan). For every task of a completed job the spans are
+	// gapless and non-overlapping over [job arrival, task completion];
+	// the attribution layer relies on this tiling.
+	TaskSpanClosed(s TaskSpan)
 }
 
 // NopObserver implements Observer with no-ops. Embed it to write
@@ -351,6 +356,9 @@ func (NopObserver) JobShed(units.Time, *JobState, ShedReason) {}
 
 // InvariantViolated implements Observer.
 func (NopObserver) InvariantViolated(units.Time, InvariantViolation) {}
+
+// TaskSpanClosed implements Observer.
+func (NopObserver) TaskSpanClosed(TaskSpan) {}
 
 // Observers composes multiple observers; nil entries are skipped, so call
 // sites can build the slice from optional components without filtering.
@@ -545,6 +553,15 @@ func (os Observers) InvariantViolated(now units.Time, v InvariantViolation) {
 	}
 }
 
+// TaskSpanClosed implements Observer.
+func (os Observers) TaskSpanClosed(s TaskSpan) {
+	for _, o := range os {
+		if o != nil {
+			o.TaskSpanClosed(s)
+		}
+	}
+}
+
 // LogObserver writes one line per event, suitable for debugging small
 // simulations.
 type LogObserver struct {
@@ -669,4 +686,13 @@ func (l *LogObserver) InvariantViolated(now units.Time, v InvariantViolation) {
 		tkey = v.Task.Key().String()
 	}
 	fmt.Fprintf(l.W, "%-12v INVARIANT %s node%d %s: %s\n", now, v.Check, v.Node, tkey, v.Detail)
+}
+
+// TaskSpanClosed implements Observer.
+func (l *LogObserver) TaskSpanClosed(s TaskSpan) {
+	if l.Quiet {
+		return
+	}
+	fmt.Fprintf(l.W, "%-12v span     %-8v %s [%v, %v) node%d (%s)\n",
+		s.End, s.Task.Key(), s.Kind, s.Start, s.End, s.Node, s.Cause)
 }

@@ -71,6 +71,7 @@ func (e *Engine) retryOrFail(k cluster.NodeID, t *TaskState, now units.Time, rea
 	t.Phase = Pending
 	t.Node = -1
 	t.Job.assigned--
+	t.spanStart = now
 	if budget := e.retryBudget(); budget >= 0 && t.Attempts > budget {
 		t.Phase = Failed
 		e.metrics.TerminalFailures++
@@ -94,6 +95,7 @@ func (e *Engine) retryOrFail(k cluster.NodeID, t *TaskState, now units.Time, rea
 		if t.Phase != Backoff {
 			return
 		}
+		e.closeWaitSpan(t, at)
 		t.Phase = Pending
 		e.redispatch(at, t.Job)
 	}))
@@ -309,6 +311,7 @@ func (e *Engine) transientFail(k cluster.NodeID, t *TaskState, now units.Time) {
 		}
 	}
 	speed := e.speedOf(k)
+	var lost units.Time
 	if now > t.effStart {
 		worked := now - t.effStart
 		retained := e.cfg.Checkpoint.RetainedProgress(worked)
@@ -317,9 +320,11 @@ func (e *Engine) transientFail(k cluster.NodeID, t *TaskState, now units.Time) {
 			t.doneMI = t.Task.Size
 		}
 		if worked > retained {
-			e.metrics.LostWork += worked - retained
+			lost = worked - retained
+			e.metrics.LostWork += lost
 		}
 	}
+	e.closeBurstSpans(t, k, now, CauseTaskFault, lost)
 	t.resumePenalty = e.cfg.Checkpoint.ResumePenalty()
 	t.attemptFailAt = 0
 	e.metrics.TaskFaults++

@@ -238,17 +238,29 @@ func (e *Engine) backupComplete(br *backupRun, now units.Time) {
 		}
 		if t.blocked {
 			e.metrics.BlockedSlotTime += now - t.effStart
+			e.emitSpan(t, SpanBlocked, CauseNone, t.Node, t.spanStart, now)
+			t.spanStart = now
 			t.blocked = false
-		} else if now > t.effStart {
-			e.metrics.SpeculativeWaste += now - t.effStart
+		} else {
+			if now > t.effStart {
+				e.metrics.SpeculativeWaste += now - t.effStart
+			}
+			// The primary's burst is written off as waste for slot
+			// accounting, but the wall-clock is covered by the winning
+			// copy: the stretch counts as service in the task's timeline.
+			e.closeBurstSpans(t, t.Node, now, CauseNone, 0)
 		}
-	case Queued, Suspended:
-		e.dequeue(t.Node, t)
+	case Queued, Suspended, Pending:
+		e.closeWaitSpan(t, now)
+		if t.Phase == Queued || t.Phase == Suspended {
+			e.dequeue(t.Node, t)
+		}
 	case Backoff:
 		if t.hasRetryEv {
 			e.q.Cancel(t.retryEv)
 			t.hasRetryEv = false
 		}
+		e.closeWaitSpan(t, now)
 	}
 	e.metrics.SpeculationWins++
 	if o := e.cfg.Observer; o != nil {

@@ -120,6 +120,9 @@ type TaskState struct {
 	// retryEv re-admits the task to Pending when its backoff expires.
 	retryEv    eventq.Handle
 	hasRetryEv bool
+	// spanStart is when the task's currently open timeline span began
+	// (see spans.go); the engine closes it at every state transition.
+	spanStart units.Time
 	// backup is the live speculative copy, if one is racing this task.
 	backup *backupRun
 }
@@ -253,6 +256,23 @@ func (j *JobState) Failed() bool { return j.failed }
 // Shed reports whether admission control rejected the job (directly, or
 // transitively via a shed prerequisite job).
 func (j *JobState) Shed() bool { return j.shed }
+
+// EligibleAt returns when the job became eligible to schedule: its
+// arrival, or the completion of its last cross-job prerequisite,
+// whichever is later. While a prerequisite is unfinished it returns
+// Forever.
+func (j *JobState) EligibleAt() units.Time {
+	at := j.Arrival
+	for _, p := range j.waitsFor {
+		if !p.Done() {
+			return units.Forever
+		}
+		if p.DoneAt > at {
+			at = p.DoneAt
+		}
+	}
+	return at
+}
 
 // Eligible reports whether every cross-job prerequisite has completed.
 func (j *JobState) Eligible() bool {

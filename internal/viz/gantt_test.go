@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"dsp/internal/attrib"
 	"dsp/internal/cluster"
 	"dsp/internal/dag"
 	"dsp/internal/sim"
@@ -148,6 +149,73 @@ func TestGanttMarksPreemption(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "#d62728") {
 		t.Error("preempted span not highlighted")
+	}
+}
+
+func TestGanttWithAttributionOverlay(t *testing.T) {
+	// Two dependent tasks on separate nodes so the critical path crosses
+	// bands and a connector is drawn.
+	j := dag.NewJob(0, 3)
+	for i := 0; i < 3; i++ {
+		j.Task(dag.TaskID(i)).Size = 2000
+	}
+	j.MustDep(0, 1)
+	rec := NewRecorder()
+	arec := attrib.NewRecorder()
+	_, err := sim.Run(sim.Config{
+		Cluster:   testCluster(2, 1),
+		Scheduler: rr{},
+		Observer:  sim.Observers{rec, arec},
+	}, &trace.Workload{Jobs: []*trace.Job{{Arrival: 0, DAG: j}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := arec.Jobs()
+	if len(jobs) != 1 {
+		t.Fatalf("attributed %d jobs, want 1", len(jobs))
+	}
+	var sb strings.Builder
+	if err := rec.GanttWithAttribution(&sb, jobs); err != nil {
+		t.Fatal(err)
+	}
+	svg := sb.String()
+	if !strings.Contains(svg, "critical-path blame") {
+		t.Error("overlay legend missing")
+	}
+	if !strings.Contains(svg, `stroke-width="2"`) {
+		t.Error("no overlay outline group")
+	}
+	if !strings.Contains(svg, "path: T") {
+		t.Error("no critical-path outline rects")
+	}
+	// Every dominant cause on the path is outlined in its own color and
+	// listed in the legend.
+	for _, a := range jobs {
+		for _, st := range a.Path {
+			c := st.Blame.Dominant()
+			if !strings.Contains(svg, CauseColor(c)) {
+				t.Errorf("overlay missing color for cause %s", c)
+			}
+			if !strings.Contains(svg, ">"+c.String()+"<") {
+				t.Errorf("legend missing cause %s", c)
+			}
+		}
+	}
+	// The base chart must be intact underneath.
+	for _, want := range []string{"node0", "node1", "J0.T0"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("overlaid SVG lost base element %q", want)
+		}
+	}
+
+	// Without attributions, render falls back to the plain chart: no
+	// legend, same rect count as Gantt.
+	var plain strings.Builder
+	if err := rec.GanttWithAttribution(&plain, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "critical-path blame") {
+		t.Error("legend drawn with no attributions")
 	}
 }
 
