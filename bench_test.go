@@ -451,6 +451,68 @@ func BenchmarkPriorityCalculation(b *testing.B) {
 	}
 }
 
+// BenchmarkILPWarmStart compares the exact ILP engine with and without
+// cross-period warm-starting on a multi-period staggered workload, so
+// later solves run with a previous incumbent available to seed
+// branch-and-bound.
+func BenchmarkILPWarmStart(b *testing.B) {
+	mkWorkload := func() *trace.Workload {
+		var jobs []*trace.Job
+		sizes := [][]float64{
+			{4000, 3000, 3000}, {2000, 2000, 1000}, {3000, 1000}, {5000, 2000, 2000},
+		}
+		for k, ss := range sizes {
+			j := dag.NewJob(dag.JobID(k), len(ss))
+			for i, s := range ss {
+				j.Task(dag.TaskID(i)).Size = s
+			}
+			j.MustDep(0, dag.TaskID(len(ss)-1))
+			jobs = append(jobs, &trace.Job{Arrival: units.Time(k) * 6 * units.Minute, DAG: j})
+		}
+		return &trace.Workload{ArrivalRate: 3, Jobs: jobs}
+	}
+	mkCluster := func() *cluster.Cluster {
+		c := &cluster.Cluster{Theta1: 0.5, Theta2: 0.5}
+		for n := 0; n < 2; n++ {
+			c.Nodes = append(c.Nodes, &cluster.Node{
+				ID: cluster.NodeID(n), SCPU: 1000, SMem: 1000, Slots: 1,
+				Capacity: dag.Resources{CPU: 1, Mem: 16, DiskMB: 1e6, Bandwidth: 1e3},
+			})
+		}
+		return c
+	}
+	for _, variant := range []string{"warm", "cold"} {
+		b.Run(variant, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d := sched.NewDSP()
+				d.Mode = sched.ILPOnly
+				d.DisableWarmStart = variant == "cold"
+				if _, err := sim.Run(sim.Config{Cluster: mkCluster(), Scheduler: d}, mkWorkload()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSweepWorkers runs the Figure 5 sweep at increasing worker
+// counts. The interesting comparison is wall time per op across the
+// sub-benches; on a single-CPU host (GOMAXPROCS=1) the curves coincide —
+// the runner's value there is determinism, not speedup.
+func BenchmarkSweepWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				o := benchOptions()
+				o.Workers = workers
+				if _, err := experiments.Fig5(experiments.Real, o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSensitivity sweeps the DSP parameters the paper defers to
 // future work (γ, δ, ρ, ω₁, epoch) on a fixed contended cell.
 func BenchmarkSensitivity(b *testing.B) {

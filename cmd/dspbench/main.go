@@ -21,18 +21,41 @@
 //	-pprof ADDR  serve /debug/pprof on ADDR (e.g. :6060)
 //	-listen ADDR serve live telemetry (/metrics, /healthz, /snapshot)
 //	             while the sweep runs
+//	-workers N   concurrent sweep cells (default GOMAXPROCS; output is
+//	             byte-identical for every N; -audit/-trace/-series force 1)
+//	-bench-json FILE
+//	             write a machine-readable sweep benchmark report
+//	             (schema dsp-bench-sweep/v1: wall time, cells/sec,
+//	             per-cell µs)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"dsp/internal/experiments"
 	"dsp/internal/metrics"
 	"dsp/internal/obs"
 )
+
+// benchReport is the machine-readable sweep benchmark written by
+// -bench-json, schema "dsp-bench-sweep/v1". TotalWallMS sums the sweeps'
+// wall times (sweeps execute one after another; only cells within a sweep
+// run concurrently).
+type benchReport struct {
+	Schema      string                  `json:"schema"`
+	Workers     int                     `json:"workers"`
+	GoMaxProcs  int                     `json:"gomaxprocs"`
+	NumCPU      int                     `json:"num_cpu"`
+	Scale       float64                 `json:"scale"`
+	Seed        int64                   `json:"seed"`
+	Sweeps      []experiments.SweepStat `json:"sweeps"`
+	TotalWallMS float64                 `json:"total_wall_ms"`
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -63,6 +86,8 @@ func run(args []string, out *os.File) error {
 	pprofAddr := fs.String("pprof", "", "serve /debug/pprof on ADDR (e.g. :6060)")
 	listenAddr := fs.String("listen", "", "serve live telemetry (/metrics, /healthz, /snapshot) on ADDR")
 	attribJobs := fs.String("attrib-jobs", "", "job counts for -fig attrib, comma-separated (default: the Figure 6 x-axis)")
+	workers := fs.Int("workers", 0, "concurrent sweep cells (0 = GOMAXPROCS; output is byte-identical for every value)")
+	benchJSON := fs.String("bench-json", "", "write a dsp-bench-sweep/v1 JSON benchmark report to FILE")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -93,6 +118,12 @@ func run(args []string, out *os.File) error {
 	}
 	if sink.Enabled() {
 		o.Observer = sink
+	}
+	o.Workers = *workers
+	var stats *experiments.SweepStats
+	if *benchJSON != "" {
+		stats = &experiments.SweepStats{}
+		o.Stats = stats
 	}
 
 	want := map[string]bool{}
@@ -238,6 +269,27 @@ func run(args []string, out *os.File) error {
 			return err
 		}
 		emit(t)
+	}
+	if stats != nil {
+		report := benchReport{
+			Schema:      "dsp-bench-sweep/v1",
+			Workers:     *workers,
+			GoMaxProcs:  runtime.GOMAXPROCS(0),
+			NumCPU:      runtime.NumCPU(),
+			Scale:       o.Scale,
+			Seed:        o.Seed,
+			Sweeps:      stats.Sweeps,
+			TotalWallMS: stats.TotalWallMS(),
+		}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*benchJSON, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write -bench-json: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "bench report written to %s (%d sweeps, %.0f ms total)\n",
+			*benchJSON, len(stats.Sweeps), stats.TotalWallMS())
 	}
 	return nil
 }

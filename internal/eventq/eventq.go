@@ -28,13 +28,23 @@ type item struct {
 	ev  Event
 	// index in heap, -1 if removed
 	index int
+	// gen counts reuses of this item through the queue's free list. A
+	// Handle remembers the generation it was issued for, so a stale handle
+	// held across the event's firing can never cancel the item's next
+	// occupant.
+	gen uint64
 }
 
 // Handle allows cancelling a scheduled event.
-type Handle struct{ it *item }
+type Handle struct {
+	it  *item
+	gen uint64
+}
 
 // Cancelled reports whether the event was cancelled or already fired.
-func (h Handle) Cancelled() bool { return h.it == nil || h.it.index == -1 }
+func (h Handle) Cancelled() bool {
+	return h.it == nil || h.it.gen != h.gen || h.it.index == -1
+}
 
 type pq []*item
 
@@ -70,6 +80,9 @@ type Queue struct {
 	h   pq
 	seq uint64
 	now units.Time
+	// free recycles fired and cancelled items so a steady-state simulation
+	// loop (schedule → fire → schedule) allocates nothing per event.
+	free []*item
 }
 
 // New returns an empty queue with the clock at zero.
@@ -88,10 +101,18 @@ func (q *Queue) At(at units.Time, ev Event) Handle {
 	if at < q.now {
 		at = q.now
 	}
-	it := &item{at: at, seq: q.seq, ev: ev}
+	var it *item
+	if n := len(q.free); n > 0 {
+		it = q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+		it.at, it.seq, it.ev = at, q.seq, ev
+	} else {
+		it = &item{at: at, seq: q.seq, ev: ev}
+	}
 	q.seq++
 	heap.Push(&q.h, it)
-	return Handle{it: it}
+	return Handle{it: it, gen: it.gen}
 }
 
 // After schedules ev to fire d after the current clock.
@@ -102,12 +123,21 @@ func (q *Queue) After(d units.Time, ev Event) Handle {
 // Cancel removes a scheduled event; firing an already-fired or cancelled
 // handle is a no-op and returns false.
 func (q *Queue) Cancel(h Handle) bool {
-	if h.it == nil || h.it.index == -1 {
+	if h.it == nil || h.it.gen != h.gen || h.it.index == -1 {
 		return false
 	}
 	heap.Remove(&q.h, h.it.index)
-	h.it.index = -1
+	q.recycle(h.it)
 	return true
+}
+
+// recycle retires an item (fired or cancelled) to the free list, bumping
+// its generation so stale handles turn inert.
+func (q *Queue) recycle(it *item) {
+	it.index = -1
+	it.ev = nil
+	it.gen++
+	q.free = append(q.free, it)
 }
 
 // Step pops and fires the earliest event, advancing the clock to its
@@ -118,7 +148,11 @@ func (q *Queue) Step() bool {
 	}
 	it := heap.Pop(&q.h).(*item)
 	q.now = it.at
-	it.ev.Fire(q.now)
+	ev := it.ev
+	// Retire before firing: the handler may immediately schedule new
+	// events, and the freshest item is the cache-warm one to hand out.
+	q.recycle(it)
+	ev.Fire(q.now)
 	return true
 }
 

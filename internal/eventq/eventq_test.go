@@ -188,3 +188,59 @@ func TestPropertyCancelRemovesExactlyOne(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestRecycledItemNotCancelledByStaleHandle(t *testing.T) {
+	q := New()
+	hA := q.At(10, Func(func(units.Time) { t.Error("cancelled event A fired") }))
+	if !q.Cancel(hA) {
+		t.Fatal("cancel A failed")
+	}
+	// B reuses A's pooled item; A's stale handle must not reach it.
+	firedB := false
+	q.At(20, Func(func(units.Time) { firedB = true }))
+	if q.Cancel(hA) {
+		t.Error("stale handle cancelled the recycled item's new occupant")
+	}
+	if !hA.Cancelled() {
+		t.Error("stale handle should stay cancelled")
+	}
+	q.Run(0)
+	if !firedB {
+		t.Error("event B lost to a stale cancel")
+	}
+}
+
+func TestFiredItemHandleGoesStale(t *testing.T) {
+	q := New()
+	hA := q.At(10, Func(func(units.Time) {}))
+	q.Run(0) // fires A; its item returns to the pool
+	if !hA.Cancelled() {
+		t.Error("handle of a fired event should read as no longer live")
+	}
+	firedC := false
+	q.At(30, Func(func(units.Time) { firedC = true }))
+	if q.Cancel(hA) {
+		t.Error("handle of a fired event cancelled its item's new occupant")
+	}
+	q.Run(0)
+	if !firedC {
+		t.Error("event C lost to a stale cancel")
+	}
+}
+
+func TestPoolReusesItems(t *testing.T) {
+	q := New()
+	// Repeated schedule/fire cycles must converge to zero allocations per
+	// event once the pool is primed.
+	for i := 0; i < 8; i++ {
+		q.At(units.Time(i), Func(func(units.Time) {}))
+	}
+	q.Run(0)
+	avg := testing.AllocsPerRun(100, func() {
+		q.At(q.Now()+1, Func(func(units.Time) {}))
+		q.Step()
+	})
+	if avg > 0.1 {
+		t.Errorf("steady-state allocs per schedule+fire = %v, want 0", avg)
+	}
+}

@@ -63,50 +63,59 @@ func Attribution(p Platform, o AttributionOptions) (*AttributionTables, error) {
 	}
 	out := &AttributionTables{}
 	cols := attributionColumns()
+	var cells []Cell
 	for _, method := range methods {
 		table := metrics.NewTable(
 			fmt.Sprintf("Attribution — completion-time blame, %s preemption (%s)", method, p),
 			"jobs", "mean s/job by cause", cols...)
-		for _, jobs := range jobCounts {
-			pre, cp, err := NewPreemptor(method)
-			if err != nil {
-				return nil, err
-			}
-			rec := attrib.NewRecorder()
-			var observer sim.Observer = rec
-			if sweep := o.observe(fmt.Sprintf("attrib-%s-%s-j%d", p, method, jobs)); sweep != nil {
-				observer = sim.Observers{rec, sweep}
-			}
-			w, err := workloadFor(jobs, o.Options)
-			if err != nil {
-				return nil, err
-			}
-			res, err := sim.Run(sim.Config{
-				Cluster:    p.Cluster(),
-				Scheduler:  sched.NewDSP(),
-				Preemptor:  pre,
-				Checkpoint: cp,
-				Period:     o.Period,
-				Epoch:      o.Epoch,
-				Observer:   observer,
-			}, w)
-			if err != nil {
-				return nil, fmt.Errorf("attribution %s j=%d: %w", method, jobs, err)
-			}
-			blame, n := rec.Aggregate()
-			if n != res.JobsCompleted {
-				return nil, fmt.Errorf("attribution %s j=%d: %d attributions for %d completed jobs",
-					method, jobs, n, res.JobsCompleted)
-			}
-			for _, c := range attrib.Causes() {
-				var mean float64
-				if n > 0 {
-					mean = blame[c].Seconds() / float64(n)
-				}
-				table.Set(float64(jobs), c.String(), mean)
-			}
-		}
 		out.PerMethod = append(out.PerMethod, table)
+		for _, jobs := range jobCounts {
+			label := fmt.Sprintf("attrib-%s-%s-j%d", p, method, jobs)
+			cells = append(cells, Cell{Label: label, Run: func() (func(), error) {
+				pre, cp, err := NewPreemptor(method)
+				if err != nil {
+					return nil, err
+				}
+				rec := attrib.NewRecorder()
+				var observer sim.Observer = rec
+				if sweep := o.observe(label); sweep != nil {
+					observer = sim.Observers{rec, sweep}
+				}
+				w, err := workloadFor(jobs, o.Options)
+				if err != nil {
+					return nil, err
+				}
+				res, err := sim.Run(sim.Config{
+					Cluster:    p.Cluster(),
+					Scheduler:  sched.NewDSP(),
+					Preemptor:  pre,
+					Checkpoint: cp,
+					Period:     o.Period,
+					Epoch:      o.Epoch,
+					Observer:   observer,
+				}, w)
+				if err != nil {
+					return nil, fmt.Errorf("attribution %s j=%d: %w", method, jobs, err)
+				}
+				blame, n := rec.Aggregate()
+				if n != res.JobsCompleted {
+					return nil, fmt.Errorf("attribution %s j=%d: %d attributions for %d completed jobs",
+						method, jobs, n, res.JobsCompleted)
+				}
+				return func() {
+					for _, c := range attrib.Causes() {
+						var mean float64
+						if n > 0 {
+							mean = blame[c].Seconds() / float64(n)
+						}
+						table.Set(float64(jobs), c.String(), mean)
+					}
+				}, nil
+			}})
+		}
+	}
+	if err := runCells(fmt.Sprintf("attribution-%s", p), o.Options, cells); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -70,8 +70,19 @@ type Options struct {
 	// Observer, when non-nil, is attached to every simulation the sweep
 	// runs (decision audits, counters, traces — see internal/obs). If it
 	// also implements RunMarker it is told each cell's label first, so
-	// multi-run artifacts stay attributable.
+	// multi-run artifacts stay attributable. A non-nil Observer forces the
+	// sweep to run on a single worker (see Workers).
 	Observer sim.Observer
+	// Workers caps how many sweep cells execute concurrently; 0 means
+	// runtime.GOMAXPROCS(0). Results are deterministic and byte-identical
+	// for every worker count: cells derive their workloads from per-cell
+	// seeds and the runner commits results in input order. An attached
+	// Observer forces 1 worker, because observers consume decision streams
+	// whose interleaving is part of their output.
+	Workers int
+	// Stats, when non-nil, accumulates per-sweep execution statistics
+	// (wall time, per-cell times) for bench reporting.
+	Stats *SweepStats
 }
 
 // RunMarker is implemented by observers (e.g. obs.Sink) that separate

@@ -19,42 +19,51 @@ func Fairness(p Platform, h int, o Options) (*metrics.Table, error) {
 	t := metrics.NewTable(
 		fmt.Sprintf("Fairness of preemption methods (%d jobs, %s) — rows: 1=Jain index, 2=mean slowdown, 3=max slowdown", h, p),
 		"row", "", PreemptorNames()...)
+	var cells []Cell
 	for _, name := range PreemptorNames() {
-		pre, cp, err := NewPreemptor(name)
-		if err != nil {
-			return nil, err
-		}
-		w, err := workloadFor(h, o)
-		if err != nil {
-			return nil, err
-		}
-		res, err := sim.Run(sim.Config{
-			Cluster:    p.Cluster(),
-			Scheduler:  sched.NewDSP(),
-			Preemptor:  pre,
-			Checkpoint: cp,
-			Period:     o.Period,
-			Epoch:      o.Epoch,
-			Observer:   o.observe(fmt.Sprintf("fairness-%s-h%d", name, h)),
-		}, w)
-		if err != nil {
-			return nil, fmt.Errorf("fairness %s: %w", name, err)
-		}
-		slowdowns := make([]float64, 0, len(res.Jobs))
-		var mean, max float64
-		for _, r := range res.Jobs {
-			slowdowns = append(slowdowns, r.Slowdown)
-			mean += r.Slowdown
-			if r.Slowdown > max {
-				max = r.Slowdown
+		label := fmt.Sprintf("fairness-%s-h%d", name, h)
+		cells = append(cells, Cell{Label: label, Run: func() (func(), error) {
+			pre, cp, err := NewPreemptor(name)
+			if err != nil {
+				return nil, err
 			}
-		}
-		if len(slowdowns) > 0 {
-			mean /= float64(len(slowdowns))
-		}
-		t.Set(1, name, metrics.JainIndex(slowdowns))
-		t.Set(2, name, mean)
-		t.Set(3, name, max)
+			w, err := workloadFor(h, o)
+			if err != nil {
+				return nil, err
+			}
+			res, err := sim.Run(sim.Config{
+				Cluster:    p.Cluster(),
+				Scheduler:  sched.NewDSP(),
+				Preemptor:  pre,
+				Checkpoint: cp,
+				Period:     o.Period,
+				Epoch:      o.Epoch,
+				Observer:   o.observe(label),
+			}, w)
+			if err != nil {
+				return nil, fmt.Errorf("fairness %s: %w", name, err)
+			}
+			slowdowns := make([]float64, 0, len(res.Jobs))
+			var mean, max float64
+			for _, r := range res.Jobs {
+				slowdowns = append(slowdowns, r.Slowdown)
+				mean += r.Slowdown
+				if r.Slowdown > max {
+					max = r.Slowdown
+				}
+			}
+			if len(slowdowns) > 0 {
+				mean /= float64(len(slowdowns))
+			}
+			return func() {
+				t.Set(1, name, metrics.JainIndex(slowdowns))
+				t.Set(2, name, mean)
+				t.Set(3, name, max)
+			}, nil
+		}})
+	}
+	if err := runCells(fmt.Sprintf("fairness-%s", p), o, cells); err != nil {
+		return nil, err
 	}
 	return t, nil
 }

@@ -18,28 +18,35 @@ func Fig5(p Platform, o Options) (*metrics.Table, error) {
 	t := metrics.NewTable(
 		fmt.Sprintf("Fig 5%s — makespan vs. number of jobs", sub),
 		"jobs", "makespan (s)", SchedulerNames()...)
+	var cells []Cell
 	for _, h := range o.JobCounts {
 		for _, name := range SchedulerNames() {
-			s, err := NewScheduler(name)
-			if err != nil {
-				return nil, err
-			}
-			w, err := workloadFor(h, o)
-			if err != nil {
-				return nil, err
-			}
-			res, err := sim.Run(sim.Config{
-				Cluster:   p.Cluster(),
-				Scheduler: s,
-				Period:    o.Period,
-				Epoch:     o.Epoch,
-				Observer:  o.observe(fmt.Sprintf("fig5-%s-%s-h%d", p, name, h)),
-			}, w)
-			if err != nil {
-				return nil, fmt.Errorf("fig5 %s h=%d: %w", name, h, err)
-			}
-			t.Set(float64(h), name, res.Makespan.Seconds())
+			label := fmt.Sprintf("fig5-%s-%s-h%d", p, name, h)
+			cells = append(cells, Cell{Label: label, Run: func() (func(), error) {
+				s, err := NewScheduler(name)
+				if err != nil {
+					return nil, err
+				}
+				w, err := workloadFor(h, o)
+				if err != nil {
+					return nil, err
+				}
+				res, err := sim.Run(sim.Config{
+					Cluster:   p.Cluster(),
+					Scheduler: s,
+					Period:    o.Period,
+					Epoch:     o.Epoch,
+					Observer:  o.observe(label),
+				}, w)
+				if err != nil {
+					return nil, fmt.Errorf("fig5 %s h=%d: %w", name, h, err)
+				}
+				return func() { t.Set(float64(h), name, res.Makespan.Seconds()) }, nil
+			}})
 		}
+	}
+	if err := runCells(fmt.Sprintf("fig5-%s", p), o, cells); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -83,36 +90,45 @@ func Fig6(p Platform, o Options) (*Fig6Tables, error) {
 			fmt.Sprintf("Fig %s(d) — number of preemptions vs. number of jobs (%s)", figure, plat),
 			"jobs", "preemptions", names...),
 	}
+	var cells []Cell
 	for _, h := range o.JobCounts {
 		for _, name := range names {
-			pre, cp, err := NewPreemptor(name)
-			if err != nil {
-				return nil, err
-			}
-			w, err := workloadFor(h, o)
-			if err != nil {
-				return nil, err
-			}
-			// "We use our initial schedule for all preemption methods":
-			// the offline phase is DSP for every method.
-			res, err := sim.Run(sim.Config{
-				Cluster:    p.Cluster(),
-				Scheduler:  sched.NewDSP(),
-				Preemptor:  pre,
-				Checkpoint: cp,
-				Period:     o.Period,
-				Epoch:      o.Epoch,
-				Observer:   o.observe(fmt.Sprintf("fig%s-%s-h%d", figure, name, h)),
-			}, w)
-			if err != nil {
-				return nil, fmt.Errorf("fig%s %s h=%d: %w", figure, name, h, err)
-			}
-			x := float64(h)
-			out.Disorders.Set(x, name, float64(res.Disorders))
-			out.Throughput.Set(x, name, res.TaskThroughputPerMs)
-			out.Waiting.Set(x, name, res.AvgJobQueueing.Seconds())
-			out.Preemptions.Set(x, name, float64(res.Preemptions))
+			label := fmt.Sprintf("fig%s-%s-h%d", figure, name, h)
+			cells = append(cells, Cell{Label: label, Run: func() (func(), error) {
+				pre, cp, err := NewPreemptor(name)
+				if err != nil {
+					return nil, err
+				}
+				w, err := workloadFor(h, o)
+				if err != nil {
+					return nil, err
+				}
+				// "We use our initial schedule for all preemption methods":
+				// the offline phase is DSP for every method.
+				res, err := sim.Run(sim.Config{
+					Cluster:    p.Cluster(),
+					Scheduler:  sched.NewDSP(),
+					Preemptor:  pre,
+					Checkpoint: cp,
+					Period:     o.Period,
+					Epoch:      o.Epoch,
+					Observer:   o.observe(label),
+				}, w)
+				if err != nil {
+					return nil, fmt.Errorf("fig%s %s h=%d: %w", figure, name, h, err)
+				}
+				return func() {
+					x := float64(h)
+					out.Disorders.Set(x, name, float64(res.Disorders))
+					out.Throughput.Set(x, name, res.TaskThroughputPerMs)
+					out.Waiting.Set(x, name, res.AvgJobQueueing.Seconds())
+					out.Preemptions.Set(x, name, float64(res.Preemptions))
+				}, nil
+			}})
 		}
+	}
+	if err := runCells(fmt.Sprintf("fig%s-%s", figure, p), o, cells); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -136,31 +152,41 @@ func Fig8(o Options) (*Fig8Tables, error) {
 			"Fig 8(b) — throughput vs. number of jobs (DSP)",
 			"jobs", "throughput (tasks/ms)", cols...),
 	}
+	var cells []Cell
 	for _, h := range o.ScaleJobCounts {
 		for i, p := range platforms {
-			pre, cp, err := NewPreemptor("DSP")
-			if err != nil {
-				return nil, err
-			}
-			w, err := workloadFor(h, o)
-			if err != nil {
-				return nil, err
-			}
-			res, err := sim.Run(sim.Config{
-				Cluster:    p.Cluster(),
-				Scheduler:  sched.NewDSP(),
-				Preemptor:  pre,
-				Checkpoint: cp,
-				Period:     o.Period,
-				Epoch:      o.Epoch,
-				Observer:   o.observe(fmt.Sprintf("fig8-%s-h%d", p, h)),
-			}, w)
-			if err != nil {
-				return nil, fmt.Errorf("fig8 %s h=%d: %w", p, h, err)
-			}
-			out.Makespan.Set(float64(h), cols[i], res.Makespan.Seconds())
-			out.Throughput.Set(float64(h), cols[i], res.TaskThroughputPerMs)
+			label := fmt.Sprintf("fig8-%s-h%d", p, h)
+			col := cols[i]
+			cells = append(cells, Cell{Label: label, Run: func() (func(), error) {
+				pre, cp, err := NewPreemptor("DSP")
+				if err != nil {
+					return nil, err
+				}
+				w, err := workloadFor(h, o)
+				if err != nil {
+					return nil, err
+				}
+				res, err := sim.Run(sim.Config{
+					Cluster:    p.Cluster(),
+					Scheduler:  sched.NewDSP(),
+					Preemptor:  pre,
+					Checkpoint: cp,
+					Period:     o.Period,
+					Epoch:      o.Epoch,
+					Observer:   o.observe(label),
+				}, w)
+				if err != nil {
+					return nil, fmt.Errorf("fig8 %s h=%d: %w", p, h, err)
+				}
+				return func() {
+					out.Makespan.Set(float64(h), col, res.Makespan.Seconds())
+					out.Throughput.Set(float64(h), col, res.TaskThroughputPerMs)
+				}, nil
+			}})
 		}
+	}
+	if err := runCells("fig8", o, cells); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

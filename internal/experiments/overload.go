@@ -144,30 +144,39 @@ func Overload(p Platform, o OverloadOptions) (*OverloadTables, error) {
 		PeakPending:  label("peak pending tasks", "tasks"),
 		Violations:   label("invariant violations", "events"),
 	}
+	var cells []Cell
 	for _, mult := range o.Multipliers {
 		for _, arm := range cols {
 			ladder := arm == "DSP+ladder"
-			cfg := overloadConfig(p, o, ladder)
-			cfg.Observer = o.observe(fmt.Sprintf("overload-%s-%s-x%g", p, arm, mult))
-			w, err := overloadWorkload(o, mult)
-			if err != nil {
-				return nil, err
-			}
-			res, err := sim.Run(cfg, w)
-			if err != nil {
-				return nil, fmt.Errorf("overload %s x%g: %w", arm, mult, err)
-			}
-			if admitted := o.Jobs - res.JobsShed; admitted > 0 {
-				out.Goodput.Set(mult, arm, 100*float64(res.JobsMetDeadline)/float64(admitted))
-			} else {
-				out.Goodput.Set(mult, arm, 0)
-			}
-			out.Met.Set(mult, arm, float64(res.JobsMetDeadline))
-			out.Shed.Set(mult, arm, float64(res.JobsShed))
-			out.Degradations.Set(mult, arm, float64(res.SolverDegradations))
-			out.PeakPending.Set(mult, arm, float64(res.PeakPendingTasks))
-			out.Violations.Set(mult, arm, float64(res.InvariantViolations))
+			label := fmt.Sprintf("overload-%s-%s-x%g", p, arm, mult)
+			cells = append(cells, Cell{Label: label, Run: func() (func(), error) {
+				cfg := overloadConfig(p, o, ladder)
+				cfg.Observer = o.observe(label)
+				w, err := overloadWorkload(o, mult)
+				if err != nil {
+					return nil, err
+				}
+				res, err := sim.Run(cfg, w)
+				if err != nil {
+					return nil, fmt.Errorf("overload %s x%g: %w", arm, mult, err)
+				}
+				return func() {
+					if admitted := o.Jobs - res.JobsShed; admitted > 0 {
+						out.Goodput.Set(mult, arm, 100*float64(res.JobsMetDeadline)/float64(admitted))
+					} else {
+						out.Goodput.Set(mult, arm, 0)
+					}
+					out.Met.Set(mult, arm, float64(res.JobsMetDeadline))
+					out.Shed.Set(mult, arm, float64(res.JobsShed))
+					out.Degradations.Set(mult, arm, float64(res.SolverDegradations))
+					out.PeakPending.Set(mult, arm, float64(res.PeakPendingTasks))
+					out.Violations.Set(mult, arm, float64(res.InvariantViolations))
+				}, nil
+			}})
 		}
+	}
+	if err := runCells(fmt.Sprintf("overload-%s", p), o.Options, cells); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -115,43 +115,56 @@ func Resilience(p Platform, o ResilienceOptions) (*ResilienceTables, error) {
 			"% flaky nodes", "wasted work (slot-s)", cols...),
 	}
 	nodes := p.Cluster().Len()
+	var cells []Cell
 	for _, pct := range o.FaultPercents {
-		var plan *sim.FaultPlan
-		if pct > 0 {
-			spec := chaos.DefaultSpec(nodes, o.FaultSeed)
-			spec.FaultyFraction = float64(pct) / 100
-			var err error
-			if plan, err = spec.Plan(); err != nil {
-				return nil, fmt.Errorf("resilience %d%%: %w", pct, err)
-			}
-		}
 		for _, method := range ResilienceMethods() {
 			for _, mitigated := range []bool{false, true} {
 				col := method
 				if mitigated {
 					col += "+res"
 				}
-				cfg, err := resilienceConfig(p, o, method, mitigated)
-				if err != nil {
-					return nil, err
-				}
-				cfg.Faults = plan
-				cfg.Observer = o.observe(fmt.Sprintf("resilience-%s-%s-f%d", p, col, pct))
-				w, err := workloadFor(o.Jobs, o.Options)
-				if err != nil {
-					return nil, err
-				}
-				res, err := sim.Run(cfg, w)
-				if err != nil {
-					return nil, fmt.Errorf("resilience %s f=%d%%: %w", col, pct, err)
-				}
-				x := float64(pct)
-				out.Makespan.Set(x, col, res.Makespan.Seconds())
-				out.Throughput.Set(x, col, res.TaskThroughputPerMs)
-				out.Goodput.Set(x, col, res.GoodputPerMs)
-				out.Waste.Set(x, col, (res.LostWork + res.SpeculativeWaste).Seconds())
+				label := fmt.Sprintf("resilience-%s-%s-f%d", p, col, pct)
+				cells = append(cells, Cell{Label: label, Run: func() (func(), error) {
+					// The plan expansion is deterministic in (nodes,
+					// FaultSeed, pct), so rebuilding it per cell keeps every
+					// method at one fault level on the same concrete plan
+					// without sharing a mutable structure across workers.
+					var plan *sim.FaultPlan
+					if pct > 0 {
+						spec := chaos.DefaultSpec(nodes, o.FaultSeed)
+						spec.FaultyFraction = float64(pct) / 100
+						var err error
+						if plan, err = spec.Plan(); err != nil {
+							return nil, fmt.Errorf("resilience %d%%: %w", pct, err)
+						}
+					}
+					cfg, err := resilienceConfig(p, o, method, mitigated)
+					if err != nil {
+						return nil, err
+					}
+					cfg.Faults = plan
+					cfg.Observer = o.observe(label)
+					w, err := workloadFor(o.Jobs, o.Options)
+					if err != nil {
+						return nil, err
+					}
+					res, err := sim.Run(cfg, w)
+					if err != nil {
+						return nil, fmt.Errorf("resilience %s f=%d%%: %w", col, pct, err)
+					}
+					return func() {
+						x := float64(pct)
+						out.Makespan.Set(x, col, res.Makespan.Seconds())
+						out.Throughput.Set(x, col, res.TaskThroughputPerMs)
+						out.Goodput.Set(x, col, res.GoodputPerMs)
+						out.Waste.Set(x, col, (res.LostWork + res.SpeculativeWaste).Seconds())
+					}, nil
+				}})
 			}
 		}
+	}
+	if err := runCells(fmt.Sprintf("resilience-%s", p), o.Options, cells); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

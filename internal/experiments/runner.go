@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Cell is one independent unit of sweep work: a single simulation run (or
+// a small bundle of runs) whose inputs are derived deterministically from
+// the cell's own parameters. Run executes the work and returns a commit
+// closure that writes the results into the sweep's tables; the runner
+// executes Run bodies concurrently but invokes the commits serially, in
+// input order, so the assembled tables are identical regardless of worker
+// count or completion order.
+type Cell struct {
+	// Label identifies the cell in observer artifacts and bench reports.
+	Label string
+	// Run executes the cell and returns the closure that commits its
+	// results. Run must not touch shared sweep state (tables, observers);
+	// everything shared happens in the returned commit.
+	Run func() (commit func(), err error)
+}
+
+// SweepStat records how one sweep's cell fan-out executed.
+type SweepStat struct {
+	// Name identifies the sweep (e.g. "fig5-real-cluster").
+	Name string `json:"name"`
+	// Workers is the number of workers the runner actually used.
+	Workers int `json:"workers"`
+	// Cells is the number of cells executed.
+	Cells int `json:"cells"`
+	// WallMS is the sweep's wall-clock time in milliseconds.
+	WallMS float64 `json:"wall_ms"`
+	// CellsPerSec is Cells divided by wall time.
+	CellsPerSec float64 `json:"cells_per_sec"`
+	// CellTimes holds each cell's own execution time, in input order.
+	CellTimes []CellTime `json:"cell_us"`
+}
+
+// CellTime is one cell's label and execution time in microseconds.
+type CellTime struct {
+	Label string  `json:"label"`
+	US    float64 `json:"us"`
+}
+
+// SweepStats accumulates one SweepStat per runCells invocation. Attach it
+// via Options.Stats; the sweep functions themselves run serially with
+// respect to each other, so no locking is needed.
+type SweepStats struct {
+	Sweeps []SweepStat `json:"sweeps"`
+}
+
+// TotalWallMS sums the recorded sweeps' wall times.
+func (s *SweepStats) TotalWallMS() float64 {
+	var total float64
+	for _, sw := range s.Sweeps {
+		total += sw.WallMS
+	}
+	return total
+}
+
+// runCells executes a sweep's cells across Options.Workers workers and
+// commits their results in input order.
+//
+// Determinism: each cell derives its workload from its own parameters
+// (workloadFor splits the sweep seed per cell), Run bodies share no
+// mutable state, and commits are applied serially in input order after
+// every earlier cell has committed — so the assembled tables, and any
+// BENCH/figure output rendered from them, are byte-identical for every
+// worker count, including 1. The package test
+// TestParallelSweepMatchesSerial locks this in.
+//
+// An attached Observer forces a single worker: observers receive decision
+// streams whose interleaving is part of their output, and obs.Sink is not
+// safe for concurrent use. Errors surface as the first failing cell in
+// input order, matching a serial run's error.
+func runCells(name string, o Options, cells []Cell) error {
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Observer != nil {
+		workers = 1
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+
+	start := time.Now()
+	commits := make([]func(), len(cells))
+	errs := make([]error, len(cells))
+	cellUS := make([]float64, len(cells))
+
+	run := func(i int) {
+		t0 := time.Now()
+		commits[i], errs[i] = cells[i].Run()
+		cellUS[i] = float64(time.Since(t0).Microseconds())
+	}
+
+	if workers <= 1 {
+		for i := range cells {
+			run(i)
+			if errs[i] != nil {
+				break // serial semantics: stop at the first failure
+			}
+		}
+	} else {
+		var next atomic.Int64
+		next.Store(-1)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1))
+					if i >= len(cells) {
+						return
+					}
+					run(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	var firstErr error
+	for i := range cells {
+		if errs[i] != nil {
+			firstErr = errs[i]
+			break
+		}
+		if commits[i] != nil {
+			commits[i]()
+		}
+	}
+
+	if o.Stats != nil {
+		wall := time.Since(start)
+		stat := SweepStat{
+			Name:    name,
+			Workers: workers,
+			Cells:   len(cells),
+			WallMS:  float64(wall.Microseconds()) / 1e3,
+		}
+		if wall > 0 {
+			stat.CellsPerSec = float64(len(cells)) / wall.Seconds()
+		}
+		for i, c := range cells {
+			stat.CellTimes = append(stat.CellTimes, CellTime{Label: c.Label, US: cellUS[i]})
+		}
+		o.Stats.Sweeps = append(o.Stats.Sweeps, stat)
+	}
+	return firstErr
+}

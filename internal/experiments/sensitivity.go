@@ -60,53 +60,62 @@ func Sensitivity(param SensitivityParam, values []float64, p Platform, h int, o 
 		string(param), "",
 		"throughput(tasks/ms)", "preemptions", "makespan(s)", "avg-wait(s)")
 
+	var cells []Cell
 	for _, val := range values {
-		pre := preempt.NewDSP()
-		cfg := sim.Config{
-			Cluster:   p.Cluster(),
-			Scheduler: sched.NewDSP(),
-			Preemptor: pre,
-			Period:    o.Period,
-			Epoch:     o.Epoch,
-		}
-		switch param {
-		case ParamGamma:
-			pre.P.Gamma = val
-		case ParamDelta:
-			pre.P.Delta = val
-		case ParamRho:
-			pre.P.Rho = val
-		case ParamOmega1:
-			// Rescale ω₂, ω₃ to keep the weights summing to one while
-			// preserving their 3:2 ratio.
-			pre.P.Omega1 = val
-			rest := 1 - val
-			pre.P.Omega2 = rest * 0.6
-			pre.P.Omega3 = rest * 0.4
-		case ParamEpoch:
-			cfg.Epoch = units.FromSeconds(val)
-		default:
-			return nil, fmt.Errorf("experiments: unknown sensitivity parameter %q", param)
-		}
-		_, cp, err := NewPreemptor("DSP")
-		if err != nil {
-			return nil, err
-		}
-		cfg.Checkpoint = cp
+		label := fmt.Sprintf("sensitivity-%s-%g", param, val)
+		cells = append(cells, Cell{Label: label, Run: func() (func(), error) {
+			pre := preempt.NewDSP()
+			cfg := sim.Config{
+				Cluster:   p.Cluster(),
+				Scheduler: sched.NewDSP(),
+				Preemptor: pre,
+				Period:    o.Period,
+				Epoch:     o.Epoch,
+			}
+			switch param {
+			case ParamGamma:
+				pre.P.Gamma = val
+			case ParamDelta:
+				pre.P.Delta = val
+			case ParamRho:
+				pre.P.Rho = val
+			case ParamOmega1:
+				// Rescale ω₂, ω₃ to keep the weights summing to one while
+				// preserving their 3:2 ratio.
+				pre.P.Omega1 = val
+				rest := 1 - val
+				pre.P.Omega2 = rest * 0.6
+				pre.P.Omega3 = rest * 0.4
+			case ParamEpoch:
+				cfg.Epoch = units.FromSeconds(val)
+			default:
+				return nil, fmt.Errorf("experiments: unknown sensitivity parameter %q", param)
+			}
+			_, cp, err := NewPreemptor("DSP")
+			if err != nil {
+				return nil, err
+			}
+			cfg.Checkpoint = cp
 
-		w, err := workloadFor(h, o)
-		if err != nil {
-			return nil, err
-		}
-		cfg.Observer = o.observe(fmt.Sprintf("sensitivity-%s-%g", param, val))
-		res, err := sim.Run(cfg, w)
-		if err != nil {
-			return nil, fmt.Errorf("sensitivity %s=%v: %w", param, val, err)
-		}
-		t.Set(val, "throughput(tasks/ms)", res.TaskThroughputPerMs)
-		t.Set(val, "preemptions", float64(res.Preemptions))
-		t.Set(val, "makespan(s)", res.Makespan.Seconds())
-		t.Set(val, "avg-wait(s)", res.AvgJobQueueing.Seconds())
+			w, err := workloadFor(h, o)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Observer = o.observe(label)
+			res, err := sim.Run(cfg, w)
+			if err != nil {
+				return nil, fmt.Errorf("sensitivity %s=%v: %w", param, val, err)
+			}
+			return func() {
+				t.Set(val, "throughput(tasks/ms)", res.TaskThroughputPerMs)
+				t.Set(val, "preemptions", float64(res.Preemptions))
+				t.Set(val, "makespan(s)", res.Makespan.Seconds())
+				t.Set(val, "avg-wait(s)", res.AvgJobQueueing.Seconds())
+			}, nil
+		}})
+	}
+	if err := runCells(fmt.Sprintf("sensitivity-%s", param), o, cells); err != nil {
+		return nil, err
 	}
 	return t, nil
 }

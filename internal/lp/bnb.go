@@ -28,6 +28,17 @@ func (m *Model) branchAndBound(lo, hi []float64, ctx *solveCtx) *Solution {
 	stack := []node{{lo: lo, hi: hi}}
 
 	var best *Solution
+	// A feasible warm-start candidate becomes the initial incumbent: it
+	// bounds the search from the first node, and under exhausted budgets it
+	// guarantees a usable Incumbent result instead of an empty one. The
+	// search can only replace it with something strictly better, so a
+	// seeded solve is never worse than the seed or than a cold solve under
+	// the same budgets.
+	warmUsed := false
+	if xw, objw, ok := m.checkWarmStart(); ok {
+		best = &Solution{Status: Optimal, Objective: objw, X: xw}
+		warmUsed = true
+	}
 	worse := func(obj float64) bool {
 		if best == nil {
 			return false
@@ -50,7 +61,7 @@ func (m *Model) branchAndBound(lo, hi []float64, ctx *solveCtx) *Solution {
 	// Pivots are set on every path. limit describes why the search ended
 	// when no incumbent upgrades it.
 	final := func(limit Status) *Solution {
-		out := &Solution{Status: limit, Nodes: nodes, Pivots: ctx.pivots}
+		out := &Solution{Status: limit, Nodes: nodes, Pivots: ctx.pivots, WarmStarted: warmUsed}
 		if best != nil {
 			if limit == Optimal {
 				out.Status = Optimal

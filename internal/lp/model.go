@@ -95,6 +95,28 @@ type Model struct {
 	MaxTime time.Duration
 	// Clock overrides the time source used for MaxTime (nil = time.Now).
 	Clock func() time.Time
+
+	// warmStart, when non-nil, seeds branch-and-bound with a candidate
+	// assignment (see SetWarmStart).
+	warmStart []float64
+}
+
+// SetWarmStart provides a candidate assignment — one value per variable,
+// in AddVar order — that seeds the branch-and-bound incumbent. Before the
+// search starts the candidate is verified against the variable bounds,
+// integrality, and every constraint; an infeasible candidate is silently
+// ignored, so callers may pass a stale or heuristic guess without risking
+// correctness. A feasible seed can only tighten pruning: the returned
+// objective is never worse than either the seed's or an unseeded solve's
+// under the same budgets, and under exhausted budgets the seed guarantees
+// an Incumbent instead of an empty Aborted/NodeLimit result. Pure-LP
+// solves (no integer variables) ignore the seed. Pass nil to clear.
+func (m *Model) SetWarmStart(x []float64) {
+	if x == nil {
+		m.warmStart = nil
+		return
+	}
+	m.warmStart = append([]float64(nil), x...)
 }
 
 // NewModel creates an empty model.
@@ -214,6 +236,9 @@ type Solution struct {
 	// Pivots is the total number of simplex pivots performed across the
 	// solve (all branch-and-bound relaxations combined).
 	Pivots int
+	// WarmStarted reports that the SetWarmStart candidate passed the
+	// feasibility check and seeded the branch-and-bound incumbent.
+	WarmStarted bool
 }
 
 // Value returns the solved value of v.

@@ -1,0 +1,64 @@
+package lp
+
+import "math"
+
+// feasTol is the absolute tolerance used when validating a warm-start
+// candidate against bounds and constraints.
+const feasTol = 1e-6
+
+// checkWarmStart validates the model's warm-start candidate and, when it
+// is feasible, returns a snapped copy (integer variables rounded to their
+// nearest integer) together with its objective value. A candidate with
+// the wrong length, an out-of-bounds or non-integral component, or any
+// violated constraint is rejected.
+func (m *Model) checkWarmStart() (x []float64, obj float64, ok bool) {
+	ws := m.warmStart
+	if ws == nil || len(ws) != len(m.vars) {
+		return nil, 0, false
+	}
+	x = append([]float64(nil), ws...)
+	for i, v := range m.vars {
+		xi := x[i]
+		if math.IsNaN(xi) || math.IsInf(xi, 0) {
+			return nil, 0, false
+		}
+		if v.integer {
+			r := math.Round(xi)
+			if math.Abs(xi-r) > intTol {
+				return nil, 0, false
+			}
+			xi = r
+			x[i] = r
+		}
+		if xi < v.lo-feasTol || xi > v.hi+feasTol {
+			return nil, 0, false
+		}
+		obj += v.obj * xi
+	}
+	for _, c := range m.cons {
+		lhs := 0.0
+		scale := 1.0 // violation tolerance scales with coefficient magnitude
+		for _, t := range c.terms {
+			lhs += t.Coef * x[t.Var]
+			if a := math.Abs(t.Coef); a > scale {
+				scale = a
+			}
+		}
+		tol := feasTol * scale
+		switch c.op {
+		case LE:
+			if lhs > c.rhs+tol {
+				return nil, 0, false
+			}
+		case GE:
+			if lhs < c.rhs-tol {
+				return nil, 0, false
+			}
+		default: // EQ
+			if math.Abs(lhs-c.rhs) > tol {
+				return nil, 0, false
+			}
+		}
+	}
+	return x, obj, true
+}

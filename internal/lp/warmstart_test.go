@@ -1,0 +1,158 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// betterEq reports a is at least as good as b for the model's sense.
+func betterEq(m *Model, a, b float64) bool {
+	if m.sense == Minimize {
+		return a <= b+1e-9
+	}
+	return a >= b-1e-9
+}
+
+// TestWarmStartNeverWorse is the warm-start quality guarantee: seeding
+// branch-and-bound with a feasible candidate must yield an objective at
+// least as good as both the seed's and an unseeded solve's, under
+// identical budgets. The seed here is the cold solve's own solution —
+// always feasible — re-solved under a range of node budgets.
+func TestWarmStartNeverWorse(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randomILP(r)
+		cold := m.Solve()
+		if !cold.HasSolution() {
+			return true // infeasible/unbounded instance; covered elsewhere
+		}
+		seedObj := cold.Objective
+		for _, budget := range []int{1, 2, 5, 0} {
+			m.MaxNodes = budget
+			m.SetWarmStart(cold.X)
+			warm := m.Solve()
+			m.SetWarmStart(nil)
+			coldB := m.Solve()
+
+			if !warm.HasSolution() {
+				t.Logf("seed %d budget %d: warm solve lost the feasible seed (status %v)", seed, budget, warm.Status)
+				return false
+			}
+			if !warm.WarmStarted {
+				t.Logf("seed %d budget %d: feasible seed not accepted", seed, budget)
+				return false
+			}
+			if !feasible(m, warm.X) {
+				t.Logf("seed %d budget %d: warm solution infeasible", seed, budget)
+				return false
+			}
+			if !betterEq(m, warm.Objective, seedObj) {
+				t.Logf("seed %d budget %d: warm %v worse than seed %v", seed, budget, warm.Objective, seedObj)
+				return false
+			}
+			if coldB.HasSolution() && !betterEq(m, warm.Objective, coldB.Objective) {
+				t.Logf("seed %d budget %d: warm %v worse than cold %v", seed, budget, warm.Objective, coldB.Objective)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWarmStartInfeasibleSeedIgnored: a seed violating bounds,
+// integrality, or a constraint must be silently rejected and leave the
+// solve's result identical to a cold solve.
+func TestWarmStartInfeasibleSeedIgnored(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		m := randomILP(r)
+		cold := m.Solve()
+
+		bad := make([]float64, len(m.vars))
+		for i := range bad {
+			bad[i] = m.vars[i].hi + 10 // out of bounds everywhere
+			if math.IsInf(bad[i], 1) {
+				bad[i] = 1e12
+			}
+		}
+		m.SetWarmStart(bad)
+		warm := m.Solve()
+		if warm.WarmStarted {
+			t.Fatalf("trial %d: out-of-bounds seed accepted", trial)
+		}
+		if warm.Status != cold.Status || warm.Objective != cold.Objective {
+			t.Fatalf("trial %d: rejected seed changed the result: %v/%v vs %v/%v",
+				trial, warm.Status, warm.Objective, cold.Status, cold.Objective)
+		}
+	}
+}
+
+// TestWarmStartWrongLengthIgnored: a seed of the wrong dimension is
+// rejected rather than panicking or corrupting the solve.
+func TestWarmStartWrongLengthIgnored(t *testing.T) {
+	m := NewModel("wrong-len", Minimize)
+	x := m.AddIntVar(0, 5, 1, "x")
+	m.AddConstraint([]Term{{x, 1}}, GE, 2, "floor")
+	m.SetWarmStart([]float64{1, 2, 3})
+	s := m.Solve()
+	if s.WarmStarted {
+		t.Fatal("wrong-length seed accepted")
+	}
+	if s.Status != Optimal || s.Objective != 2 {
+		t.Fatalf("got %v/%v, want optimal/2", s.Status, s.Objective)
+	}
+}
+
+// TestWarmStartGuaranteesIncumbentUnderExhaustedBudget: with a node
+// budget too small to find any incumbent cold, a feasible seed must turn
+// the empty NodeLimit/Aborted result into a usable Incumbent carrying at
+// least the seed's objective.
+func TestWarmStartGuaranteesIncumbentUnderExhaustedBudget(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	found := false
+	for trial := 0; trial < 300; trial++ {
+		m := randomILP(r)
+		exact := m.Solve()
+		if exact.Status != Optimal || exact.Nodes < 2 {
+			continue
+		}
+		m.MaxNodes = 1
+		cold := m.Solve()
+		if cold.HasSolution() {
+			continue // budget 1 was enough; need a starved case
+		}
+		found = true
+		m.SetWarmStart(exact.X)
+		warm := m.Solve()
+		if !warm.HasSolution() {
+			t.Fatalf("trial %d: seeded solve returned %v under budget 1", trial, warm.Status)
+		}
+		if !betterEq(m, warm.Objective, exact.Objective) {
+			t.Fatalf("trial %d: seeded objective %v worse than seed %v", trial, warm.Objective, exact.Objective)
+		}
+	}
+	if !found {
+		t.Skip("no instance starved under budget 1; generator too weak")
+	}
+}
+
+// TestWarmStartSnapsNearIntegers: integer components within tolerance of
+// an integer are snapped, not rejected.
+func TestWarmStartSnapsNearIntegers(t *testing.T) {
+	m := NewModel("snap", Minimize)
+	x := m.AddIntVar(0, 5, 1, "x")
+	m.AddConstraint([]Term{{x, 1}}, GE, 2, "floor")
+	m.SetWarmStart([]float64{3 + 1e-9})
+	s := m.Solve()
+	if !s.WarmStarted {
+		t.Fatal("near-integral seed rejected")
+	}
+	if s.Status != Optimal || s.Objective != 2 {
+		t.Fatalf("got %v/%v, want optimal/2", s.Status, s.Objective)
+	}
+}

@@ -1,0 +1,42 @@
+package preempt
+
+import (
+	"math/rand"
+	"testing"
+
+	"dsp/internal/dag"
+	"dsp/internal/units"
+)
+
+// BenchmarkPriorityMemo compares the epoch-persistent Memo against the
+// per-epoch recursive Calculator on the same demand pattern: a
+// 200-task random DAG whose every task's priority is demanded once per
+// epoch (the preemptor's epochNode access pattern). The memo amortizes
+// the topological order and live-edge derivation across epochs; the
+// calculator rebuilds its map-backed cache from scratch each time.
+func BenchmarkPriorityMemo(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	js := randomJob(rng, dag.JobID(0), 200)
+	p := DefaultParams()
+	speeds := newFakeSpeeds()
+
+	b.Run("memo", func(b *testing.B) {
+		m := NewMemo()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.BeginEpoch(p, units.Time(i), speeds)
+			for _, ts := range js.Tasks {
+				_ = m.Priority(ts)
+			}
+		}
+	})
+	b.Run("recursive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := NewCalculator(p, units.Time(i), speeds)
+			for _, ts := range js.Tasks {
+				_ = c.Priority(ts)
+			}
+		}
+	})
+}

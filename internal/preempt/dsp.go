@@ -33,6 +33,22 @@ type DSP struct {
 	UsePP bool
 
 	name string
+	// memo is the epoch-persistent priority evaluator (lazily created, so
+	// zero-value DSP literals in tests keep working).
+	memo *Memo
+	// Reusable per-epoch scratch, so the epoch loop stops allocating once
+	// the buffers reach the cluster's working-set size.
+	preemptable []cand
+	priBuf      []float64
+	victimUsed  map[*sim.TaskState]bool
+	starterUsed map[*sim.TaskState]bool
+}
+
+// cand pairs a preemptable running task with its priority at epoch
+// evaluation time.
+type cand struct {
+	t  *sim.TaskState
+	pr float64
 }
 
 // NewDSP returns the full DSP policy with Table II parameters.
@@ -59,12 +75,19 @@ func (d *DSP) Name() string {
 
 // Epoch implements sim.Preemptor.
 func (d *DSP) Epoch(now units.Time, v *sim.View) []sim.Action {
-	calc := NewCalculator(d.P, now, v)
+	if d.memo == nil {
+		d.memo = NewMemo()
+	}
+	if d.victimUsed == nil {
+		d.victimUsed = make(map[*sim.TaskState]bool)
+		d.starterUsed = make(map[*sim.TaskState]bool)
+	}
+	d.memo.BeginEpoch(d.P, now, v)
 	var out []sim.Action
 	considered, fired := 0, 0
 	for k := 0; k < v.Cluster().Len(); k++ {
 		node := cluster.NodeID(k)
-		c, f := d.epochNode(node, now, v, calc, &out)
+		c, f := d.epochNode(node, now, v, d.memo, &out)
 		considered += c
 		fired += f
 	}
@@ -83,7 +106,7 @@ func (d *DSP) Epoch(now units.Time, v *sim.View) []sim.Action {
 // epochNode runs Algorithm 1 for one node and appends actions. It
 // returns how many preempting tasks were considered and how many
 // preempted, feeding the dynamic δ adjustment.
-func (d *DSP) epochNode(node cluster.NodeID, now units.Time, v *sim.View, calc *Calculator, out *[]sim.Action) (considered, fired int) {
+func (d *DSP) epochNode(node cluster.NodeID, now units.Time, v *sim.View, calc *Memo, out *[]sim.Action) (considered, fired int) {
 	speed := v.Speed(node)
 	epoch := v.Epoch()
 
@@ -95,11 +118,7 @@ func (d *DSP) epochNode(node cluster.NodeID, now units.Time, v *sim.View, calc *
 
 	// Preemptable running tasks: those whose own deadline tolerates
 	// sitting out at least one epoch.
-	type cand struct {
-		t  *sim.TaskState
-		pr float64
-	}
-	var preemptable []cand
+	preemptable := d.preemptable[:0]
 	for _, r := range running {
 		if d.P.MaxVictimPreemptions > 0 && r.Preemptions >= d.P.MaxVictimPreemptions {
 			continue // fairness guard: this task has suffered enough
@@ -119,7 +138,7 @@ func (d *DSP) epochNode(node cluster.NodeID, now units.Time, v *sim.View, calc *
 	})
 
 	// P̄ over all tasks on this node (waiting ∪ running).
-	var all []float64
+	all := d.priBuf[:0]
 	for _, t := range waiting {
 		all = append(all, calc.Priority(t))
 	}
@@ -128,8 +147,10 @@ func (d *DSP) epochNode(node cluster.NodeID, now units.Time, v *sim.View, calc *
 	}
 	avgGap := AvgNeighborGap(all)
 
-	victimUsed := make(map[*sim.TaskState]bool)
-	starterUsed := make(map[*sim.TaskState]bool)
+	clear(d.victimUsed)
+	clear(d.starterUsed)
+	victimUsed := d.victimUsed
+	starterUsed := d.starterUsed
 	obs := v.Observer()
 
 	dependsOn := func(a, b *sim.TaskState) bool {
@@ -226,6 +247,9 @@ func (d *DSP) epochNode(node cluster.NodeID, now units.Time, v *sim.View, calc *
 			fired++
 		}
 	}
+	// Hand the (possibly grown) scratch buffers back for the next node.
+	d.preemptable = preemptable[:0]
+	d.priBuf = all[:0]
 	return considered, fired
 }
 

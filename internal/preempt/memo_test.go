@@ -1,0 +1,138 @@
+package preempt
+
+import (
+	"math/rand"
+	"testing"
+
+	"dsp/internal/dag"
+	"dsp/internal/sim"
+	"dsp/internal/units"
+)
+
+// randomJob builds a job with n tasks and random forward edges (parent →
+// higher-ID child), random sizes, and randomized task states.
+func randomJob(rng *rand.Rand, id dag.JobID, n int) *sim.JobState {
+	j := dag.NewJob(id, n)
+	for i := 0; i < n; i++ {
+		j.Task(dag.TaskID(i)).Size = 100 + rng.Float64()*5000
+	}
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if rng.Float64() < 0.25 {
+				j.MustDep(dag.TaskID(a), dag.TaskID(b))
+			}
+		}
+	}
+	js := &sim.JobState{Dag: j, DoneAt: -1}
+	for _, task := range j.Tasks {
+		ts := &sim.TaskState{
+			Task:     task,
+			Job:      js,
+			Phase:    sim.Queued,
+			Node:     -1,
+			Deadline: units.Forever,
+			DoneAt:   -1,
+		}
+		if rng.Float64() < 0.5 {
+			ts.Node = 0
+		}
+		if rng.Float64() < 0.3 {
+			ts.Deadline = units.FromSeconds(5 + rng.Float64()*100)
+		}
+		ts.QueuedAt = units.FromSeconds(rng.Float64() * 10)
+		js.Tasks = append(js.Tasks, ts)
+	}
+	return js
+}
+
+// mutate flips some tasks' phases the way an epoch of simulation would:
+// completions, suspensions, requeues.
+func mutate(rng *rand.Rand, js *sim.JobState, now units.Time) {
+	for _, ts := range js.Tasks {
+		if ts.Phase == sim.Done {
+			continue
+		}
+		switch r := rng.Float64(); {
+		case r < 0.15:
+			ts.Phase = sim.Done
+			ts.DoneAt = now
+		case r < 0.3:
+			ts.Phase = sim.Running
+		case r < 0.45:
+			ts.Phase = sim.Suspended
+			ts.QueuedAt = now
+		}
+	}
+}
+
+// TestMemoMatchesCalculator is the memo-correctness property test: across
+// random DAGs, random task states, and multiple epochs with state
+// mutations in between, Memo must return bit-for-bit the same priorities
+// as a fresh recursive Calculator built at the same evaluation time.
+func TestMemoMatchesCalculator(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(25)
+		js := randomJob(rng, dag.JobID(seed), n)
+
+		p := DefaultParams()
+		if seed%5 == 4 {
+			p.FlatPriority = true
+		}
+		if seed%3 == 2 {
+			p.Gamma = rng.Float64()
+		}
+		memo := NewMemo()
+		speeds := newFakeSpeeds()
+
+		for epoch := 0; epoch < 6; epoch++ {
+			now := units.FromSeconds(float64(epoch) * 10)
+			memo.BeginEpoch(p, now, speeds)
+			calc := NewCalculator(p, now, speeds)
+			// Demand in random order: memoization must not depend on
+			// evaluation order.
+			perm := rng.Perm(n)
+			for _, i := range perm {
+				ts := js.Tasks[i]
+				got := memo.Priority(ts)
+				want := calc.Priority(ts)
+				if got != want {
+					t.Fatalf("seed %d epoch %d task %d: memo %v != calculator %v",
+						seed, epoch, i, got, want)
+				}
+			}
+			mutate(rng, js, now)
+		}
+	}
+}
+
+// TestMemoSeesCompletionsWithinEpoch locks in the invalidation rule: a
+// task completing between epochs must drop out of its parents' priority
+// sums at the next BeginEpoch.
+func TestMemoSeesCompletionsWithinEpoch(t *testing.T) {
+	j := dag.NewJob(0, 3)
+	for i := 0; i < 3; i++ {
+		j.Task(dag.TaskID(i)).Size = 1000
+	}
+	j.MustDep(0, 1)
+	j.MustDep(0, 2)
+	js := buildStates(j)
+
+	p := DefaultParams()
+	speeds := newFakeSpeeds()
+	memo := NewMemo()
+
+	memo.BeginEpoch(p, 0, speeds)
+	before := memo.Priority(js.Tasks[0])
+
+	js.Tasks[1].Phase = sim.Done
+	memo.BeginEpoch(p, 0, speeds)
+	after := memo.Priority(js.Tasks[0])
+	want := NewCalculator(p, 0, speeds).Priority(js.Tasks[0])
+	if after != want {
+		t.Fatalf("after completion: memo %v != calculator %v", after, want)
+	}
+	if after >= before {
+		t.Fatalf("priority should drop when a child completes: before=%v after=%v", before, after)
+	}
+}

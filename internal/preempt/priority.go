@@ -77,20 +77,27 @@ func (c *Calculator) Priority(t *sim.TaskState) float64 {
 
 // leaf evaluates Formula 13.
 func (c *Calculator) leaf(t *sim.TaskState) float64 {
-	speed := c.speedFor(t)
-	rem := t.LiveRemainingTime(c.now, speed).Seconds()
+	return leafPriority(c.P, c.now, c.speedFor(t), t)
+}
+
+// leafPriority is Formula 13 — the priority of a task with no live
+// dependents: ω₁·(1/t^rem) + ω₂·t^w + ω₃·t^a. It is shared by the
+// reference Calculator and the epoch-persistent Memo so the two always
+// agree bit-for-bit.
+func leafPriority(p Params, now units.Time, speed float64, t *sim.TaskState) float64 {
+	rem := t.LiveRemainingTime(now, speed).Seconds()
 	if rem <= 0 {
 		rem = 1e-3 // a nearly-finished task has maximal remaining-term urgency
 	}
-	wait := t.WaitingTime(c.now).Seconds()
+	wait := t.WaitingTime(now).Seconds()
 	var allow float64
 	if t.Deadline != units.Forever {
-		allow = t.AllowableWait(c.now, speed).Seconds()
+		allow = t.AllowableWait(now, speed).Seconds()
 		if allow < 0 {
 			allow = 0
 		}
 	}
-	return c.P.Omega1*(1/rem) + c.P.Omega2*wait + c.P.Omega3*allow
+	return p.Omega1*(1/rem) + p.Omega2*wait + p.Omega3*allow
 }
 
 // AvgNeighborGap returns P̄: the mean priority difference between

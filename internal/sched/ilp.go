@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"dsp/internal/cluster"
+	"dsp/internal/dag"
 	"dsp/internal/lp"
 	"dsp/internal/sim"
 	"dsp/internal/units"
@@ -24,6 +25,7 @@ type vm struct {
 type ilpOutcome struct {
 	ok     bool   // a usable (possibly non-optimal) plan was produced
 	exact  bool   // the plan is provably optimal
+	warm   bool   // branch-and-bound was seeded with a feasible warm start
 	reason string // why the solve fell short of exact, for the event log
 	nodes  int    // branch-and-bound nodes explored
 }
@@ -165,6 +167,7 @@ func (d *DSP) scheduleILP(now units.Time, pending []*sim.JobState, v *sim.View) 
 	for i, t := range tasks {
 		idx[t] = i
 	}
+	extLB := make([]float64, nT) // per-task external lower bound, reused by the warm start
 	for i, t := range tasks {
 		for _, p := range t.Job.Dag.Parents(t.Task.ID) {
 			ps := t.Job.Tasks[p]
@@ -184,6 +187,9 @@ func (d *DSP) scheduleILP(now units.Time, pending []*sim.JobState, v *sim.View) 
 				}
 				if bound > 0 {
 					model.AddConstraint([]lp.Term{{Var: start[i], Coef: 1}}, lp.GE, bound, "dep-ext")
+					if bound > extLB[i] {
+						extLB[i] = bound
+					}
 				}
 			}
 		}
@@ -203,9 +209,14 @@ func (d *DSP) scheduleILP(now units.Time, pending []*sim.JobState, v *sim.View) 
 	}
 
 	// (5,8,9) disjunctive ordering on shared machines.
+	yID := make([][]lp.VarID, nT)
+	for i := range yID {
+		yID[i] = make([]lp.VarID, nT)
+	}
 	for i := 0; i < nT; i++ {
 		for u := i + 1; u < nT; u++ {
 			y := model.AddBinVar(0, "y")
+			yID[i][u] = y
 			for k := range vms {
 				// i before u on k when y=1.
 				model.AddConstraint([]lp.Term{
@@ -227,20 +238,33 @@ func (d *DSP) scheduleILP(now units.Time, pending []*sim.JobState, v *sim.View) 
 		}
 	}
 
+	if !d.DisableWarmStart {
+		if w := buildWarmVector(model.NumVars(), now, tasks, vms, e, pcost,
+			idx, extLB, d.prevPlan, ms, start, x, yID); w != nil {
+			model.SetWarmStart(w)
+		}
+	}
+
 	sol := model.Solve()
 	if !sol.HasSolution() {
 		return nil, ilpOutcome{reason: sol.Status.String(), nodes: sol.Nodes}
 	}
 
+	if d.prevPlan == nil {
+		d.prevPlan = make(map[dag.Key]warmAssign)
+	}
+	clear(d.prevPlan) // every still-pending task is in this solve
 	out := make([]sim.Assignment, 0, nT)
 	for i, t := range tasks {
 		for k := range vms {
 			if sol.Value(x[i][k]) > 0.5 {
+				at := now + units.FromSeconds(sol.Value(start[i]))
 				out = append(out, sim.Assignment{
 					Task:  t,
 					Node:  vms[k].node,
-					Start: now + units.FromSeconds(sol.Value(start[i])),
+					Start: at,
 				})
+				d.prevPlan[t.Task.Key()] = warmAssign{node: vms[k].node, start: at}
 				break
 			}
 		}
@@ -248,6 +272,7 @@ func (d *DSP) scheduleILP(now units.Time, pending []*sim.JobState, v *sim.View) 
 	return out, ilpOutcome{
 		ok:     true,
 		exact:  sol.Status == lp.Optimal,
+		warm:   sol.WarmStarted,
 		reason: sol.Status.String(),
 		nodes:  sol.Nodes,
 	}

@@ -24,6 +24,7 @@
 package sched
 
 import (
+	"dsp/internal/dag"
 	"dsp/internal/sim"
 	"dsp/internal/units"
 )
@@ -89,6 +90,17 @@ type DSP struct {
 	// toward nodes that have not recently crashed or faulted. Zero keeps
 	// the engine oblivious (the paper's baseline behaviour).
 	RiskAversion float64
+	// DisableWarmStart turns off ILP warm-starting. By default every exact
+	// solve seeds branch-and-bound with a greedy incumbent that replays the
+	// previous period's plan for surviving tasks (see buildWarmVector); the
+	// seed can only tighten pruning, but this knob allows cold/warm A-B
+	// comparisons in benchmarks.
+	DisableWarmStart bool
+
+	// prevPlan remembers the previous exact solve's placement per task,
+	// feeding the next period's warm start. Rebuilt after every solve, so
+	// completed tasks age out automatically.
+	prevPlan map[dag.Key]warmAssign
 }
 
 // NewDSP returns the scheduler with the paper's defaults.

@@ -1,0 +1,149 @@
+package sched
+
+import (
+	"math"
+
+	"dsp/internal/cluster"
+	"dsp/internal/dag"
+	"dsp/internal/lp"
+	"dsp/internal/sim"
+	"dsp/internal/units"
+)
+
+// warmAssign remembers where the previous exact solve placed a task, so
+// the next period's branch-and-bound can be seeded with an incumbent that
+// keeps surviving tasks on their old machines in their old order.
+type warmAssign struct {
+	node cluster.NodeID
+	// start is the absolute planned start from the previous incumbent,
+	// used to order surviving tasks in the seed schedule.
+	start units.Time
+}
+
+// buildWarmVector constructs a complete candidate assignment for the ILP
+// of scheduleILP — one value per model variable — by running a
+// deterministic greedy list placement over the pending tasks:
+//
+//   - Tasks are placed in dependency order; among ready tasks, those the
+//     previous incumbent scheduled (prev) go first, ordered by their old
+//     start times, so a surviving plan is replayed rather than rediscovered.
+//   - Each task lands on its previous machine when that machine is still
+//     offered, otherwise on the machine minimizing its finish time; the
+//     start honours machine availability, in-model precedence, and the
+//     constant lower bounds from external (already scheduled) parents.
+//   - Ordering binaries are derived from the placement sequence, which is
+//     consistent with the disjunctive constraints on shared machines.
+//
+// The result seeds lp.Model.SetWarmStart; the solver re-verifies
+// feasibility, so a seed that violates a deadline constraint is simply
+// ignored and the solve proceeds cold. Branch-and-bound can only improve
+// on a feasible seed, so the warm solve's makespan is never worse than
+// either the seed's or a cold solve's under the same budgets.
+func buildWarmVector(nVars int, now units.Time, tasks []*sim.TaskState, vms []vm,
+	e [][]float64, pcost []float64, idx map[*sim.TaskState]int, extLB []float64,
+	prev map[dag.Key]warmAssign, msVar lp.VarID, start []lp.VarID,
+	x [][]lp.VarID, yID [][]lp.VarID) []float64 {
+
+	nT, nK := len(tasks), len(vms)
+	parents := make([][]int, nT)
+	for i, t := range tasks {
+		for _, p := range t.Job.Dag.Parents(t.Task.ID) {
+			if pi, ok := idx[t.Job.Tasks[p]]; ok {
+				parents[i] = append(parents[i], pi)
+			}
+		}
+	}
+
+	// prevRank orders the ready set: remembered tasks by old start time,
+	// unknown tasks after every remembered one, ties by task index.
+	prevRank := make([]float64, nT)
+	prevNode := make([]cluster.NodeID, nT)
+	for i, t := range tasks {
+		prevRank[i] = math.Inf(1)
+		prevNode[i] = -1
+		if wa, ok := prev[t.Task.Key()]; ok {
+			prevRank[i] = (wa.start - now).Seconds()
+			prevNode[i] = wa.node
+		}
+	}
+
+	cur := make([]float64, nK) // per-machine cursor: when the slot frees
+	for k, m := range vms {
+		if m.avail > 0 {
+			cur[k] = m.avail
+		}
+	}
+	s := make([]float64, nT)
+	vmOf := make([]int, nT)
+	seq := make([]int, nT)
+	placed := make([]bool, nT)
+
+	for n := 0; n < nT; n++ {
+		pick := -1
+		for i := range tasks {
+			if placed[i] {
+				continue
+			}
+			ready := true
+			for _, p := range parents[i] {
+				if !placed[p] {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			if pick == -1 || prevRank[i] < prevRank[pick] {
+				pick = i
+			}
+		}
+		if pick == -1 {
+			return nil // dependency cycle among pending tasks; no seed
+		}
+
+		est := extLB[pick]
+		for _, p := range parents[pick] {
+			if f := s[p] + e[p][vmOf[p]]; f > est {
+				est = f
+			}
+		}
+		bestK, bestFin, bestPref := -1, 0.0, false
+		for k := range vms {
+			fin := math.Max(cur[k], est) + e[pick][k]
+			pref := vms[k].node == prevNode[pick]
+			switch {
+			case bestK == -1,
+				pref && !bestPref,
+				pref == bestPref && fin < bestFin:
+				bestK, bestFin, bestPref = k, fin, pref
+			}
+		}
+		s[pick] = math.Max(cur[bestK], est)
+		cur[bestK] = s[pick] + e[pick][bestK]
+		vmOf[pick] = bestK
+		seq[pick] = n
+		placed[pick] = true
+	}
+
+	w := make([]float64, nVars)
+	ms := 0.0
+	for i := range tasks {
+		w[start[i]] = s[i]
+		w[x[i][vmOf[i]]] = 1
+		if fin := s[i] + e[i][vmOf[i]] + pcost[i]; fin > ms {
+			ms = fin
+		}
+	}
+	w[msVar] = ms
+	// y_{i,u}=1 means i precedes u; derived from the placement sequence it
+	// is automatically consistent with the shared-machine cursor spacing.
+	for i := 0; i < nT; i++ {
+		for u := i + 1; u < nT; u++ {
+			if seq[i] < seq[u] {
+				w[yID[i][u]] = 1
+			}
+		}
+	}
+	return w
+}

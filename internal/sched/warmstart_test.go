@@ -1,0 +1,106 @@
+package sched
+
+import (
+	"testing"
+
+	"dsp/internal/sim"
+	"dsp/internal/trace"
+	"dsp/internal/units"
+)
+
+// runILP executes one workload under ILPOnly with warm-starting on or
+// off and returns the realized makespan.
+func runILP(t *testing.T, w *trace.Workload, nodes, slots int, disableWarm bool) units.Time {
+	t.Helper()
+	d := NewDSP()
+	d.Mode = ILPOnly
+	d.DisableWarmStart = disableWarm
+	res, err := sim.Run(sim.Config{Cluster: testCluster(nodes, slots), Scheduler: d}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Makespan
+}
+
+// TestILPWarmStartMatchesColdOptimal: on instances both solves finish to
+// proven optimality, the warm-started scheduler must realize the same
+// optimal makespan as a cold one — the seed steers tie-breaking, never
+// quality.
+func TestILPWarmStartMatchesColdOptimal(t *testing.T) {
+	cases := []struct {
+		name  string
+		mk    func() *trace.Workload
+		nodes int
+	}{
+		{"partition-4-3-3", func() *trace.Workload {
+			return oneJobWorkload(sizedJob(0, 4000, 3000, 3000))
+		}, 2},
+		{"chain", func() *trace.Workload {
+			j := sizedJob(0, 2000, 1000)
+			j.MustDep(0, 1)
+			return oneJobWorkload(j)
+		}, 2},
+		{"two-jobs-staggered", func() *trace.Workload {
+			// The second job arrives a period later, so its solve runs
+			// with prevPlan populated from the first — exercising the
+			// cross-period seed path.
+			a := sizedJob(0, 2000, 2000)
+			b := sizedJob(1, 3000, 1000)
+			return &trace.Workload{ArrivalRate: 3, Jobs: []*trace.Job{
+				{Class: trace.Small, Arrival: 0, DAG: a},
+				{Class: trace.Small, Arrival: 6 * units.Minute, DAG: b},
+			}}
+		}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			warm := runILP(t, tc.mk(), tc.nodes, 1, false)
+			cold := runILP(t, tc.mk(), tc.nodes, 1, true)
+			if warm != cold {
+				t.Errorf("warm makespan %v != cold %v", warm, cold)
+			}
+		})
+	}
+}
+
+// TestILPWarmStartDeterministic: two runs of the same warm-started
+// scheduler produce identical makespans (prevPlan carry-over is
+// deterministic state, not a source of drift between identical runs).
+func TestILPWarmStartDeterministic(t *testing.T) {
+	mk := func() *trace.Workload {
+		a := sizedJob(0, 4000, 3000, 3000)
+		b := sizedJob(1, 2000, 2000)
+		return &trace.Workload{ArrivalRate: 3, Jobs: []*trace.Job{
+			{Class: trace.Small, Arrival: 0, DAG: a},
+			{Class: trace.Small, Arrival: 6 * units.Minute, DAG: b},
+		}}
+	}
+	m1 := runILP(t, mk(), 2, 1, false)
+	m2 := runILP(t, mk(), 2, 1, false)
+	if m1 != m2 {
+		t.Errorf("same workload, same scheduler config: makespans %v != %v", m1, m2)
+	}
+}
+
+// TestILPWarmStartSolvesUnderStarvedBudget: with a branch-and-bound
+// budget too small to find an incumbent cold, the greedy seed keeps the
+// exact tier usable (the anytime contract returns the seed itself), so
+// the run completes without falling to the list engine.
+func TestILPWarmStartSolvesUnderStarvedBudget(t *testing.T) {
+	j := sizedJob(0, 4000, 3000, 3000, 2000, 1000)
+	j.MustDep(0, 2)
+	j.MustDep(1, 3)
+	d := NewDSP()
+	d.Mode = ILPOnly
+	d.ILPNodeBudget = 1 // starved: cold search cannot reach an incumbent
+	res, err := sim.Run(sim.Config{Cluster: testCluster(2, 1), Scheduler: d}, oneJobWorkload(j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JobsCompleted != 1 {
+		t.Fatalf("completed %d jobs, want 1", res.JobsCompleted)
+	}
+	if res.Disorders != 0 {
+		t.Errorf("disorders = %d, want 0 (seed must respect dependencies)", res.Disorders)
+	}
+}

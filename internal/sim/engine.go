@@ -139,6 +139,10 @@ type Engine struct {
 	metrics       Result
 	lastDone      units.Time
 	firstArrival  units.Time
+	// pendingBuf is arrivedPending's reusable result buffer: the scan runs
+	// every period over every job, and reallocating the slice each time
+	// dominated the period tick's allocation profile.
+	pendingBuf []*JobState
 	// epochIndex numbers online preemption epochs from 1, for the
 	// EpochStarted/EpochEnded observer events.
 	epochIndex int
@@ -277,14 +281,17 @@ func Run(cfg Config, w *trace.Workload) (*Result, error) {
 }
 
 // arrivedPending returns jobs that have arrived by now, have every
-// cross-job prerequisite completed, and still have unassigned tasks.
+// cross-job prerequisite completed, and still have unassigned tasks. The
+// returned slice aliases a per-engine buffer that the next call reuses;
+// it is only handed to Scheduler.Schedule, which must not retain it.
 func (e *Engine) arrivedPending(now units.Time) []*JobState {
-	var out []*JobState
+	out := e.pendingBuf[:0]
 	for _, j := range e.jobs {
 		if j.Arrival <= now && !j.failed && !j.shed && j.assigned < len(j.Tasks) && j.Eligible() {
 			out = append(out, j)
 		}
 	}
+	e.pendingBuf = out
 	return out
 }
 

@@ -287,6 +287,10 @@ func (j *JobState) Eligible() bool {
 // Done reports whether every task of the job has completed.
 func (j *JobState) Done() bool { return j.remaining == 0 }
 
+// Remaining returns the number of tasks that still have to complete,
+// including tasks reserved for pending dynamic growth.
+func (j *JobState) Remaining() int { return j.remaining }
+
 // MetDeadline reports whether the job finished by its deadline.
 func (j *JobState) MetDeadline() bool {
 	return j.Done() && (j.Deadline <= 0 || j.DoneAt <= j.Deadline)

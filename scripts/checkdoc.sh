@@ -1,0 +1,30 @@
+#!/bin/sh
+# Fails if any Go package (internal/*, cmd/*, examples/*, or the repo
+# root) lacks a doc comment: a "// Package <name>" comment for library
+# packages, "// Command <name>" for mains. Keeps the godoc front page
+# complete as packages are added.
+set -eu
+cd "$(dirname "$0")/.."
+
+fail=0
+for dir in . internal/* cmd/* examples/*; do
+    [ -d "$dir" ] || continue
+    ls "$dir"/*.go >/dev/null 2>&1 || continue
+    name=$(basename "$dir")
+    if [ "$dir" = "." ]; then
+        pattern='^// Package '
+    else
+        case "$dir" in
+        cmd/*) pattern="^// Command $name\b" ;;
+        # Examples open with "// <name>: ..." prose instead of godoc's
+        # Package/Command convention.
+        examples/*) pattern="^// (Package |Command )?$name:?\b" ;;
+        *) pattern="^// Package $name\b" ;;
+        esac
+    fi
+    if ! grep -l -i -E "$pattern" "$dir"/*.go >/dev/null 2>&1; then
+        echo "missing doc comment: $dir (want '$(echo "$pattern" | sed 's/^\^//;s/\\b//')...')" >&2
+        fail=1
+    fi
+done
+exit $fail
