@@ -25,6 +25,7 @@ import (
 	"dsp/internal/lp"
 	"dsp/internal/obs"
 	"dsp/internal/preempt"
+	"dsp/internal/prof"
 	"dsp/internal/sched"
 	"dsp/internal/sim"
 	"dsp/internal/trace"
@@ -321,6 +322,83 @@ func TestObserverHotPathOverhead(t *testing.T) {
 		}
 	}
 	t.Errorf("counter observer costs %.1f%% over the nil fast path, want <%.0f%%",
+		(last-1)*100, (maxRatio-1)*100)
+}
+
+// runProfiled mirrors runObserved with a phase timer attached instead of
+// an observer: the same contended RealCluster(50) DSP+preemptor cell the
+// Figure 5 sweep runs, which keeps every instrumented phase (plan build,
+// solve, verdict scan, memo evaluation, event pump) hot.
+func runProfiled(tb testing.TB, tm *prof.Timer) *sim.Result {
+	tb.Helper()
+	res, err := sim.Run(sim.Config{
+		Cluster:    cluster.RealCluster(50),
+		Scheduler:  sched.NewDSP(),
+		Preemptor:  preempt.NewDSP(),
+		Checkpoint: cluster.DefaultCheckpoint(),
+		Prof:       tm,
+	}, observerWorkload(tb))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkProfOverhead compares the profiled and unprofiled runs of the
+// same cell; the delta between the sub-benches is the phase timer's
+// whole-run cost (PERF.md records the measured figure).
+func BenchmarkProfOverhead(b *testing.B) {
+	for _, variant := range []string{"off", "on"} {
+		b.Run(variant, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var tm *prof.Timer
+				if variant == "on" {
+					tm = prof.New()
+				}
+				res := runProfiled(b, tm)
+				if tm != nil {
+					s := tm.Snapshot()
+					if s[prof.PhaseEpochPolicy].Count == 0 {
+						b.Fatal("profiled run recorded no epochs")
+					}
+				}
+				_ = res
+			}
+		})
+	}
+}
+
+// TestProfHotPathOverhead guards the tentpole's overhead budget:
+// attaching the phase timer to a contended fig5-style DSP cell must cost
+// under 2% wall clock versus running unprofiled. Timing comparisons are
+// noisy, so the guard takes the best of three attempts before failing
+// (same protocol as TestObserverHotPathOverhead).
+func TestProfHotPathOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing guard skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("timing guard is meaningless under race-detector instrumentation")
+	}
+	const attempts, maxRatio = 3, 1.02
+	var last float64
+	for i := 0; i < attempts; i++ {
+		base := testing.Benchmark(func(b *testing.B) {
+			for j := 0; j < b.N; j++ {
+				runProfiled(b, nil)
+			}
+		})
+		profiled := testing.Benchmark(func(b *testing.B) {
+			for j := 0; j < b.N; j++ {
+				runProfiled(b, prof.New())
+			}
+		})
+		last = float64(profiled.NsPerOp()) / float64(base.NsPerOp())
+		if last <= maxRatio {
+			return
+		}
+	}
+	t.Errorf("phase profiling costs %.1f%% over the unprofiled run, want <%.0f%%",
 		(last-1)*100, (maxRatio-1)*100)
 }
 

@@ -1,10 +1,12 @@
 // Command dspbench regenerates the paper's evaluation figures as
 // plain-text tables (the series behind Figures 5–8 and the Table II
-// parameter listing).
+// parameter listing), and doubles as the perf-regression harness over
+// the machine-readable reports it writes.
 //
 // Usage:
 //
 //	dspbench [flags]
+//	dspbench -compare [compare flags] OLD.json NEW.json
 //
 //	-fig LIST    comma-separated figures to run: 5a,5b,6,7,8, table2 or "all";
 //	             "resilience" runs the degradation-under-faults sweep,
@@ -16,21 +18,35 @@
 //	-seed N      sweep seed
 //	-csv         emit CSV instead of aligned text
 //	-trace FILE  write Chrome trace-event JSON for every sweep cell
+//	             (includes a per-cell scheduler-phase summary row)
 //	-audit FILE  write JSONL decision audit (run markers separate cells)
 //	-series FILE write per-epoch time-series CSV (one section per cell)
 //	-pprof ADDR  serve /debug/pprof on ADDR (e.g. :6060)
 //	-listen ADDR serve live telemetry (/metrics, /healthz, /snapshot)
-//	             while the sweep runs
+//	             while the sweep runs, including the aggregate
+//	             dsp_phase_seconds quantiles
 //	-workers N   concurrent sweep cells (default GOMAXPROCS; output is
 //	             byte-identical for every N; -audit/-trace/-series force 1)
+//	-phases      print the aggregate scheduler-phase table after the sweeps
 //	-bench-json FILE
 //	             write a machine-readable sweep benchmark report
-//	             (schema dsp-bench-sweep/v1: wall time, cells/sec,
-//	             per-cell µs)
+//	             (schema dsp-bench-sweep/v2: wall time, cells/sec,
+//	             per-cell µs and per-cell phase breakdowns; the report
+//	             is round-trip validated before it is written)
+//	-bench-schema v1|v2
+//	             report schema for -bench-json (default v2; v1 drops the
+//	             phase breakdowns for consumers pinned to the old format)
+//
+// Compare mode diffs two -bench-json reports and exits non-zero when the
+// new one regressed — per-phase aggregate totals beyond -compare-phase-tol
+// (default ±20%), or total wall time beyond -compare-total-tol (default
+// ±10%), ignoring phases under -compare-min-us (default 1000µs) in both
+// reports. The table is blame-ordered: the first row is where the
+// regression's time actually went. Tolerance flags must precede the two
+// report paths (flag parsing stops at the first positional argument).
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -40,22 +56,8 @@ import (
 	"dsp/internal/experiments"
 	"dsp/internal/metrics"
 	"dsp/internal/obs"
+	"dsp/internal/prof"
 )
-
-// benchReport is the machine-readable sweep benchmark written by
-// -bench-json, schema "dsp-bench-sweep/v1". TotalWallMS sums the sweeps'
-// wall times (sweeps execute one after another; only cells within a sweep
-// run concurrently).
-type benchReport struct {
-	Schema      string                  `json:"schema"`
-	Workers     int                     `json:"workers"`
-	GoMaxProcs  int                     `json:"gomaxprocs"`
-	NumCPU      int                     `json:"num_cpu"`
-	Scale       float64                 `json:"scale"`
-	Seed        int64                   `json:"seed"`
-	Sweeps      []experiments.SweepStat `json:"sweeps"`
-	TotalWallMS float64                 `json:"total_wall_ms"`
-}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -87,9 +89,28 @@ func run(args []string, out *os.File) error {
 	listenAddr := fs.String("listen", "", "serve live telemetry (/metrics, /healthz, /snapshot) on ADDR")
 	attribJobs := fs.String("attrib-jobs", "", "job counts for -fig attrib, comma-separated (default: the Figure 6 x-axis)")
 	workers := fs.Int("workers", 0, "concurrent sweep cells (0 = GOMAXPROCS; output is byte-identical for every value)")
-	benchJSON := fs.String("bench-json", "", "write a dsp-bench-sweep/v1 JSON benchmark report to FILE")
+	phases := fs.Bool("phases", false, "print the aggregate scheduler-phase table after the sweeps")
+	benchJSON := fs.String("bench-json", "", "write a dsp-bench-sweep JSON benchmark report to FILE")
+	benchSchema := fs.String("bench-schema", "v2", "schema for -bench-json: v2 (phase breakdowns) or v1 (wall times only)")
+	compare := fs.Bool("compare", false, "compare mode: diff two -bench-json reports (OLD.json NEW.json) and exit non-zero on regression")
+	phaseTol := fs.Float64("compare-phase-tol", 0, "allowed per-phase total growth fraction (0 = default 0.20)")
+	totalTol := fs.Float64("compare-total-tol", 0, "allowed total wall-time growth fraction (0 = default 0.10)")
+	minPhaseUS := fs.Float64("compare-min-us", 0, "phase noise floor in µs: phases under this in both reports are never flagged (0 = default 1000)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *compare {
+		rest := fs.Args()
+		if len(rest) != 2 {
+			return fmt.Errorf("-compare needs exactly two report paths: OLD.json NEW.json (got %d args)", len(rest))
+		}
+		return runCompare(rest[0], rest[1], experiments.CompareThresholds{
+			PhaseFrac: *phaseTol, TotalFrac: *totalTol, MinPhaseUS: *minPhaseUS,
+		}, out)
+	}
+	if *benchSchema != "v1" && *benchSchema != "v2" {
+		return fmt.Errorf("-bench-schema must be v1 or v2, got %q", *benchSchema)
 	}
 
 	if addr, err := obs.StartPprof(*pprofAddr); err != nil {
@@ -103,11 +124,20 @@ func run(args []string, out *os.File) error {
 	if *seed != 0 {
 		o.Seed = *seed
 	}
+	// The aggregate phase timer feeds the -phases table and the telemetry
+	// server's dsp_phase_* metrics; per-cell snapshots merge into it as
+	// the sweeps progress.
+	var agg *prof.Timer
+	if *phases || *listenAddr != "" {
+		agg = prof.New()
+		o.Prof = agg
+	}
 	sink, err := obs.Open(obs.Options{
 		TracePath:  *tracePath,
 		AuditPath:  *auditPath,
 		SeriesPath: *seriesPath,
 		ListenAddr: *listenAddr,
+		Prof:       agg,
 	})
 	if err != nil {
 		return err
@@ -270,9 +300,13 @@ func run(args []string, out *os.File) error {
 		}
 		emit(t)
 	}
+	if agg != nil {
+		snap := agg.Snapshot()
+		fmt.Fprintf(out, "# Aggregate scheduler phases (all cells)\n%s\n", prof.Table(snap.Breakdown()))
+	}
 	if stats != nil {
-		report := benchReport{
-			Schema:      "dsp-bench-sweep/v1",
+		report := &experiments.BenchReport{
+			Schema:      experiments.BenchSchemaV2,
 			Workers:     *workers,
 			GoMaxProcs:  runtime.GOMAXPROCS(0),
 			NumCPU:      runtime.NumCPU(),
@@ -281,16 +315,54 @@ func run(args []string, out *os.File) error {
 			Sweeps:      stats.Sweeps,
 			TotalWallMS: stats.TotalWallMS(),
 		}
-		data, err := json.MarshalIndent(report, "", "  ")
+		if *benchSchema == "v1" {
+			report.StripToV1()
+		}
+		data, err := report.Marshal()
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(*benchJSON, append(data, '\n'), 0o644); err != nil {
+		if err := os.WriteFile(*benchJSON, data, 0o644); err != nil {
 			return fmt.Errorf("write -bench-json: %w", err)
 		}
-		fmt.Fprintf(os.Stderr, "bench report written to %s (%d sweeps, %.0f ms total)\n",
-			*benchJSON, len(stats.Sweeps), stats.TotalWallMS())
+		fmt.Fprintf(os.Stderr, "bench report written to %s (schema %s, %d sweeps, %.0f ms total)\n",
+			*benchJSON, report.Schema, len(stats.Sweeps), stats.TotalWallMS())
 	}
+	return nil
+}
+
+// runCompare loads two bench reports, renders the blame-ordered delta
+// table and returns an error (→ non-zero exit) when the new report
+// regressed past the thresholds.
+func runCompare(oldPath, newPath string, th experiments.CompareThresholds, out *os.File) error {
+	load := func(path string) (*experiments.BenchReport, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		r, err := experiments.ReadBenchReport(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return r, nil
+	}
+	oldRep, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	res, err := experiments.CompareBench(oldRep, newRep, th)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "# dspbench compare: %s -> %s\n%s", oldPath, newPath, res.Render())
+	if res.Regressed() {
+		return fmt.Errorf("performance regression detected (see table above)")
+	}
+	fmt.Fprintln(out, "no regression: all deltas within thresholds")
 	return nil
 }
 

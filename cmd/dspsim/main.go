@@ -14,9 +14,12 @@
 //	-audit FILE            write JSONL preemption-decision audit log
 //	-series FILE           write per-epoch time-series CSV
 //	-counters              print event counters after the run
+//	-phases                print the scheduler-phase profile after the run
+//	                       (exclusive time, count, p50/p95/p99/max per phase)
 //	-pprof ADDR            serve /debug/pprof on ADDR (e.g. :6060)
 //	-listen ADDR           serve live telemetry on ADDR (:0 for ephemeral):
-//	                       Prometheus /metrics, /healthz, JSON /snapshot;
+//	                       Prometheus /metrics, /healthz, JSON /snapshot
+//	                       (including the dsp_phase_seconds quantiles);
 //	                       also prints a latency-attribution summary
 //
 // Resilience flags (see DESIGN.md, "Resilience subsystem"):
@@ -54,6 +57,7 @@ import (
 	"dsp/internal/cluster"
 	"dsp/internal/experiments"
 	"dsp/internal/obs"
+	"dsp/internal/prof"
 	"dsp/internal/sched"
 	"dsp/internal/sim"
 	"dsp/internal/trace"
@@ -80,6 +84,7 @@ func run(args []string) error {
 	auditPath := fs.String("audit", "", "write JSONL preemption-decision audit log to FILE")
 	seriesPath := fs.String("series", "", "write per-epoch time-series CSV to FILE")
 	counters := fs.Bool("counters", false, "print event counters after the run")
+	phases := fs.Bool("phases", false, "print the scheduler-phase profile after the run")
 	pprofAddr := fs.String("pprof", "", "serve /debug/pprof on ADDR (e.g. :6060)")
 	listenAddr := fs.String("listen", "", "serve live telemetry (/metrics, /healthz, /snapshot) on ADDR")
 	faults := fs.Float64("faults", 0, "fraction of flaky nodes (0 disables fault injection)")
@@ -141,12 +146,19 @@ func run(args []string) error {
 		return err
 	}
 
+	// The phase timer feeds the -phases table and, via the sink, the
+	// telemetry server's dsp_phase_* metrics while the run is live.
+	var tm *prof.Timer
+	if *phases || *listenAddr != "" {
+		tm = prof.New()
+	}
 	sink, err := obs.Open(obs.Options{
 		TracePath:  *tracePath,
 		AuditPath:  *auditPath,
 		SeriesPath: *seriesPath,
 		Counters:   *counters,
 		ListenAddr: *listenAddr,
+		Prof:       tm,
 	})
 	if err != nil {
 		return err
@@ -165,6 +177,7 @@ func run(args []string) error {
 		RetryBackoff:       units.FromSeconds(*retryBackoff),
 		BlacklistThreshold: *blacklist,
 		AuditInvariants:    *auditInv,
+		Prof:               tm,
 	}
 	if *admission > 0 {
 		cfg.Admission = &sim.Admission{
@@ -241,6 +254,10 @@ func run(args []string) error {
 	}
 	if sink.Counters != nil {
 		fmt.Printf("\nevent counters:\n%s", sink.Counters)
+	}
+	if *phases && tm != nil {
+		snap := tm.Snapshot()
+		fmt.Printf("\nscheduler phases (exclusive time):\n%s", prof.Table(snap.Breakdown()))
 	}
 	if sink.Attrib != nil {
 		if blame, n := sink.Attrib.Aggregate(); n > 0 {

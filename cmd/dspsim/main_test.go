@@ -8,6 +8,12 @@ func TestRunSmoke(t *testing.T) {
 	}
 }
 
+func TestRunWithPhases(t *testing.T) {
+	if err := run([]string{"-jobs", "6", "-scale", "0.02", "-phases"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunWithPreemptor(t *testing.T) {
 	if err := run([]string{"-jobs", "4", "-scale", "0.02", "-platform", "ec2", "-preemptor", "SRPT"}); err != nil {
 		t.Fatal(err)

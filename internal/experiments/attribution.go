@@ -5,6 +5,7 @@ import (
 
 	"dsp/internal/attrib"
 	"dsp/internal/metrics"
+	"dsp/internal/prof"
 	"dsp/internal/sched"
 	"dsp/internal/sim"
 )
@@ -71,7 +72,7 @@ func Attribution(p Platform, o AttributionOptions) (*AttributionTables, error) {
 		out.PerMethod = append(out.PerMethod, table)
 		for _, jobs := range jobCounts {
 			label := fmt.Sprintf("attrib-%s-%s-j%d", p, method, jobs)
-			cells = append(cells, Cell{Label: label, Run: func() (func(), error) {
+			cells = append(cells, Cell{Label: label, Run: func(tm *prof.Timer) (func(), error) {
 				pre, cp, err := NewPreemptor(method)
 				if err != nil {
 					return nil, err
@@ -93,6 +94,7 @@ func Attribution(p Platform, o AttributionOptions) (*AttributionTables, error) {
 					Period:     o.Period,
 					Epoch:      o.Epoch,
 					Observer:   observer,
+					Prof:       tm,
 				}, w)
 				if err != nil {
 					return nil, fmt.Errorf("attribution %s j=%d: %w", method, jobs, err)

@@ -18,6 +18,7 @@ import (
 	"dsp/internal/baselines"
 	"dsp/internal/cluster"
 	"dsp/internal/preempt"
+	"dsp/internal/prof"
 	"dsp/internal/sched"
 	"dsp/internal/sim"
 	"dsp/internal/trace"
@@ -81,8 +82,21 @@ type Options struct {
 	// whose interleaving is part of their output.
 	Workers int
 	// Stats, when non-nil, accumulates per-sweep execution statistics
-	// (wall time, per-cell times) for bench reporting.
+	// (wall time, per-cell times, per-cell phase breakdowns) for bench
+	// reporting.
 	Stats *SweepStats
+	// Prof, when non-nil, aggregates phase-level timing across every cell
+	// the sweep runs: each cell executes under its own timer (workers
+	// never share one) and the runner merges the per-cell snapshots here.
+	// Telemetry (obs.Server) serves this aggregate live during a sweep.
+	Prof *prof.Timer
+}
+
+// PhaseRecorder is implemented by observers (e.g. obs.Sink) that want
+// each profiled cell's phase breakdown — delivered serially, in input
+// order, after the cell's results commit.
+type PhaseRecorder interface {
+	RecordPhases(label string, phases []prof.PhaseBreakdown)
 }
 
 // RunMarker is implemented by observers (e.g. obs.Sink) that separate

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dsp/internal/metrics"
+	"dsp/internal/prof"
 	"dsp/internal/sched"
 	"dsp/internal/sim"
 )
@@ -22,7 +23,7 @@ func Fairness(p Platform, h int, o Options) (*metrics.Table, error) {
 	var cells []Cell
 	for _, name := range PreemptorNames() {
 		label := fmt.Sprintf("fairness-%s-h%d", name, h)
-		cells = append(cells, Cell{Label: label, Run: func() (func(), error) {
+		cells = append(cells, Cell{Label: label, Run: func(tm *prof.Timer) (func(), error) {
 			pre, cp, err := NewPreemptor(name)
 			if err != nil {
 				return nil, err
@@ -39,6 +40,7 @@ func Fairness(p Platform, h int, o Options) (*metrics.Table, error) {
 				Period:     o.Period,
 				Epoch:      o.Epoch,
 				Observer:   o.observe(label),
+				Prof:       tm,
 			}, w)
 			if err != nil {
 				return nil, fmt.Errorf("fairness %s: %w", name, err)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dsp/internal/metrics"
+	"dsp/internal/prof"
 	"dsp/internal/sched"
 	"dsp/internal/sim"
 )
@@ -22,7 +23,7 @@ func Fig5(p Platform, o Options) (*metrics.Table, error) {
 	for _, h := range o.JobCounts {
 		for _, name := range SchedulerNames() {
 			label := fmt.Sprintf("fig5-%s-%s-h%d", p, name, h)
-			cells = append(cells, Cell{Label: label, Run: func() (func(), error) {
+			cells = append(cells, Cell{Label: label, Run: func(tm *prof.Timer) (func(), error) {
 				s, err := NewScheduler(name)
 				if err != nil {
 					return nil, err
@@ -37,6 +38,7 @@ func Fig5(p Platform, o Options) (*metrics.Table, error) {
 					Period:    o.Period,
 					Epoch:     o.Epoch,
 					Observer:  o.observe(label),
+					Prof:      tm,
 				}, w)
 				if err != nil {
 					return nil, fmt.Errorf("fig5 %s h=%d: %w", name, h, err)
@@ -94,7 +96,7 @@ func Fig6(p Platform, o Options) (*Fig6Tables, error) {
 	for _, h := range o.JobCounts {
 		for _, name := range names {
 			label := fmt.Sprintf("fig%s-%s-h%d", figure, name, h)
-			cells = append(cells, Cell{Label: label, Run: func() (func(), error) {
+			cells = append(cells, Cell{Label: label, Run: func(tm *prof.Timer) (func(), error) {
 				pre, cp, err := NewPreemptor(name)
 				if err != nil {
 					return nil, err
@@ -113,6 +115,7 @@ func Fig6(p Platform, o Options) (*Fig6Tables, error) {
 					Period:     o.Period,
 					Epoch:      o.Epoch,
 					Observer:   o.observe(label),
+					Prof:       tm,
 				}, w)
 				if err != nil {
 					return nil, fmt.Errorf("fig%s %s h=%d: %w", figure, name, h, err)
@@ -157,7 +160,7 @@ func Fig8(o Options) (*Fig8Tables, error) {
 		for i, p := range platforms {
 			label := fmt.Sprintf("fig8-%s-h%d", p, h)
 			col := cols[i]
-			cells = append(cells, Cell{Label: label, Run: func() (func(), error) {
+			cells = append(cells, Cell{Label: label, Run: func(tm *prof.Timer) (func(), error) {
 				pre, cp, err := NewPreemptor("DSP")
 				if err != nil {
 					return nil, err
@@ -174,6 +177,7 @@ func Fig8(o Options) (*Fig8Tables, error) {
 					Period:     o.Period,
 					Epoch:      o.Epoch,
 					Observer:   o.observe(label),
+					Prof:       tm,
 				}, w)
 				if err != nil {
 					return nil, fmt.Errorf("fig8 %s h=%d: %w", p, h, err)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dsp/internal/metrics"
+	"dsp/internal/prof"
 	"dsp/internal/sched"
 	"dsp/internal/sim"
 	"dsp/internal/trace"
@@ -149,9 +150,10 @@ func Overload(p Platform, o OverloadOptions) (*OverloadTables, error) {
 		for _, arm := range cols {
 			ladder := arm == "DSP+ladder"
 			label := fmt.Sprintf("overload-%s-%s-x%g", p, arm, mult)
-			cells = append(cells, Cell{Label: label, Run: func() (func(), error) {
+			cells = append(cells, Cell{Label: label, Run: func(tm *prof.Timer) (func(), error) {
 				cfg := overloadConfig(p, o, ladder)
 				cfg.Observer = o.observe(label)
+				cfg.Prof = tm
 				w, err := overloadWorkload(o, mult)
 				if err != nil {
 					return nil, err

@@ -5,6 +5,7 @@ import (
 
 	"dsp/internal/chaos"
 	"dsp/internal/metrics"
+	"dsp/internal/prof"
 	"dsp/internal/sched"
 	"dsp/internal/sim"
 	"dsp/internal/units"
@@ -124,7 +125,7 @@ func Resilience(p Platform, o ResilienceOptions) (*ResilienceTables, error) {
 					col += "+res"
 				}
 				label := fmt.Sprintf("resilience-%s-%s-f%d", p, col, pct)
-				cells = append(cells, Cell{Label: label, Run: func() (func(), error) {
+				cells = append(cells, Cell{Label: label, Run: func(tm *prof.Timer) (func(), error) {
 					// The plan expansion is deterministic in (nodes,
 					// FaultSeed, pct), so rebuilding it per cell keeps every
 					// method at one fault level on the same concrete plan
@@ -144,6 +145,7 @@ func Resilience(p Platform, o ResilienceOptions) (*ResilienceTables, error) {
 					}
 					cfg.Faults = plan
 					cfg.Observer = o.observe(label)
+					cfg.Prof = tm
 					w, err := workloadFor(o.Jobs, o.Options)
 					if err != nil {
 						return nil, err

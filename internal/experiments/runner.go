@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dsp/internal/prof"
 )
 
 // Cell is one independent unit of sweep work: a single simulation run (or
@@ -20,7 +22,13 @@ type Cell struct {
 	// Run executes the cell and returns the closure that commits its
 	// results. Run must not touch shared sweep state (tables, observers);
 	// everything shared happens in the returned commit.
-	Run func() (commit func(), err error)
+	//
+	// tm is the cell's phase timer — nil unless the sweep collects stats
+	// or profiles. Cells running simulations pass it through as
+	// sim.Config.Prof so the run's phase breakdown lands in the cell's
+	// stats; ignoring it is also valid (the cell then reports all its
+	// time as cell-other).
+	Run func(tm *prof.Timer) (commit func(), err error)
 }
 
 // SweepStat records how one sweep's cell fan-out executed.
@@ -39,10 +47,14 @@ type SweepStat struct {
 	CellTimes []CellTime `json:"cell_us"`
 }
 
-// CellTime is one cell's label and execution time in microseconds.
+// CellTime is one cell's label and execution time in microseconds,
+// plus — when the sweep was profiled — its per-phase breakdown in blame
+// order. Phases is the dsp-bench-sweep/v2 addition; v1 readers ignore
+// the unknown field and v1 reports simply omit it.
 type CellTime struct {
-	Label string  `json:"label"`
-	US    float64 `json:"us"`
+	Label  string                `json:"label"`
+	US     float64               `json:"us"`
+	Phases []prof.PhaseBreakdown `json:"phases,omitempty"`
 }
 
 // SweepStats accumulates one SweepStat per runCells invocation. Attach it
@@ -88,15 +100,39 @@ func runCells(name string, o Options, cells []Cell) error {
 		workers = len(cells)
 	}
 
+	// Profile cells whenever someone consumes the result: a stats sink
+	// (bench reports carry per-cell phase breakdowns), a process-wide
+	// aggregate timer, or a phase-recording observer (trace export).
+	rec, _ := o.Observer.(PhaseRecorder)
+	profiled := o.Stats != nil || o.Prof != nil || rec != nil
+
 	start := time.Now()
 	commits := make([]func(), len(cells))
 	errs := make([]error, len(cells))
 	cellUS := make([]float64, len(cells))
+	var snaps []prof.Snapshot
+	if profiled {
+		snaps = make([]prof.Snapshot, len(cells))
+	}
 
 	run := func(i int) {
 		t0 := time.Now()
-		commits[i], errs[i] = cells[i].Run()
+		if !profiled {
+			commits[i], errs[i] = cells[i].Run(nil)
+			cellUS[i] = float64(time.Since(t0).Microseconds())
+			return
+		}
+		// The cell-other root phase opens after t0 and unwinds before the
+		// wall reading, so the cell's phase totals tile (a hair under) its
+		// recorded wall time: everything sim.Run doesn't claim stays in
+		// cell-other. Unwind also closes any frames an error path left
+		// open inside the simulation.
+		tm := prof.New()
+		tm.Enter(prof.PhaseCellOther)
+		commits[i], errs[i] = cells[i].Run(tm)
+		tm.Unwind()
 		cellUS[i] = float64(time.Since(t0).Microseconds())
+		snaps[i] = tm.Snapshot()
 	}
 
 	if workers <= 1 {
@@ -137,6 +173,23 @@ func runCells(name string, o Options, cells []Cell) error {
 		}
 	}
 
+	var breakdowns [][]prof.PhaseBreakdown
+	if profiled {
+		breakdowns = make([][]prof.PhaseBreakdown, len(cells))
+		for i := range snaps {
+			breakdowns[i] = snaps[i].Breakdown()
+			if o.Prof != nil {
+				o.Prof.Merge(snaps[i])
+			}
+			// Forward after the commit pass, serially and in input order,
+			// so a phase-recording observer sees the same deterministic
+			// stream at every worker count.
+			if rec != nil && breakdowns[i] != nil {
+				rec.RecordPhases(cells[i].Label, breakdowns[i])
+			}
+		}
+	}
+
 	if o.Stats != nil {
 		wall := time.Since(start)
 		stat := SweepStat{
@@ -149,7 +202,11 @@ func runCells(name string, o Options, cells []Cell) error {
 			stat.CellsPerSec = float64(len(cells)) / wall.Seconds()
 		}
 		for i, c := range cells {
-			stat.CellTimes = append(stat.CellTimes, CellTime{Label: c.Label, US: cellUS[i]})
+			ct := CellTime{Label: c.Label, US: cellUS[i]}
+			if breakdowns != nil {
+				ct.Phases = breakdowns[i]
+			}
+			stat.CellTimes = append(stat.CellTimes, ct)
 		}
 		o.Stats.Sweeps = append(o.Stats.Sweeps, stat)
 	}

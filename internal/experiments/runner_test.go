@@ -7,6 +7,8 @@ import (
 	"testing"
 	"time"
 
+	"dsp/internal/prof"
+	"dsp/internal/sim"
 	"dsp/internal/units"
 )
 
@@ -58,7 +60,7 @@ func TestRunCellsCommitsInInputOrder(t *testing.T) {
 	var got []int
 	cells := make([]Cell, n)
 	for i := 0; i < n; i++ {
-		cells[i] = Cell{Label: fmt.Sprintf("cell-%d", i), Run: func() (func(), error) {
+		cells[i] = Cell{Label: fmt.Sprintf("cell-%d", i), Run: func(tm *prof.Timer) (func(), error) {
 			time.Sleep(time.Duration(n-i) * 2 * time.Millisecond)
 			return func() {
 				mu.Lock()
@@ -91,7 +93,7 @@ func TestRunCellsFirstErrorInInputOrder(t *testing.T) {
 	var mu sync.Mutex
 	committed := map[int]bool{}
 	mk := func(i int, fail error) Cell {
-		return Cell{Label: fmt.Sprintf("cell-%d", i), Run: func() (func(), error) {
+		return Cell{Label: fmt.Sprintf("cell-%d", i), Run: func(tm *prof.Timer) (func(), error) {
 			if fail != nil {
 				return nil, fail
 			}
@@ -122,9 +124,9 @@ func TestRunCellsFirstErrorInInputOrder(t *testing.T) {
 // actually used.
 func TestRunCellsRecordsStats(t *testing.T) {
 	cells := []Cell{
-		{Label: "a", Run: func() (func(), error) { return nil, nil }},
-		{Label: "b", Run: func() (func(), error) { return nil, nil }},
-		{Label: "c", Run: func() (func(), error) { return nil, nil }},
+		{Label: "a", Run: func(tm *prof.Timer) (func(), error) { return nil, nil }},
+		{Label: "b", Run: func(tm *prof.Timer) (func(), error) { return nil, nil }},
+		{Label: "c", Run: func(tm *prof.Timer) (func(), error) { return nil, nil }},
 	}
 	stats := &SweepStats{}
 	o := Options{Workers: 8, Stats: stats}
@@ -152,5 +154,98 @@ func TestRunCellsRecordsStats(t *testing.T) {
 	}
 	if s.WallMS < 0 || stats.TotalWallMS() != s.WallMS {
 		t.Errorf("wall accounting inconsistent: %v vs %v", s.WallMS, stats.TotalWallMS())
+	}
+}
+
+// TestSweepPhaseBreakdownSumsToCellWall is the v2 schema's core
+// accounting claim: every profiled cell's phase totals must sum to
+// within 5% of the cell's recorded wall time (the exclusive-stack timer
+// tiles wall time by construction; only the few clock reads outside the
+// root phase escape it).
+func TestSweepPhaseBreakdownSumsToCellWall(t *testing.T) {
+	o := fastOptions()
+	o.Workers = 2
+	o.Stats = &SweepStats{}
+	if _, err := Fig6(Real, o); err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, sw := range o.Stats.Sweeps {
+		for _, ct := range sw.CellTimes {
+			if len(ct.Phases) == 0 {
+				t.Errorf("%s/%s: profiled sweep recorded no phases", sw.Name, ct.Label)
+				continue
+			}
+			var sum float64
+			for _, ph := range ct.Phases {
+				sum += ph.TotalUS
+			}
+			// 5% relative plus a 200µs absolute floor so sub-millisecond
+			// cells don't fail on fixed scheduling jitter.
+			slack := 0.05*ct.US + 200
+			if diff := ct.US - sum; diff < -slack || diff > slack {
+				t.Errorf("%s/%s: phase sum %.0fµs vs cell wall %.0fµs (diff %.0fµs > slack %.0fµs)",
+					sw.Name, ct.Label, sum, ct.US, diff, slack)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no cells checked")
+	}
+}
+
+// TestSweepMergesAggregateProf: Options.Prof must accumulate every
+// cell's phases, and a DSP+preemptor sweep must populate the hot-path
+// phases the tentpole exists to measure.
+func TestSweepMergesAggregateProf(t *testing.T) {
+	o := fastOptions()
+	o.Workers = 2
+	o.Prof = prof.New()
+	if _, err := Fig6(Real, o); err != nil {
+		t.Fatal(err)
+	}
+	s := o.Prof.Snapshot()
+	for _, p := range []prof.Phase{prof.PhaseSetup, prof.PhaseSchedule, prof.PhaseEpochPolicy,
+		prof.PhaseVerdictScan, prof.PhaseMemoEval, prof.PhaseTaskComplete,
+		prof.PhaseEventPump, prof.PhaseCellOther} {
+		if s[p].Count == 0 {
+			t.Errorf("aggregate phase %s never recorded", p)
+		}
+	}
+}
+
+// phaseCollector is a test observer that records RecordPhases calls.
+type phaseCollector struct {
+	sim.NopObserver
+	labels []string
+}
+
+func (c *phaseCollector) RecordPhases(label string, phases []prof.PhaseBreakdown) {
+	c.labels = append(c.labels, label)
+}
+
+// TestRunCellsForwardsPhasesToRecorder: a PhaseRecorder observer must
+// receive each cell's breakdown in input order.
+func TestRunCellsForwardsPhasesToRecorder(t *testing.T) {
+	col := &phaseCollector{}
+	o := fastOptions()
+	o.Observer = col
+	o.JobCounts = []int{20}
+	if _, err := Fig5(Real, o); err != nil {
+		t.Fatal(err)
+	}
+	want := 1 * len(SchedulerNames())
+	if len(col.labels) != want {
+		t.Fatalf("recorder saw %d cells, want %d: %v", len(col.labels), want, col.labels)
+	}
+	wantLabels := []string{}
+	for _, name := range SchedulerNames() {
+		wantLabels = append(wantLabels, fmt.Sprintf("fig5-%s-%s-h%d", Real, name, 20))
+	}
+	for i := range wantLabels {
+		if col.labels[i] != wantLabels[i] {
+			t.Errorf("recorder label %d = %q, want %q", i, col.labels[i], wantLabels[i])
+		}
 	}
 }

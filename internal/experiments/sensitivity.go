@@ -5,6 +5,7 @@ import (
 
 	"dsp/internal/metrics"
 	"dsp/internal/preempt"
+	"dsp/internal/prof"
 	"dsp/internal/sched"
 	"dsp/internal/sim"
 	"dsp/internal/units"
@@ -63,7 +64,7 @@ func Sensitivity(param SensitivityParam, values []float64, p Platform, h int, o 
 	var cells []Cell
 	for _, val := range values {
 		label := fmt.Sprintf("sensitivity-%s-%g", param, val)
-		cells = append(cells, Cell{Label: label, Run: func() (func(), error) {
+		cells = append(cells, Cell{Label: label, Run: func(tm *prof.Timer) (func(), error) {
 			pre := preempt.NewDSP()
 			cfg := sim.Config{
 				Cluster:   p.Cluster(),
@@ -102,6 +103,7 @@ func Sensitivity(param SensitivityParam, values []float64, p Platform, h int, o 
 				return nil, err
 			}
 			cfg.Observer = o.observe(label)
+			cfg.Prof = tm
 			res, err := sim.Run(cfg, w)
 			if err != nil {
 				return nil, fmt.Errorf("sensitivity %s=%v: %w", param, val, err)

@@ -8,6 +8,7 @@ import (
 
 	"dsp/internal/cluster"
 	"dsp/internal/dag"
+	"dsp/internal/prof"
 	"dsp/internal/sim"
 	"dsp/internal/units"
 )
@@ -15,6 +16,10 @@ import (
 // enginePID is the synthetic trace process that carries cluster-wide
 // markers (epoch ticks, run boundaries), kept clear of real node IDs.
 const enginePID = 1 << 20
+
+// profPID is the synthetic trace process that carries per-run
+// scheduler-phase summary rows (see RecordPhases).
+const profPID = enginePID + 1
 
 // traceEvent is one Chrome trace-event object. Field order (and the
 // sorted-key map encoding of Args) keeps the JSON byte-stable across
@@ -55,6 +60,9 @@ type TraceBuilder struct {
 	// offset shifts event timestamps so consecutive runs don't overlap.
 	offset units.Time
 	maxTS  units.Time
+	// hasPhases notes that RecordPhases emitted at least one summary row,
+	// so Export names the synthetic phases process.
+	hasPhases bool
 }
 
 // NewTraceBuilder returns an empty builder.
@@ -74,6 +82,41 @@ func (tb *TraceBuilder) BeginRun(label string) {
 		Name: "run:" + label, Cat: "run", Ph: "i",
 		TS: int64(tb.offset), PID: enginePID, TID: 0, S: "g",
 	})
+}
+
+// RecordPhases lays one run's scheduler-phase breakdown on the synthetic
+// "phases" process: a marker naming the run, then one complete span per
+// phase whose length is the phase's exclusive total and whose args carry
+// the count and latency quantiles. The row is a summary bar — phase time
+// actually interleaves throughout the run it describes — appended after
+// the runs recorded so far, so sweep harnesses call it once per finished
+// cell and the bars line up in cell order.
+func (tb *TraceBuilder) RecordPhases(label string, phases []prof.PhaseBreakdown) {
+	if len(phases) == 0 {
+		return
+	}
+	tb.hasPhases = true
+	ts := tb.maxTS
+	tb.emit(traceEvent{
+		Name: "phases:" + label, Cat: "phase", Ph: "i",
+		TS: int64(ts), PID: profPID, TID: 0, S: "t",
+	})
+	for _, ph := range phases {
+		dur := int64(ph.TotalUS)
+		if dur <= 0 {
+			continue
+		}
+		tb.emit(traceEvent{
+			Name: ph.Phase, Cat: "phase", Ph: "X",
+			TS: int64(ts), Dur: dur, PID: profPID, TID: 0,
+			Args: map[string]any{
+				"run": label, "count": ph.Count,
+				"p50_us": ph.P50US, "p95_us": ph.P95US,
+				"p99_us": ph.P99US, "max_us": ph.MaxUS,
+			},
+		})
+		ts += units.Time(dur)
+	}
 }
 
 func (tb *TraceBuilder) emit(ev traceEvent) {
@@ -323,6 +366,12 @@ func (tb *TraceBuilder) Export(w io.Writer) error {
 		Name: "process_name", Ph: "M", PID: enginePID, TID: 0,
 		Args: map[string]any{"name": "engine"},
 	})
+	if tb.hasPhases {
+		meta = append(meta, traceEvent{
+			Name: "process_name", Ph: "M", PID: profPID, TID: 0,
+			Args: map[string]any{"name": "phases"},
+		})
+	}
 	pids := make([]int, 0, len(tb.lanes))
 	for pid := range tb.lanes {
 		pids = append(pids, pid)

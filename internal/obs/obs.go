@@ -32,6 +32,7 @@ import (
 	"os"
 
 	"dsp/internal/attrib"
+	"dsp/internal/prof"
 	"dsp/internal/sim"
 )
 
@@ -79,6 +80,11 @@ type Options struct {
 	// for the resolved address). Implies Counters and attaches a live
 	// attribution recorder.
 	ListenAddr string
+	// Prof, when non-nil alongside ListenAddr, is the phase timer the
+	// telemetry server exposes as the dsp_phase_* metric family. Harnesses
+	// either hand the same timer to sim.Config.Prof (single runs) or merge
+	// per-cell snapshots into it as a sweep progresses.
+	Prof *prof.Timer
 }
 
 // Open builds a Sink from Options, creating the output files eagerly so
@@ -124,7 +130,7 @@ func Open(o Options) (*Sink, error) {
 	}
 	if o.ListenAddr != "" {
 		s.Attrib = attrib.NewRecorder()
-		srv, err := StartServer(o.ListenAddr, s.Counters, s.Attrib)
+		srv, err := StartServer(o.ListenAddr, s.Counters, s.Attrib, o.Prof)
 		if err != nil {
 			s.closeFiles()
 			return nil, err
@@ -154,6 +160,17 @@ func (s *Sink) BeginRun(label string) {
 	}
 	if s.Attrib != nil {
 		s.Attrib.BeginRun(label)
+	}
+}
+
+// RecordPhases forwards a finished run's phase breakdown to the
+// exporters that keep per-run detail (today: the Chrome trace's summary
+// row). It satisfies the experiments package's PhaseRecorder interface,
+// so sweep harnesses that use a Sink as their observer get phase rows in
+// the trace for free.
+func (s *Sink) RecordPhases(label string, phases []prof.PhaseBreakdown) {
+	if s.Trace != nil {
+		s.Trace.RecordPhases(label, phases)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"dsp/internal/cluster"
 	"dsp/internal/experiments"
 	"dsp/internal/preempt"
+	"dsp/internal/prof"
 	"dsp/internal/sched"
 	"dsp/internal/sim"
 	"dsp/internal/trace"
@@ -160,6 +161,71 @@ func TestTraceGoldenAndShape(t *testing.T) {
 				t.Errorf("node %d lane %d has no thread_name metadata", pid, tid)
 			}
 		}
+	}
+}
+
+// TestTracePhaseRows: RecordPhases must lay a run's phase breakdown on
+// the synthetic "phases" process as consecutive spans with the quantiles
+// in the args, and Export must name that process — but only when phase
+// rows were actually recorded (so existing goldens stay byte-stable).
+func TestTracePhaseRows(t *testing.T) {
+	tb := NewTraceBuilder()
+	tb.BeginRun("cell-a")
+	tb.RecordPhases("cell-a", []prof.PhaseBreakdown{
+		{Phase: "schedule", Count: 3, TotalUS: 900, MaxUS: 500, P50US: 200, P95US: 480, P99US: 500},
+		{Phase: "event-pump", Count: 40, TotalUS: 100, MaxUS: 10, P50US: 2, P95US: 9, P99US: 10},
+	})
+	var buf bytes.Buffer
+	if err := tb.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var ct chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &ct); err != nil {
+		t.Fatalf("trace with phase rows is not valid JSON: %v", err)
+	}
+	named := false
+	var marker bool
+	var spans []string
+	var lastEnd int64
+	for _, ev := range ct.TraceEvents {
+		switch {
+		case ev.Ph == "M" && ev.Name == "process_name" && ev.PID == profPID:
+			named = ev.Args["name"] == "phases"
+		case ev.Ph == "i" && ev.Cat == "phase":
+			marker = ev.Name == "phases:cell-a" && ev.PID == profPID
+		case ev.Ph == "X" && ev.Cat == "phase":
+			if ev.PID != profPID {
+				t.Errorf("phase span %s on pid %d, want phases pid", ev.Name, ev.PID)
+			}
+			if ev.TS < lastEnd {
+				t.Errorf("phase span %s overlaps the previous one", ev.Name)
+			}
+			lastEnd = ev.TS + ev.Dur
+			if ev.Args["run"] != "cell-a" || ev.Args["count"] == nil || ev.Args["p95_us"] == nil {
+				t.Errorf("phase span %s args incomplete: %v", ev.Name, ev.Args)
+			}
+			spans = append(spans, ev.Name)
+		}
+	}
+	if !named {
+		t.Error("phases process not named in metadata")
+	}
+	if !marker {
+		t.Error("run marker missing from the phases row")
+	}
+	if len(spans) != 2 || spans[0] != "schedule" || spans[1] != "event-pump" {
+		t.Errorf("phase spans = %v, want [schedule event-pump]", spans)
+	}
+
+	// A builder that never saw phases must not name the process.
+	empty := NewTraceBuilder()
+	empty.RecordPhases("cell-b", nil)
+	buf.Reset()
+	if err := empty.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte(`"phases"`)) {
+		t.Error("empty RecordPhases still emitted phases metadata")
 	}
 }
 

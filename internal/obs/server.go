@@ -11,9 +11,16 @@ import (
 
 	"dsp/internal/attrib"
 	"dsp/internal/cluster"
+	"dsp/internal/prof"
 	"dsp/internal/sim"
 	"dsp/internal/units"
 )
+
+// TelemetrySchema versions the live-telemetry surface (/metrics metric
+// set and /snapshot document layout). v2 added the scheduler-phase
+// profile (dsp_phase_* metrics, the snapshot "phases" section) and this
+// version marker itself.
+const TelemetrySchema = "dsp-telemetry/v2"
 
 // EpochSnapshot is the cluster-wide gauge set sampled at each epoch
 // boundary, the live analogue of the audit log's "epoch" lines.
@@ -31,9 +38,15 @@ type EpochSnapshot struct {
 //
 //   - /metrics: Prometheus text exposition — every Counters tally as a
 //     dsp_<name> counter, the latency-attribution aggregate as
-//     dsp_attrib_seconds{cause="..."} gauges, and the epoch gauges.
+//     dsp_attrib_seconds{cause="..."} gauges, the epoch gauges, and the
+//     scheduler-phase profile (dsp_phase_count, dsp_phase_seconds_total,
+//     dsp_phase_seconds{phase,quantile}) when a prof.Timer is attached.
 //   - /healthz: liveness probe, returns "ok".
 //   - /snapshot: the same state as one JSON document.
+//
+// All responses carry Cache-Control: no-store and a schema version
+// marker (TelemetrySchema) so scrapers always see live state and can
+// version-gate their parsing.
 //
 // It observes the simulation (EpochEnded copies the gauge set under a
 // mutex) while HTTP handlers read concurrently; Counters are atomic and
@@ -44,6 +57,7 @@ type Server struct {
 
 	counters *Counters
 	attrib   *attrib.Recorder
+	prof     *prof.Timer
 
 	mu   sync.Mutex
 	snap EpochSnapshot
@@ -53,14 +67,16 @@ type Server struct {
 }
 
 // StartServer binds addr (e.g. "127.0.0.1:9090", or ":0" for an
-// ephemeral port) and serves telemetry until Close. counters and rec may
-// be nil; the corresponding sections are omitted from the exposition.
-func StartServer(addr string, counters *Counters, rec *attrib.Recorder) (*Server, error) {
+// ephemeral port) and serves telemetry until Close. counters, rec and tm
+// may be nil; the corresponding sections are omitted from the
+// exposition. tm is read via atomic snapshots, so a scrape can overlap
+// live recording (and concurrent Timer.Merge calls) without torn stats.
+func StartServer(addr string, counters *Counters, rec *attrib.Recorder, tm *prof.Timer) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	s := &Server{counters: counters, attrib: rec, ln: ln}
+	s := &Server{counters: counters, attrib: rec, prof: tm, ln: ln}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -104,9 +120,19 @@ func metricName(name string) string {
 	return "dsp_" + strings.ReplaceAll(name, "-", "_")
 }
 
+// noStore marks a telemetry response uncacheable: every scrape must see
+// the live simulation state, never an intermediary's copy.
+func noStore(w http.ResponseWriter) {
+	w.Header().Set("Cache-Control", "no-store")
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	noStore(w)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	var b strings.Builder
+	fmt.Fprintf(&b, "# HELP dsp_schema_info Version of the telemetry surface served here.\n")
+	fmt.Fprintf(&b, "# TYPE dsp_schema_info gauge\n")
+	fmt.Fprintf(&b, "dsp_schema_info{schema=%q} 1\n", TelemetrySchema)
 	if s.counters != nil {
 		for _, ct := range s.counters.Snapshot() {
 			n := metricName(ct.Name)
@@ -144,19 +170,57 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(&b, "# TYPE %s gauge\n", g.name)
 		fmt.Fprintf(&b, "%s %g\n", g.name, g.value)
 	}
+	if rows := s.phaseRows(); len(rows) > 0 {
+		fmt.Fprintf(&b, "# HELP dsp_phase_count Exclusive scheduler-phase sample count.\n")
+		fmt.Fprintf(&b, "# TYPE dsp_phase_count counter\n")
+		for _, r := range rows {
+			fmt.Fprintf(&b, "dsp_phase_count{phase=%q} %d\n", r.Phase, r.Count)
+		}
+		fmt.Fprintf(&b, "# HELP dsp_phase_seconds_total Exclusive wall time spent in each scheduler phase.\n")
+		fmt.Fprintf(&b, "# TYPE dsp_phase_seconds_total counter\n")
+		for _, r := range rows {
+			fmt.Fprintf(&b, "dsp_phase_seconds_total{phase=%q} %g\n", r.Phase, r.TotalUS/1e6)
+		}
+		fmt.Fprintf(&b, "# HELP dsp_phase_seconds Per-sample scheduler-phase latency quantiles (log2-bucket upper bounds; max is exact).\n")
+		fmt.Fprintf(&b, "# TYPE dsp_phase_seconds gauge\n")
+		for _, r := range rows {
+			for _, q := range []struct {
+				label string
+				us    float64
+			}{
+				{"0.5", r.P50US}, {"0.95", r.P95US}, {"0.99", r.P99US}, {"max", r.MaxUS},
+			} {
+				fmt.Fprintf(&b, "dsp_phase_seconds{phase=%q,quantile=%q} %g\n", r.Phase, q.label, q.us/1e6)
+			}
+		}
+	}
 	fmt.Fprint(w, b.String())
 }
 
+// phaseRows snapshots the attached phase timer's nonzero phases, largest
+// total first. Nil timer (or nothing recorded yet) yields nil.
+func (s *Server) phaseRows() []prof.PhaseBreakdown {
+	if s.prof == nil {
+		return nil
+	}
+	snap := s.prof.Snapshot()
+	return snap.Breakdown()
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	noStore(w)
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
 }
 
-// snapshotDoc is the /snapshot JSON layout.
+// snapshotDoc is the /snapshot JSON layout. Schema always carries
+// TelemetrySchema so consumers can version-gate their parsing.
 type snapshotDoc struct {
-	Epoch    EpochSnapshot    `json:"epoch"`
-	Counters map[string]int64 `json:"counters,omitempty"`
-	Attrib   *attribDoc       `json:"attrib,omitempty"`
+	Schema   string                `json:"schema"`
+	Epoch    EpochSnapshot         `json:"epoch"`
+	Counters map[string]int64      `json:"counters,omitempty"`
+	Attrib   *attribDoc            `json:"attrib,omitempty"`
+	Phases   []prof.PhaseBreakdown `json:"phases,omitempty"`
 }
 
 type attribDoc struct {
@@ -165,8 +229,9 @@ type attribDoc struct {
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	noStore(w)
 	s.mu.Lock()
-	doc := snapshotDoc{Epoch: s.snap}
+	doc := snapshotDoc{Schema: TelemetrySchema, Epoch: s.snap}
 	s.mu.Unlock()
 	if s.counters != nil {
 		doc.Counters = make(map[string]int64)
@@ -178,6 +243,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 		blame, jobs := s.attrib.Aggregate()
 		doc.Attrib = &attribDoc{Jobs: jobs, Blame: blame}
 	}
+	doc.Phases = s.phaseRows()
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

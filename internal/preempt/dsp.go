@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"dsp/internal/cluster"
+	"dsp/internal/prof"
 	"dsp/internal/sim"
 	"dsp/internal/units"
 )
@@ -42,7 +43,16 @@ type DSP struct {
 	priBuf      []float64
 	victimUsed  map[*sim.TaskState]bool
 	starterUsed map[*sim.TaskState]bool
+	// tm is the attached phase profiler (nil when the run is not
+	// profiled); the engine wires it through SetProfiler.
+	tm *prof.Timer
 }
+
+// SetProfiler implements prof.Instrumentable: the engine attaches its
+// phase timer here so the epoch's verdict scan and the memo's
+// evaluation/rebuild passes charge their own phases instead of the
+// generic epoch-policy phase.
+func (d *DSP) SetProfiler(tm *prof.Timer) { d.tm = tm }
 
 // cand pairs a preemptable running task with its priority at epoch
 // evaluation time.
@@ -82,15 +92,21 @@ func (d *DSP) Epoch(now units.Time, v *sim.View) []sim.Action {
 		d.victimUsed = make(map[*sim.TaskState]bool)
 		d.starterUsed = make(map[*sim.TaskState]bool)
 	}
+	d.memo.tm = d.tm
 	d.memo.BeginEpoch(d.P, now, v)
 	var out []sim.Action
 	considered, fired := 0, 0
+	// One verdict-scan phase per epoch (not per node): the per-node scan
+	// can be microseconds, and phase boundaries there would cost more
+	// than they measure. Memo work nested inside charges its own phases.
+	d.tm.Enter(prof.PhaseVerdictScan)
 	for k := 0; k < v.Cluster().Len(); k++ {
 		node := cluster.NodeID(k)
 		c, f := d.epochNode(node, now, v, d.memo, &out)
 		considered += c
 		fired += f
 	}
+	d.tm.Exit()
 	if d.P.AdaptDelta && considered > 0 {
 		rate := float64(fired) / float64(considered)
 		switch {

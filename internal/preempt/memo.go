@@ -1,6 +1,7 @@
 package preempt
 
 import (
+	"dsp/internal/prof"
 	"dsp/internal/sim"
 	"dsp/internal/units"
 )
@@ -39,6 +40,10 @@ type Memo struct {
 	now  units.Time
 	view SpeedSource
 	mean float64
+
+	// tm is the owning preemptor's phase profiler (nil when the run is
+	// not profiled): evaluate charges memo-eval, rebuilds memo-rebuild.
+	tm *prof.Timer
 }
 
 // jobMemo is the cached evaluation state for one job.
@@ -100,9 +105,12 @@ func (m *Memo) Priority(t *sim.TaskState) float64 {
 // rebuilt only if the job changed), then every task's priority is
 // recomputed in one bottom-up pass.
 func (m *Memo) evaluate(jm *jobMemo, j *sim.JobState) {
+	m.tm.Enter(prof.PhaseMemoEval)
 	n := len(j.Tasks)
 	if jm.taskLen != n {
+		m.tm.Enter(prof.PhaseMemoRebuild)
 		m.rebuildOrder(jm, j)
+		m.tm.Exit()
 	}
 	flat := m.p.FlatPriority
 	if !flat {
@@ -113,7 +121,9 @@ func (m *Memo) evaluate(jm *jobMemo, j *sim.JobState) {
 			}
 		}
 		if !jm.structOK || jm.live != live {
+			m.tm.Enter(prof.PhaseMemoRebuild)
 			m.rebuildLiveEdges(jm, j, live)
+			m.tm.Exit()
 		}
 	}
 	if cap(jm.prio) < n {
@@ -142,6 +152,7 @@ func (m *Memo) evaluate(jm *jobMemo, j *sim.JobState) {
 		}
 		jm.prio[id] = p
 	}
+	m.tm.Exit()
 }
 
 // rebuildOrder derives the reverse-topological order (children before

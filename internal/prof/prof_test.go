@@ -1,0 +1,304 @@
+package prof
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fakeClock is a deterministic nanosecond clock tests advance by hand.
+type fakeClock struct{ now int64 }
+
+func (c *fakeClock) read() int64   { return c.now }
+func (c *fakeClock) tick(ns int64) { c.now += ns }
+
+func TestExclusiveTiling(t *testing.T) {
+	c := &fakeClock{}
+	tm := NewWithClock(c.read)
+
+	// outer[0..100) with inner[10..40) carved out:
+	// outer exclusive = 70, inner exclusive = 30, sum = wall = 100.
+	tm.Enter(PhaseEventPump)
+	c.tick(10)
+	tm.Enter(PhaseEpochPolicy)
+	c.tick(30)
+	tm.Exit()
+	c.tick(60)
+	tm.Exit()
+
+	s := tm.Snapshot()
+	if got := s[PhaseEventPump].TotalNS; got != 70 {
+		t.Errorf("event-pump exclusive = %d, want 70", got)
+	}
+	if got := s[PhaseEpochPolicy].TotalNS; got != 30 {
+		t.Errorf("epoch-policy exclusive = %d, want 30", got)
+	}
+	if got := s.TotalNS(); got != 100 {
+		t.Errorf("phase sum = %d, want wall 100", got)
+	}
+	if s[PhaseEventPump].Count != 1 || s[PhaseEpochPolicy].Count != 1 {
+		t.Errorf("counts = %d/%d, want 1/1",
+			s[PhaseEventPump].Count, s[PhaseEpochPolicy].Count)
+	}
+}
+
+func TestReentrantSamePhaseAccumulates(t *testing.T) {
+	c := &fakeClock{}
+	tm := NewWithClock(c.read)
+	for i := 0; i < 5; i++ {
+		tm.Enter(PhaseMemoEval)
+		c.tick(7)
+		tm.Exit()
+	}
+	s := tm.Snapshot()
+	if s[PhaseMemoEval].Count != 5 || s[PhaseMemoEval].TotalNS != 35 {
+		t.Errorf("memo-eval = count %d total %d, want 5/35",
+			s[PhaseMemoEval].Count, s[PhaseMemoEval].TotalNS)
+	}
+	if s[PhaseMemoEval].MaxNS != 7 {
+		t.Errorf("memo-eval max = %d, want 7", s[PhaseMemoEval].MaxNS)
+	}
+}
+
+func TestNilTimerIsInert(t *testing.T) {
+	var tm *Timer
+	tm.Enter(PhaseSetup)
+	tm.Exit()
+	tm.Unwind()
+	tm.Merge(Snapshot{})
+	if d := tm.Depth(); d != 0 {
+		t.Errorf("nil Depth = %d", d)
+	}
+	s := tm.Snapshot()
+	if s.TotalNS() != 0 {
+		t.Errorf("nil Snapshot total = %d", s.TotalNS())
+	}
+	if s[PhaseSetup].Phase != "setup" {
+		t.Errorf("nil Snapshot phase name = %q", s[PhaseSetup].Phase)
+	}
+}
+
+func TestUnwindClosesAllFrames(t *testing.T) {
+	c := &fakeClock{}
+	tm := NewWithClock(c.read)
+	tm.Enter(PhaseSetup)
+	c.tick(5)
+	tm.Enter(PhasePlanBuild)
+	c.tick(5)
+	tm.Enter(PhaseSchedule)
+	c.tick(5)
+	tm.Unwind()
+	if tm.Depth() != 0 {
+		t.Fatalf("depth after Unwind = %d", tm.Depth())
+	}
+	s := tm.Snapshot()
+	if got := s.TotalNS(); got != 15 {
+		t.Errorf("phase sum after Unwind = %d, want 15", got)
+	}
+}
+
+func TestUnbalancedExitTolerated(t *testing.T) {
+	tm := NewWithClock((&fakeClock{}).read)
+	tm.Exit() // no open phase: must not panic or corrupt
+	tm.Enter(PhaseAudit)
+	tm.Exit()
+	tm.Exit()
+	if tm.Depth() != 0 {
+		t.Errorf("depth = %d", tm.Depth())
+	}
+}
+
+func TestOverflowDepthRebalances(t *testing.T) {
+	c := &fakeClock{}
+	tm := NewWithClock(c.read)
+	// Open maxDepth+3 frames; the overflow frames charge their time to
+	// the innermost tracked frame and the stack rebalances on exits.
+	for i := 0; i < maxDepth+3; i++ {
+		tm.Enter(PhaseEventPump)
+		c.tick(1)
+	}
+	for i := 0; i < maxDepth+3; i++ {
+		tm.Exit()
+	}
+	if tm.Depth() != 0 {
+		t.Fatalf("depth = %d after balanced exits", tm.Depth())
+	}
+	s := tm.Snapshot()
+	if got := s.TotalNS(); got != maxDepth+3 {
+		t.Errorf("total = %d, want %d (no time lost)", got, maxDepth+3)
+	}
+	if got := s[PhaseEventPump].Count; got != maxDepth {
+		t.Errorf("count = %d, want %d tracked frames", got, maxDepth)
+	}
+}
+
+func TestMergeAggregates(t *testing.T) {
+	c1 := &fakeClock{}
+	t1 := NewWithClock(c1.read)
+	t1.Enter(PhaseILPSolve)
+	c1.tick(100)
+	t1.Exit()
+
+	c2 := &fakeClock{}
+	t2 := NewWithClock(c2.read)
+	t2.Enter(PhaseILPSolve)
+	c2.tick(300)
+	t2.Exit()
+
+	agg := NewWithClock((&fakeClock{}).read)
+	agg.Merge(t1.Snapshot())
+	agg.Merge(t2.Snapshot())
+	s := agg.Snapshot()
+	if s[PhaseILPSolve].Count != 2 || s[PhaseILPSolve].TotalNS != 400 {
+		t.Errorf("merged ilp-solve = count %d total %d, want 2/400",
+			s[PhaseILPSolve].Count, s[PhaseILPSolve].TotalNS)
+	}
+	if s[PhaseILPSolve].MaxNS != 300 {
+		t.Errorf("merged max = %d, want 300", s[PhaseILPSolve].MaxNS)
+	}
+}
+
+func TestMergeConcurrent(t *testing.T) {
+	agg := NewWithClock((&fakeClock{}).read)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := &fakeClock{}
+			tm := NewWithClock(c.read)
+			for i := 0; i < 100; i++ {
+				tm.Enter(PhaseVerdictScan)
+				c.tick(10)
+				tm.Exit()
+			}
+			agg.Merge(tm.Snapshot())
+		}()
+	}
+	wg.Wait()
+	s := agg.Snapshot()
+	if s[PhaseVerdictScan].Count != 800 || s[PhaseVerdictScan].TotalNS != 8000 {
+		t.Errorf("concurrent merge = count %d total %d, want 800/8000",
+			s[PhaseVerdictScan].Count, s[PhaseVerdictScan].TotalNS)
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	c := &fakeClock{}
+	tm := NewWithClock(c.read)
+	// 90 short occurrences (100ns) and 10 long ones (100µs).
+	for i := 0; i < 90; i++ {
+		tm.Enter(PhaseSpans)
+		c.tick(100)
+		tm.Exit()
+	}
+	for i := 0; i < 10; i++ {
+		tm.Enter(PhaseSpans)
+		c.tick(100_000)
+		tm.Exit()
+	}
+	s := tm.Snapshot()
+	st := &s[PhaseSpans]
+	p50 := st.Quantile(0.50)
+	if p50 < 100 || p50 >= 256 {
+		t.Errorf("p50 = %dns, want within the 100ns bucket [100,256)", p50)
+	}
+	p99 := st.Quantile(0.99)
+	if p99 < 100_000 || p99 > st.MaxNS {
+		t.Errorf("p99 = %dns, want within [100000, max]", p99)
+	}
+	if st.Quantile(1.0) != st.MaxNS {
+		t.Errorf("p100 = %d, want exact max %d", st.Quantile(1.0), st.MaxNS)
+	}
+	var empty PhaseStat
+	if empty.Quantile(0.5) != 0 {
+		t.Errorf("empty quantile != 0")
+	}
+}
+
+func TestBreakdownAndTable(t *testing.T) {
+	c := &fakeClock{}
+	tm := NewWithClock(c.read)
+	tm.Enter(PhaseSchedule)
+	c.tick(1000)
+	tm.Exit()
+	tm.Enter(PhaseILPSolve)
+	c.tick(9000)
+	tm.Exit()
+	s := tm.Snapshot()
+	rows := s.Breakdown()
+	if len(rows) != 2 {
+		t.Fatalf("breakdown rows = %d, want 2", len(rows))
+	}
+	if rows[0].Phase != "ilp-solve" {
+		t.Errorf("blame order: first row = %q, want ilp-solve", rows[0].Phase)
+	}
+	if rows[0].TotalUS != 9.0 {
+		t.Errorf("ilp-solve total = %gµs, want 9", rows[0].TotalUS)
+	}
+	tbl := Table(rows)
+	if !strings.Contains(tbl, "ilp-solve") || !strings.Contains(tbl, "share") {
+		t.Errorf("table missing expected content:\n%s", tbl)
+	}
+}
+
+func TestPhaseNamesComplete(t *testing.T) {
+	seen := map[string]bool{}
+	for p := Phase(0); p < NumPhases; p++ {
+		name := p.String()
+		if name == "" || strings.HasPrefix(name, "phase(") {
+			t.Errorf("phase %d has no name", p)
+		}
+		if seen[name] {
+			t.Errorf("duplicate phase name %q", name)
+		}
+		seen[name] = true
+	}
+	if got := Phase(200).String(); got != "phase(200)" {
+		t.Errorf("out-of-range String = %q", got)
+	}
+}
+
+// TestEnterExitAllocFree is the satellite guard: the hot path must not
+// allocate, on either a live or a nil timer.
+func TestEnterExitAllocFree(t *testing.T) {
+	c := &fakeClock{}
+	tm := NewWithClock(c.read)
+	allocs := testing.AllocsPerRun(1000, func() {
+		tm.Enter(PhaseVerdictScan)
+		c.tick(3)
+		tm.Enter(PhaseMemoEval)
+		c.tick(2)
+		tm.Exit()
+		tm.Exit()
+	})
+	if allocs != 0 {
+		t.Errorf("live Enter/Exit allocates %v per op, want 0", allocs)
+	}
+	var nilTm *Timer
+	allocs = testing.AllocsPerRun(1000, func() {
+		nilTm.Enter(PhaseVerdictScan)
+		nilTm.Exit()
+	})
+	if allocs != 0 {
+		t.Errorf("nil Enter/Exit allocates %v per op, want 0", allocs)
+	}
+}
+
+func BenchmarkEnterExit(b *testing.B) {
+	tm := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tm.Enter(PhaseVerdictScan)
+		tm.Exit()
+	}
+}
+
+func BenchmarkEnterExitNil(b *testing.B) {
+	var tm *Timer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tm.Enter(PhaseVerdictScan)
+		tm.Exit()
+	}
+}

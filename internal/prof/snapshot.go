@@ -1,0 +1,136 @@
+package prof
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PhaseStat is one phase's accumulated stats in a Snapshot: occurrence
+// count, exclusive total and max (nanoseconds), and the log2 histogram
+// (see NumBuckets for the bucket layout).
+type PhaseStat struct {
+	Phase   string
+	Count   int64
+	TotalNS int64
+	MaxNS   int64
+	Buckets [NumBuckets]int64
+}
+
+// Quantile estimates the q-th quantile (0 < q ≤ 1) of the phase's
+// occurrence durations from the log2 histogram, in nanoseconds. The
+// estimate is the upper edge of the bucket holding the target rank,
+// clamped to the exact observed max — pessimistic by at most 2×, which
+// is the resolution a log2 histogram buys. Returns 0 for an empty phase.
+func (s *PhaseStat) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(s.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum int64
+	for b := 0; b < NumBuckets; b++ {
+		cum += s.Buckets[b]
+		if cum >= rank {
+			var hi int64
+			if b > 0 {
+				hi = int64(1)<<uint(b) - 1
+			}
+			if hi > s.MaxNS {
+				hi = s.MaxNS
+			}
+			return hi
+		}
+	}
+	return s.MaxNS
+}
+
+// Snapshot is a point-in-time copy of a Timer's per-phase stats,
+// indexed by Phase.
+type Snapshot [NumPhases]PhaseStat
+
+// TotalNS sums the exclusive totals of all phases — the instrumented
+// wall time (phases tile it by construction).
+func (s *Snapshot) TotalNS() int64 {
+	var total int64
+	for p := range s {
+		total += s[p].TotalNS
+	}
+	return total
+}
+
+// Breakdown renders the snapshot's nonzero phases as the serializable
+// per-phase records the dsp-bench-sweep/v2 schema carries, ordered by
+// descending total (blame order).
+func (s *Snapshot) Breakdown() []PhaseBreakdown {
+	var out []PhaseBreakdown
+	for p := range s {
+		st := &s[p]
+		if st.Count == 0 {
+			continue
+		}
+		out = append(out, PhaseBreakdown{
+			Phase:   st.Phase,
+			Count:   st.Count,
+			TotalUS: float64(st.TotalNS) / 1e3,
+			MaxUS:   float64(st.MaxNS) / 1e3,
+			P50US:   float64(st.Quantile(0.50)) / 1e3,
+			P95US:   float64(st.Quantile(0.95)) / 1e3,
+			P99US:   float64(st.Quantile(0.99)) / 1e3,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TotalUS > out[j].TotalUS })
+	return out
+}
+
+// PhaseBreakdown is one phase's serialized stats in a
+// dsp-bench-sweep/v2 report (microseconds; see PERF.md for the schema).
+type PhaseBreakdown struct {
+	Phase   string  `json:"phase"`
+	Count   int64   `json:"count"`
+	TotalUS float64 `json:"total_us"`
+	MaxUS   float64 `json:"max_us"`
+	P50US   float64 `json:"p50_us"`
+	P95US   float64 `json:"p95_us"`
+	P99US   float64 `json:"p99_us"`
+}
+
+// Table renders breakdowns as an aligned text table for dspsim/dspbench
+// output: one row per phase in the given order, with each phase's share
+// of the summed total.
+func Table(rows []PhaseBreakdown) string {
+	var b strings.Builder
+	var total float64
+	for _, r := range rows {
+		total += r.TotalUS
+	}
+	fmt.Fprintf(&b, "%-14s %10s %12s %12s %12s %12s %12s %7s\n",
+		"phase", "count", "total", "p50", "p95", "p99", "max", "share")
+	for _, r := range rows {
+		share := 0.0
+		if total > 0 {
+			share = 100 * r.TotalUS / total
+		}
+		fmt.Fprintf(&b, "%-14s %10d %12s %12s %12s %12s %12s %6.1f%%\n",
+			r.Phase, r.Count, fmtUS(r.TotalUS), fmtUS(r.P50US), fmtUS(r.P95US),
+			fmtUS(r.P99US), fmtUS(r.MaxUS), share)
+	}
+	return b.String()
+}
+
+// fmtUS renders a microsecond quantity with a human unit.
+func fmtUS(us float64) string {
+	switch {
+	case us >= 1e6:
+		return fmt.Sprintf("%.2fs", us/1e6)
+	case us >= 1e3:
+		return fmt.Sprintf("%.2fms", us/1e3)
+	default:
+		return fmt.Sprintf("%.1fus", us)
+	}
+}

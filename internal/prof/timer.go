@@ -1,0 +1,203 @@
+package prof
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// maxDepth bounds the phase stack. The engine's deepest real nesting
+	// is 4 (event-pump → epoch-policy → memo-eval → memo-rebuild); 16
+	// leaves generous slack. Deeper Enter calls are tolerated — their
+	// time stays charged to the innermost tracked frame.
+	maxDepth = 16
+	// NumBuckets is the histogram width. Bucket i counts durations whose
+	// nanosecond value has bit-length i: bucket 0 is exactly 0ns, bucket
+	// i≥1 spans [2^(i-1), 2^i). 40 buckets reach ~9 minutes; anything
+	// longer clips into the last bucket (Max stays exact regardless).
+	NumBuckets = 40
+)
+
+// frame is one open phase on the stack: the phase, its exclusive time
+// accumulated so far, and the clock reading at the last charge point
+// (its own Enter, or the Exit of the child that last returned to it).
+type frame struct {
+	phase Phase
+	excl  int64
+	last  int64
+}
+
+// cell is one phase's accumulator. All fields are atomics so a scraper
+// can read a consistent-enough snapshot (each field untorn) while the
+// owning goroutine records; padding is deliberately omitted — the
+// recording side is single-goroutine, so there is no write contention
+// to false-share.
+type cell struct {
+	count   atomic.Int64
+	total   atomic.Int64
+	max     atomic.Int64
+	buckets [NumBuckets]atomic.Int64
+}
+
+// Timer is the phase profiler: an exclusive-time phase stack over an
+// injectable monotonic clock. Enter/Exit must come from one goroutine
+// (the simulation loop); Snapshot and Merge are safe from any.
+//
+// A nil *Timer is valid and inert: every method is a no-op, so call
+// sites instrument unconditionally and uninstrumented runs pay only a
+// nil check.
+type Timer struct {
+	clock  func() int64
+	depth  int
+	stack  [maxDepth]frame
+	phases [NumPhases]cell
+}
+
+// New returns a Timer over Go's monotonic clock.
+func New() *Timer {
+	base := time.Now()
+	return &Timer{clock: func() int64 { return int64(time.Since(base)) }}
+}
+
+// NewWithClock returns a Timer over an injected nanosecond clock, for
+// deterministic tests. The clock must be monotonic non-decreasing.
+func NewWithClock(clock func() int64) *Timer {
+	return &Timer{clock: clock}
+}
+
+// Enter opens phase p. Time from now until the matching Exit (minus any
+// nested phases) is charged exclusively to p; the enclosing phase's
+// clock pauses.
+func (t *Timer) Enter(p Phase) {
+	if t == nil {
+		return
+	}
+	if t.depth >= maxDepth {
+		// Overflow: track depth so Exits rebalance, but don't touch the
+		// clock — the innermost tracked frame keeps accumulating.
+		t.depth++
+		return
+	}
+	now := t.clock()
+	if t.depth > 0 {
+		f := &t.stack[t.depth-1]
+		f.excl += now - f.last
+	}
+	t.stack[t.depth] = frame{phase: p, last: now}
+	t.depth++
+}
+
+// Exit closes the innermost open phase, recording its exclusive time.
+// An Exit with no open phase is a tolerated no-op (unbalanced call
+// sites are a bug, but not one worth crashing a run for).
+func (t *Timer) Exit() {
+	if t == nil || t.depth == 0 {
+		return
+	}
+	if t.depth > maxDepth {
+		t.depth--
+		return
+	}
+	t.depth--
+	f := &t.stack[t.depth]
+	now := t.clock()
+	f.excl += now - f.last
+	t.record(f.phase, f.excl)
+	if t.depth > 0 {
+		t.stack[t.depth-1].last = now
+	}
+}
+
+// Unwind closes every open phase, innermost first. Error paths that
+// bail out of a deeply instrumented region call this instead of
+// threading Exits through each return.
+func (t *Timer) Unwind() {
+	if t == nil {
+		return
+	}
+	for t.depth > 0 {
+		t.Exit()
+	}
+}
+
+// Depth reports the number of open phases (tests and debug only).
+func (t *Timer) Depth() int {
+	if t == nil {
+		return 0
+	}
+	return t.depth
+}
+
+// record folds one closed phase occurrence into its accumulator cell.
+func (t *Timer) record(p Phase, ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	c := &t.phases[p]
+	c.count.Add(1)
+	c.total.Add(ns)
+	for {
+		cur := c.max.Load()
+		if ns <= cur || c.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	idx := bits.Len64(uint64(ns))
+	if idx >= NumBuckets {
+		idx = NumBuckets - 1
+	}
+	c.buckets[idx].Add(1)
+}
+
+// Snapshot copies the accumulated per-phase stats. Safe to call from
+// any goroutine while the owner records: each field is read atomically,
+// so counts and totals are never torn (the fields of a cell may be
+// skewed by in-flight records — by at most one occurrence).
+func (t *Timer) Snapshot() Snapshot {
+	var s Snapshot
+	for p := Phase(0); p < NumPhases; p++ {
+		if t == nil {
+			s[p].Phase = p.String()
+			continue
+		}
+		c := &t.phases[p]
+		s[p].Phase = p.String()
+		s[p].Count = c.count.Load()
+		s[p].TotalNS = c.total.Load()
+		s[p].MaxNS = c.max.Load()
+		for b := 0; b < NumBuckets; b++ {
+			s[p].Buckets[b] = c.buckets[b].Load()
+		}
+	}
+	return s
+}
+
+// Merge folds a snapshot (typically one sweep cell's timer) into this
+// aggregate timer. Safe to call concurrently from multiple goroutines —
+// the parallel sweep runner merges worker-local timers into one
+// process-wide aggregate.
+func (t *Timer) Merge(s Snapshot) {
+	if t == nil {
+		return
+	}
+	for p := Phase(0); p < NumPhases; p++ {
+		if s[p].Count == 0 && s[p].TotalNS == 0 {
+			continue
+		}
+		c := &t.phases[p]
+		c.count.Add(s[p].Count)
+		c.total.Add(s[p].TotalNS)
+		for {
+			cur := c.max.Load()
+			if s[p].MaxNS <= cur || c.max.CompareAndSwap(cur, s[p].MaxNS) {
+				break
+			}
+		}
+		for b := 0; b < NumBuckets; b++ {
+			if n := s[p].Buckets[b]; n != 0 {
+				c.buckets[b].Add(n)
+			}
+		}
+	}
+}

@@ -25,6 +25,7 @@ package sched
 
 import (
 	"dsp/internal/dag"
+	"dsp/internal/prof"
 	"dsp/internal/sim"
 	"dsp/internal/units"
 )
@@ -101,7 +102,16 @@ type DSP struct {
 	// feeding the next period's warm start. Rebuilt after every solve, so
 	// completed tasks age out automatically.
 	prevPlan map[dag.Key]warmAssign
+	// tm is the attached phase profiler (nil when the run is not
+	// profiled); the engine wires it through SetProfiler.
+	tm *prof.Timer
 }
+
+// SetProfiler implements prof.Instrumentable: the engine attaches its
+// phase timer here so each degradation-ladder rung (ilp-solve,
+// sched-list, sched-fifo) charges its own phase rather than the generic
+// schedule phase.
+func (d *DSP) SetProfiler(tm *prof.Timer) { d.tm = tm }
 
 // NewDSP returns the scheduler with the paper's defaults.
 func NewDSP() *DSP {
@@ -145,7 +155,9 @@ func (d *DSP) Schedule(now units.Time, pending []*sim.JobState, v *sim.View) []s
 			v.Cluster().Len() <= d.ILPNodeLimit
 	}
 	if useILP {
+		d.tm.Enter(prof.PhaseILPSolve)
 		out, res := d.scheduleILP(now, pending, v)
+		d.tm.Exit()
 		switch {
 		case res.ok && res.exact:
 			return out
@@ -173,9 +185,15 @@ func (d *DSP) Schedule(now units.Time, pending []*sim.JobState, v *sim.View) []s
 			From: sim.TierList, To: sim.TierFIFO,
 			Reason: "pending-tasks-over-limit", PendingTasks: nTasks,
 		})
-		return d.scheduleFIFO(now, pending, v)
+		d.tm.Enter(prof.PhaseSchedFIFO)
+		out := d.scheduleFIFO(now, pending, v)
+		d.tm.Exit()
+		return out
 	}
-	return d.scheduleList(now, pending, v)
+	d.tm.Enter(prof.PhaseSchedList)
+	out := d.scheduleList(now, pending, v)
+	d.tm.Exit()
+	return out
 }
 
 // EstimatePreemptions estimates N^p, the number of preemptions a task

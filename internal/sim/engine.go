@@ -7,6 +7,7 @@ import (
 	"dsp/internal/cluster"
 	"dsp/internal/dag"
 	"dsp/internal/eventq"
+	"dsp/internal/prof"
 	"dsp/internal/trace"
 	"dsp/internal/units"
 )
@@ -74,6 +75,14 @@ type Config struct {
 	AuditInvariants bool
 	// Observer, when non-nil, receives lifecycle events.
 	Observer Observer
+	// Prof, when non-nil, receives the run's phase-level timing: the
+	// engine charges setup, the period and epoch paths, task completion,
+	// admission, audit and span bookkeeping to named phases (see
+	// internal/prof), and attaches the timer to any scheduler or
+	// preemptor implementing prof.Instrumentable so they can attribute
+	// their internal work too. nil disables profiling at the cost of a
+	// nil check per phase boundary.
+	Prof *prof.Timer
 }
 
 func (c *Config) fillDefaults() {
@@ -162,6 +171,52 @@ func Run(cfg Config, w *trace.Workload) (*Result, error) {
 		return nil, fmt.Errorf("sim: empty workload")
 	}
 	e := &Engine{cfg: cfg, q: eventq.New()}
+	tm := cfg.Prof
+	// Attach (or detach, when Prof is nil) the profiler on components
+	// that can attribute their own work — unconditional, so a scheduler
+	// reused across runs never keeps a stale timer.
+	if in, ok := cfg.Scheduler.(prof.Instrumentable); ok {
+		in.SetProfiler(tm)
+	}
+	if cfg.Preemptor != nil {
+		if in, ok := cfg.Preemptor.(prof.Instrumentable); ok {
+			in.SetProfiler(tm)
+		}
+	}
+	tm.Enter(prof.PhaseSetup)
+	err := e.setup(w)
+	tm.Exit()
+	if err != nil {
+		return nil, err
+	}
+
+	tm.Enter(prof.PhaseEventPump)
+	fired, drained := e.q.Run(cfg.MaxEvents)
+	tm.Exit()
+	if !drained {
+		return nil, fmt.Errorf("sim: event cap %d exceeded at t=%v with %d jobs incomplete (policy live-lock?)",
+			fired, e.q.Now(), e.jobsRemaining)
+	}
+	if e.jobsRemaining > 0 {
+		return nil, fmt.Errorf("sim: %d jobs incomplete after event queue drained (scheduler %q never assigned their tasks?)",
+			e.jobsRemaining, cfg.Scheduler.Name())
+	}
+	if e.metrics.JobsCompleted+e.metrics.JobsFailed+e.metrics.JobsShed != len(e.jobs) {
+		return nil, fmt.Errorf("sim: job accounting broken: %d completed + %d failed + %d shed != %d jobs",
+			e.metrics.JobsCompleted, e.metrics.JobsFailed, e.metrics.JobsShed, len(e.jobs))
+	}
+	tm.Enter(prof.PhaseFinalize)
+	e.finalize()
+	tm.Exit()
+	return &e.metrics, nil
+}
+
+// setup builds the engine's world from the workload — node and task
+// state, per-task deadlines, cross-job dependency resolution, fault and
+// growth installation — and arms the first period/epoch/speculation
+// ticks. Split out of Run so the profiler can charge it as one phase.
+func (e *Engine) setup(w *trace.Workload) error {
+	cfg := e.cfg
 	e.view = &View{engine: e}
 	if db, ok := cfg.Scheduler.(DependencyBlind); ok && db.DependencyBlind() {
 		e.blind = true
@@ -170,7 +225,7 @@ func Run(cfg Config, w *trace.Workload) (*Result, error) {
 		e.nodes = append(e.nodes, &nodeState{node: n, speedFactor: 1})
 	}
 	if err := cfg.Faults.Validate(cfg.Cluster.Len()); err != nil {
-		return nil, err
+		return err
 	}
 	e.installFaults(cfg.Faults)
 	meanSpeed := cfg.Cluster.MeanSpeed()
@@ -197,7 +252,7 @@ func Run(cfg Config, w *trace.Workload) (*Result, error) {
 			var err error
 			taskDeadlines, err = tj.DAG.TaskDeadlines(tj.DAG.Deadline, exec)
 			if err != nil {
-				return nil, fmt.Errorf("sim: job %d: %w", tj.DAG.ID, err)
+				return fmt.Errorf("sim: job %d: %w", tj.DAG.ID, err)
 			}
 		}
 		for _, task := range tj.DAG.Tasks {
@@ -225,7 +280,9 @@ func Run(cfg Config, w *trace.Workload) (*Result, error) {
 			// Pending tasks become visible to the next scheduling period
 			// via arrivedPending — unless admission control sheds the job
 			// here at the door.
+			e.cfg.Prof.Enter(prof.PhaseAdmission)
 			e.admitJob(js, at)
+			e.cfg.Prof.Exit()
 		}))
 	}
 
@@ -239,19 +296,19 @@ func Run(cfg Config, w *trace.Workload) (*Result, error) {
 		for _, dep := range tj.WaitsFor {
 			pre, ok := byID[dep]
 			if !ok {
-				return nil, fmt.Errorf("sim: job %d waits for unknown job %d", tj.DAG.ID, dep)
+				return fmt.Errorf("sim: job %d waits for unknown job %d", tj.DAG.ID, dep)
 			}
 			if pre == e.jobs[i] {
-				return nil, fmt.Errorf("sim: job %d waits for itself", tj.DAG.ID)
+				return fmt.Errorf("sim: job %d waits for itself", tj.DAG.ID)
 			}
 			e.jobs[i].waitsFor = append(e.jobs[i].waitsFor, pre)
 		}
 	}
 	if err := validateJobGraph(e.jobs); err != nil {
-		return nil, err
+		return err
 	}
 	if err := e.installGrowth(cfg.Growth); err != nil {
-		return nil, err
+		return err
 	}
 
 	// First scheduling period fires at the first arrival.
@@ -262,22 +319,7 @@ func Run(cfg Config, w *trace.Workload) (*Result, error) {
 	if cfg.Speculation != nil {
 		e.q.At(e.firstArrival+cfg.Speculation.Interval, eventq.Func(e.specTick))
 	}
-
-	fired, drained := e.q.Run(cfg.MaxEvents)
-	if !drained {
-		return nil, fmt.Errorf("sim: event cap %d exceeded at t=%v with %d jobs incomplete (policy live-lock?)",
-			fired, e.q.Now(), e.jobsRemaining)
-	}
-	if e.jobsRemaining > 0 {
-		return nil, fmt.Errorf("sim: %d jobs incomplete after event queue drained (scheduler %q never assigned their tasks?)",
-			e.jobsRemaining, cfg.Scheduler.Name())
-	}
-	if e.metrics.JobsCompleted+e.metrics.JobsFailed+e.metrics.JobsShed != len(e.jobs) {
-		return nil, fmt.Errorf("sim: job accounting broken: %d completed + %d failed + %d shed != %d jobs",
-			e.metrics.JobsCompleted, e.metrics.JobsFailed, e.metrics.JobsShed, len(e.jobs))
-	}
-	e.finalize()
-	return &e.metrics, nil
+	return nil
 }
 
 // arrivedPending returns jobs that have arrived by now, have every
@@ -339,21 +381,30 @@ func validateJobGraph(jobs []*JobState) error {
 // periodTick runs the offline scheduler and re-arms itself while work
 // remains.
 func (e *Engine) periodTick(now units.Time) {
+	tm := e.cfg.Prof
+	tm.Enter(prof.PhasePlanBuild)
 	e.notePendingPeak(now)
 	pending := e.arrivedPending(now)
+	tm.Exit()
 	if len(pending) > 0 {
+		tm.Enter(prof.PhaseSchedule)
 		assignments := e.cfg.Scheduler.Schedule(now, pending, e.view)
+		tm.Exit()
+		tm.Enter(prof.PhaseAssignApply)
 		for _, a := range assignments {
 			e.applyAssignment(a, now)
 		}
 		for k := range e.nodes {
 			e.tryFill(cluster.NodeID(k), now)
 		}
+		tm.Exit()
 	}
 	if e.cfg.AuditInvariants && e.cfg.Preemptor == nil {
 		// No epochs run in this configuration; audit at the period
 		// boundary instead.
+		tm.Enter(prof.PhaseAudit)
 		e.auditInvariants(now)
+		tm.Exit()
 	}
 	if e.jobsRemaining > 0 {
 		e.q.After(e.cfg.Period, eventq.Func(e.periodTick))
@@ -592,6 +643,9 @@ func (e *Engine) suspend(k cluster.NodeID, t *TaskState, now units.Time) {
 // speculative backup is cancelled (first copy wins), and the task
 // finishes.
 func (e *Engine) complete(k cluster.NodeID, t *TaskState, now units.Time) {
+	tm := e.cfg.Prof
+	tm.Enter(prof.PhaseTaskComplete)
+	defer tm.Exit()
 	ns := e.nodes[k]
 	for i, r := range ns.running {
 		if r == t {
@@ -696,15 +750,22 @@ func (e *Engine) epochTick(now units.Time) {
 	if e.cfg.Observer != nil {
 		e.cfg.Observer.EpochStarted(now, e.epochIndex)
 	}
+	tm := e.cfg.Prof
+	tm.Enter(prof.PhaseEpochPolicy)
 	actions := e.cfg.Preemptor.Epoch(now, e.view)
+	tm.Exit()
+	tm.Enter(prof.PhaseActionApply)
 	for _, a := range actions {
 		e.applyAction(a, now)
 	}
 	for k := range e.nodes {
 		e.tryFill(cluster.NodeID(k), now)
 	}
+	tm.Exit()
 	if e.cfg.AuditInvariants {
+		tm.Enter(prof.PhaseAudit)
 		e.auditInvariants(now)
+		tm.Exit()
 	}
 	if e.cfg.Observer != nil {
 		e.cfg.Observer.EpochEnded(now, e.epochIndex, e.view)

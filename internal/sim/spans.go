@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dsp/internal/cluster"
+	"dsp/internal/prof"
 	"dsp/internal/units"
 )
 
@@ -128,9 +129,11 @@ func (e *Engine) emitSpan(t *TaskState, kind SpanKind, cause SpanCause, node clu
 	if e.cfg.Observer == nil || end <= start {
 		return
 	}
+	e.cfg.Prof.Enter(prof.PhaseSpans)
 	e.cfg.Observer.TaskSpanClosed(TaskSpan{
 		Task: t, Kind: kind, Cause: cause, Node: node, Start: start, End: end,
 	})
+	e.cfg.Prof.Exit()
 }
 
 // closeWaitSpan closes the wait span the task has been in since

@@ -2,11 +2,22 @@
 # Fails if any Go package (internal/*, cmd/*, examples/*, or the repo
 # root) lacks a doc comment: a "// Package <name>" comment for library
 # packages, "// Command <name>" for mains. Keeps the godoc front page
-# complete as packages are added.
+# complete as packages are added. Also fails if an internal package is
+# absent from ARCHITECTURE.md's package map, so the map can't silently
+# go stale as the codebase grows.
 set -eu
 cd "$(dirname "$0")/.."
 
 fail=0
+for dir in internal/*; do
+    [ -d "$dir" ] || continue
+    ls "$dir"/*.go >/dev/null 2>&1 || continue
+    name=$(basename "$dir")
+    if ! grep -q "internal/$name" ARCHITECTURE.md; then
+        echo "ARCHITECTURE.md does not mention internal/$name" >&2
+        fail=1
+    fi
+done
 for dir in . internal/* cmd/* examples/*; do
     [ -d "$dir" ] || continue
     ls "$dir"/*.go >/dev/null 2>&1 || continue
