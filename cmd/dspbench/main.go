@@ -47,21 +47,29 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"sync/atomic"
+	"syscall"
 
 	"dsp/internal/experiments"
 	"dsp/internal/metrics"
 	"dsp/internal/obs"
 	"dsp/internal/prof"
+	"dsp/internal/sim"
 )
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "dspbench:", err)
+		if errors.Is(err, sim.ErrInterrupted) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 }
@@ -90,6 +98,7 @@ func run(args []string, out *os.File) error {
 	attribJobs := fs.String("attrib-jobs", "", "job counts for -fig attrib, comma-separated (default: the Figure 6 x-axis)")
 	workers := fs.Int("workers", 0, "concurrent sweep cells (0 = GOMAXPROCS; output is byte-identical for every value)")
 	phases := fs.Bool("phases", false, "print the aggregate scheduler-phase table after the sweeps")
+	recoverySmoke := fs.Int("recovery-smoke", 0, "kill/recover the crash-recovery stress cell at N seeded points and verify byte-identical artifacts (0 disables)")
 	benchJSON := fs.String("bench-json", "", "write a dsp-bench-sweep JSON benchmark report to FILE")
 	benchSchema := fs.String("bench-schema", "v2", "schema for -bench-json: v2 (phase breakdowns) or v1 (wall times only)")
 	compare := fs.Bool("compare", false, "compare mode: diff two -bench-json reports (OLD.json NEW.json) and exit non-zero on regression")
@@ -118,6 +127,24 @@ func run(args []string, out *os.File) error {
 	} else if addr != "" {
 		fmt.Fprintln(os.Stderr, "pprof listening on "+addr)
 	}
+
+	// Graceful shutdown: the first SIGINT/SIGTERM finishes the sweep in
+	// flight, then skips the rest — the artifacts and the bench report
+	// cover what completed, and dspbench exits 130. A second signal
+	// aborts immediately.
+	var interrupted atomic.Bool
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		<-sigc
+		interrupted.Store(true)
+		fmt.Fprintln(os.Stderr, "dspbench: interrupt: finishing the sweep in flight, skipping the rest (signal again to abort)")
+		<-sigc
+		fmt.Fprintln(os.Stderr, "dspbench: aborted")
+		os.Exit(1)
+	}()
+	ok := func() bool { return !interrupted.Load() }
 
 	o := experiments.DefaultOptions()
 	o.Scale = *scale
@@ -170,24 +197,24 @@ func run(args []string, out *os.File) error {
 		}
 	}
 
-	if all || want["table2"] {
+	if (all || want["table2"]) && ok() {
 		fmt.Fprintln(out, tableII())
 	}
-	if all || want["5a"] {
+	if (all || want["5a"]) && ok() {
 		t, err := experiments.Fig5(experiments.Real, o)
 		if err != nil {
 			return err
 		}
 		emit(t)
 	}
-	if all || want["5b"] {
+	if (all || want["5b"]) && ok() {
 		t, err := experiments.Fig5(experiments.EC2, o)
 		if err != nil {
 			return err
 		}
 		emit(t)
 	}
-	if all || want["6"] {
+	if (all || want["6"]) && ok() {
 		f, err := experiments.Fig6(experiments.Real, o)
 		if err != nil {
 			return err
@@ -196,7 +223,7 @@ func run(args []string, out *os.File) error {
 			emit(t)
 		}
 	}
-	if all || want["7"] {
+	if (all || want["7"]) && ok() {
 		f, err := experiments.Fig6(experiments.EC2, o)
 		if err != nil {
 			return err
@@ -205,7 +232,7 @@ func run(args []string, out *os.File) error {
 			emit(t)
 		}
 	}
-	if all || want["8"] {
+	if (all || want["8"]) && ok() {
 		f, err := experiments.Fig8(o)
 		if err != nil {
 			return err
@@ -213,7 +240,7 @@ func run(args []string, out *os.File) error {
 		emit(f.Makespan)
 		emit(f.Throughput)
 	}
-	if want["resilience"] {
+	if want["resilience"] && ok() {
 		ro := experiments.DefaultResilienceOptions()
 		ro.Options = o
 		ro.Jobs = *resJobs
@@ -236,7 +263,7 @@ func run(args []string, out *os.File) error {
 			emit(t)
 		}
 	}
-	if want["overload"] {
+	if want["overload"] && ok() {
 		oo := experiments.DefaultOverloadOptions()
 		oo.Options = o
 		oo.Jobs = *overJobs
@@ -262,7 +289,7 @@ func run(args []string, out *os.File) error {
 			emit(t)
 		}
 	}
-	if want["attrib"] {
+	if want["attrib"] && ok() {
 		ao := experiments.DefaultAttributionOptions()
 		ao.Options = o
 		if *attribJobs != "" {
@@ -283,7 +310,7 @@ func run(args []string, out *os.File) error {
 			emit(t)
 		}
 	}
-	if *sens != "" {
+	if *sens != "" && ok() {
 		for _, p := range strings.Split(*sens, ",") {
 			param := experiments.SensitivityParam(strings.TrimSpace(strings.ToLower(p)))
 			t, err := experiments.Sensitivity(param, nil, experiments.Real, *sensJobs, o)
@@ -293,12 +320,17 @@ func run(args []string, out *os.File) error {
 			emit(t)
 		}
 	}
-	if *fairness {
+	if *fairness && ok() {
 		t, err := experiments.Fairness(experiments.Real, *sensJobs, o)
 		if err != nil {
 			return err
 		}
 		emit(t)
+	}
+	if *recoverySmoke > 0 && ok() {
+		if err := runRecoverySmoke(out, o.Seed, *recoverySmoke, &interrupted); err != nil {
+			return err
+		}
 	}
 	if agg != nil {
 		snap := agg.Snapshot()
@@ -327,6 +359,11 @@ func run(args []string, out *os.File) error {
 		}
 		fmt.Fprintf(os.Stderr, "bench report written to %s (schema %s, %d sweeps, %.0f ms total)\n",
 			*benchJSON, report.Schema, len(stats.Sweeps), stats.TotalWallMS())
+	}
+	if interrupted.Load() {
+		// The artifacts above cover only the sweeps that completed; the
+		// distinct exit status tells wrappers the report is partial.
+		return fmt.Errorf("sweeps skipped after signal: %w", sim.ErrInterrupted)
 	}
 	return nil
 }

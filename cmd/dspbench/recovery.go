@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"dsp/internal/recover/crashtest"
+)
+
+// runRecoverySmoke exercises the crash-recovery path end to end: it runs
+// the chaos+overload stress cell (experiments.RecoveryCellConfig) to
+// completion for reference artifacts, then kills it at `points` seeded
+// event boundaries, recovers each from the on-disk snapshot/WAL pair and
+// checks the recovered Result, decision audit and blame decomposition
+// byte-for-byte against the reference. CI runs this as the kill-anywhere
+// smoke; the full 200-point sweep lives in internal/recover/crashtest.
+//
+// On success the working directory is removed. On failure it is kept for
+// post-mortem — moved to ./recovery-smoke-failed when possible (CI
+// uploads that path as an artifact), otherwise left in place — so the
+// snapshots, WALs and torn audit files behind the mismatch survive.
+func runRecoverySmoke(out *os.File, seed int64, points int, interrupted *atomic.Bool) (err error) {
+	dir, mkErr := os.MkdirTemp("", "dsp-recovery-smoke-*")
+	if mkErr != nil {
+		return mkErr
+	}
+	defer func() {
+		if err == nil {
+			os.RemoveAll(dir)
+			return
+		}
+		keep := "recovery-smoke-failed"
+		os.RemoveAll(keep)
+		if mvErr := os.Rename(dir, keep); mvErr == nil {
+			fmt.Fprintf(os.Stderr, "dspbench: recovery smoke artifacts kept in %s\n", keep)
+		} else {
+			fmt.Fprintf(os.Stderr, "dspbench: recovery smoke artifacts kept in %s\n", dir)
+		}
+	}()
+
+	base, err := crashtest.RunUninterrupted(crashtest.Options{Dir: filepath.Join(dir, "base"), Seed: seed})
+	if err != nil {
+		return fmt.Errorf("recovery smoke: reference run: %w", err)
+	}
+	fmt.Fprintf(out, "# Recovery smoke (seed %d): %d events, %d snapshots; %d kill points\n",
+		seed, base.Events, base.Snapshots, points)
+
+	rng := rand.New(rand.NewSource(seed))
+	resumes := 0
+	for i := 0; i < points && !interrupted.Load(); i++ {
+		killN := 1 + rng.Intn(base.Events-1)
+		got, kerr := crashtest.RunKilledAndRecover(crashtest.Options{Dir: filepath.Join(dir, fmt.Sprintf("kill-%d", i)), Seed: seed}, killN)
+		if kerr != nil {
+			return fmt.Errorf("recovery smoke: kill at event %d: %w", killN, kerr)
+		}
+		switch {
+		case !bytes.Equal(got.Result, base.Result):
+			return fmt.Errorf("recovery smoke: kill at event %d: recovered Result differs from the uninterrupted run", killN)
+		case !bytes.Equal(got.Audit, base.Audit):
+			return fmt.Errorf("recovery smoke: kill at event %d: recovered audit differs (%d vs %d bytes)", killN, len(got.Audit), len(base.Audit))
+		case !bytes.Equal(got.Blame(), base.Blame()):
+			return fmt.Errorf("recovery smoke: kill at event %d: blame decomposition differs", killN)
+		}
+		mode := "fresh restart"
+		if got.Resumed {
+			mode = fmt.Sprintf("resumed, %d decisions replayed", got.Replayed)
+			resumes++
+		}
+		fmt.Fprintf(out, "kill@%-7d %-35s artifacts identical\n", killN, mode)
+	}
+	fmt.Fprintf(out, "recovery smoke passed: %d/%d points byte-identical (%d snapshot resumes)\n",
+		points, points, resumes)
+	return nil
+}

@@ -22,6 +22,21 @@
 //	                       (including the dsp_phase_seconds quantiles);
 //	                       also prints a latency-attribution summary
 //
+// Durability flags (see DESIGN.md, "Durability"):
+//
+//	-checkpoint-dir DIR    persist crash-recovery state under DIR: a
+//	                       checksummed engine snapshot every K periods
+//	                       plus a write-ahead log of decisions in between
+//	-checkpoint-every K    snapshot cadence in scheduling periods (default 5)
+//	-resume                resume from the newest snapshot in -checkpoint-dir
+//	                       instead of starting fresh (flags must match the
+//	                       interrupted run; the world fingerprint is checked)
+//
+// A first SIGINT/SIGTERM stops the run at the next event boundary: the
+// sink artifacts (audit, trace, series) are flushed, a final snapshot is
+// written when -checkpoint-dir is set, and dspsim exits with status 130.
+// A second signal aborts immediately.
+//
 // Resilience flags (see DESIGN.md, "Resilience subsystem"):
 //
 //	-faults F              fraction of flaky nodes (0 disables; stochastic
@@ -48,9 +63,15 @@
 package main
 
 import (
+	"bytes"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
 
 	"dsp/internal/attrib"
 	"dsp/internal/chaos"
@@ -58,6 +79,7 @@ import (
 	"dsp/internal/experiments"
 	"dsp/internal/obs"
 	"dsp/internal/prof"
+	"dsp/internal/recover"
 	"dsp/internal/sched"
 	"dsp/internal/sim"
 	"dsp/internal/trace"
@@ -67,6 +89,9 @@ import (
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "dspsim:", err)
+		if errors.Is(err, sim.ErrInterrupted) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 }
@@ -96,8 +121,14 @@ func run(args []string) error {
 	solverBudget := fs.Int("solver-budget", 0, "branch-and-bound node budget per exact ILP solve (0 = default)")
 	admission := fs.Int("admission", 0, "pending-task backlog bound for admission control (0 disables)")
 	auditInv := fs.Bool("audit-invariants", false, "re-check engine invariants every scheduling boundary")
+	checkpointDir := fs.String("checkpoint-dir", "", "persist crash-recovery snapshots and the decision WAL under DIR")
+	checkpointEvery := fs.Int("checkpoint-every", 5, "snapshot cadence in scheduling periods")
+	resume := fs.Bool("resume", false, "resume from the newest snapshot in -checkpoint-dir")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *resume && *checkpointDir == "" {
+		return fmt.Errorf("-resume requires -checkpoint-dir")
 	}
 
 	if addr, err := obs.StartPprof(*pprofAddr); err != nil {
@@ -146,6 +177,31 @@ func run(args []string) error {
 		return err
 	}
 
+	// Resumed runs load the snapshot before the sink opens: the audit
+	// file must be rewound to the byte offset the snapshot vouches for,
+	// and the retained prefix rehydrates the attribution state below.
+	var mgr *recover.Manager
+	var st *sim.EngineState
+	if *resume {
+		mgr, st, err = recover.Resume(*checkpointDir, *checkpointEvery)
+		if err != nil {
+			return fmt.Errorf("resume from %s: %w", *checkpointDir, err)
+		}
+	} else if *checkpointDir != "" {
+		mgr, err = recover.NewManager(*checkpointDir, *checkpointEvery)
+		if err != nil {
+			return err
+		}
+	}
+	var auditResume int64
+	var auditPrefix []byte
+	if st != nil && *auditPath != "" && st.AuditOffset > 0 {
+		auditResume = st.AuditOffset
+		if auditPrefix, err = readPrefix(*auditPath, auditResume); err != nil {
+			return fmt.Errorf("resume audit %s: %w", *auditPath, err)
+		}
+	}
+
 	// The phase timer feeds the -phases table and, via the sink, the
 	// telemetry server's dsp_phase_* metrics while the run is live.
 	var tm *prof.Timer
@@ -153,12 +209,13 @@ func run(args []string) error {
 		tm = prof.New()
 	}
 	sink, err := obs.Open(obs.Options{
-		TracePath:  *tracePath,
-		AuditPath:  *auditPath,
-		SeriesPath: *seriesPath,
-		Counters:   *counters,
-		ListenAddr: *listenAddr,
-		Prof:       tm,
+		TracePath:         *tracePath,
+		AuditPath:         *auditPath,
+		AuditResumeOffset: auditResume,
+		SeriesPath:        *seriesPath,
+		Counters:          *counters,
+		ListenAddr:        *listenAddr,
+		Prof:              tm,
 	})
 	if err != nil {
 		return err
@@ -203,13 +260,80 @@ func run(args []string) error {
 		}
 		cfg.Faults = plan
 	}
-	if sink.Enabled() {
+	// Graceful shutdown: the first SIGINT/SIGTERM stops the event pump at
+	// the next event boundary (the durability sink, when attached, writes
+	// a final snapshot there); a second signal aborts immediately.
+	var interrupt atomic.Bool
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		<-sigc
+		interrupt.Store(true)
+		fmt.Fprintln(os.Stderr, "dspsim: interrupt: stopping at the next event boundary (signal again to abort)")
+		<-sigc
+		fmt.Fprintln(os.Stderr, "dspsim: aborted")
+		os.Exit(1)
+	}()
+	cfg.Interrupt = &interrupt
+
+	switch {
+	case mgr != nil && sink.Enabled():
+		if sink.Audit != nil {
+			mgr.AttachAudit(sink.Audit)
+		}
+		mgr.Peer = sink
+		cfg.Observer = sim.Observers{sink, mgr}
+	case mgr != nil:
+		cfg.Observer = mgr
+	case sink.Enabled():
 		cfg.Observer = sink
 	}
-	res, err := sim.Run(cfg, w)
+	if mgr != nil {
+		cfg.Durability = mgr
+	}
+
+	var e *sim.Engine
+	if st != nil {
+		e, err = sim.PrepareResume(cfg, w, st)
+	} else {
+		e, err = sim.Prepare(cfg, w)
+	}
 	if err != nil {
 		sink.Close()
 		return err
+	}
+	if st != nil {
+		if sink.Audit != nil && auditPrefix != nil {
+			if err := sink.Audit.Rehydrate(bytes.NewReader(auditPrefix), e.FindTask); err != nil {
+				sink.Close()
+				return err
+			}
+		}
+		if cfg.Observer != nil {
+			cfg.Observer.RecoveryStarted(st.Now, st.PeriodIndex)
+		}
+		fmt.Fprintf(os.Stderr, "resuming from snapshot at t=%v (period %d), verifying %d logged decisions\n",
+			st.Now, st.PeriodIndex, mgr.ReplayTarget())
+	}
+	res, err := e.Execute()
+	if err != nil {
+		if mgr != nil {
+			if cerr := mgr.Close(); cerr != nil && errors.Is(err, sim.ErrInterrupted) {
+				err = fmt.Errorf("%w (and closing the checkpoint failed: %v)", err, cerr)
+			}
+		}
+		sink.Close()
+		if errors.Is(err, sim.ErrInterrupted) && *checkpointDir != "" {
+			fmt.Fprintf(os.Stderr, "final snapshot written; rerun with -resume -checkpoint-dir %s to continue\n", *checkpointDir)
+		}
+		return err
+	}
+	if mgr != nil {
+		if err := mgr.Close(); err != nil {
+			sink.Close()
+			return err
+		}
 	}
 	if err := sink.Close(); err != nil {
 		return err
@@ -280,4 +404,20 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// readPrefix returns the first n bytes of the file — the audit prefix
+// the resumed run's snapshot vouches for, used to rehydrate the
+// attribution state before the roll-forward appends to it.
+func readPrefix(path string, n int64) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	b := make([]byte, n)
+	if _, err := io.ReadFull(f, b); err != nil {
+		return nil, fmt.Errorf("file shorter than checkpoint offset %d: %w", n, err)
+	}
+	return b, nil
 }

@@ -15,6 +15,15 @@ import (
 	"dsp/internal/units"
 )
 
+// shortCheckpoint is the default checkpoint policy with the interval
+// shrunk below the 1 s epoch some fixtures use (config validation
+// rejects Interval >= Epoch).
+func shortCheckpoint() cluster.CheckpointPolicy {
+	cp := cluster.DefaultCheckpoint()
+	cp.Interval = 500 * units.Millisecond
+	return cp
+}
+
 // TestBlameSumsToCompletionUnderChaosOverload is the acceptance bar:
 // a seeded RealCluster(50) run under the full chaos + overload stack —
 // crashes, stragglers, transient faults, retries with backoff,
@@ -119,7 +128,7 @@ func TestRecorderAggregateMatchesJobs(t *testing.T) {
 		Cluster:    cluster.RealCluster(2),
 		Scheduler:  sched.NewDSP(),
 		Preemptor:  preempt.NewDSP(),
-		Checkpoint: cluster.DefaultCheckpoint(),
+		Checkpoint: shortCheckpoint(),
 		Period:     units.Minute,
 		Epoch:      units.Second,
 		Observer:   rec,

@@ -6,6 +6,8 @@ package eventq
 
 import (
 	"container/heap"
+	"sort"
+	"sync/atomic"
 
 	"dsp/internal/units"
 )
@@ -22,10 +24,33 @@ type Func func(now units.Time)
 // Fire calls f.
 func (f Func) Fire(now units.Time) { f(now) }
 
+// Tag is an optional serializable descriptor attached to a scheduled
+// event. Events are closures and cannot be persisted; a Tag records, in
+// caller-defined terms (a kind plus up to two integer operands and one
+// float), enough to reconstruct the closure after a crash. The zero Tag
+// means "untagged". Tags live inline in the queue's pooled items, so
+// tagging costs no allocation.
+type Tag struct {
+	// Kind is a caller-defined event-type discriminator (0 = untagged).
+	Kind uint8
+	// A and B are kind-specific integer operands (job/task/node indices).
+	A, B int32
+	// F is a kind-specific float operand (e.g. a straggler speed factor).
+	F float64
+}
+
+// PendingEvent is one scheduled-but-unfired event as enumerated by
+// Pending: its absolute fire time and its Tag.
+type PendingEvent struct {
+	At  units.Time
+	Tag Tag
+}
+
 type item struct {
 	at  units.Time
 	seq uint64
 	ev  Event
+	tag Tag
 	// index in heap, -1 if removed
 	index int
 	// gen counts reuses of this item through the queue's free list. A
@@ -83,10 +108,22 @@ type Queue struct {
 	// free recycles fired and cancelled items so a steady-state simulation
 	// loop (schedule → fire → schedule) allocates nothing per event.
 	free []*item
+	// stop, when set, is polled between events by Run so a signal handler
+	// can interrupt a long drain at a clean inter-event boundary.
+	stop *atomic.Bool
 }
 
 // New returns an empty queue with the clock at zero.
 func New() *Queue { return &Queue{} }
+
+// NewAt returns an empty queue with the clock pre-advanced to now. Used
+// when restoring a simulation from a snapshot: events re-armed afterwards
+// keep their original absolute times instead of being clamped to zero.
+func NewAt(now units.Time) *Queue { return &Queue{now: now} }
+
+// SetStop registers an external stop flag. When the flag is set, Run
+// returns after the in-flight event completes instead of draining.
+func (q *Queue) SetStop(f *atomic.Bool) { q.stop = f }
 
 // Now returns the current simulated time.
 func (q *Queue) Now() units.Time { return q.now }
@@ -96,8 +133,15 @@ func (q *Queue) Len() int { return len(q.h) }
 
 // At schedules ev to fire at absolute time at. Scheduling in the past
 // (before the current clock) clamps to the current clock so causality is
-// preserved.
+// preserved. The event is untagged (zero Tag).
 func (q *Queue) At(at units.Time, ev Event) Handle {
+	return q.AtTag(at, Tag{}, ev)
+}
+
+// AtTag schedules ev at absolute time at with a serializable tag
+// describing how to reconstruct it (see Tag). Past times clamp to the
+// current clock.
+func (q *Queue) AtTag(at units.Time, tag Tag, ev Event) Handle {
 	if at < q.now {
 		at = q.now
 	}
@@ -106,9 +150,9 @@ func (q *Queue) At(at units.Time, ev Event) Handle {
 		it = q.free[n-1]
 		q.free[n-1] = nil
 		q.free = q.free[:n-1]
-		it.at, it.seq, it.ev = at, q.seq, ev
+		it.at, it.seq, it.ev, it.tag = at, q.seq, ev, tag
 	} else {
-		it = &item{at: at, seq: q.seq, ev: ev}
+		it = &item{at: at, seq: q.seq, ev: ev, tag: tag}
 	}
 	q.seq++
 	heap.Push(&q.h, it)
@@ -117,7 +161,33 @@ func (q *Queue) At(at units.Time, ev Event) Handle {
 
 // After schedules ev to fire d after the current clock.
 func (q *Queue) After(d units.Time, ev Event) Handle {
-	return q.At(q.now+d, ev)
+	return q.AtTag(q.now+d, Tag{}, ev)
+}
+
+// AfterTag schedules a tagged event d after the current clock.
+func (q *Queue) AfterTag(d units.Time, tag Tag, ev Event) Handle {
+	return q.AtTag(q.now+d, tag, ev)
+}
+
+// Pending returns a snapshot of every scheduled event's (time, tag)
+// pair, ordered exactly as the events would fire: by time, then by
+// scheduling order. Re-arming events from this list in order on a fresh
+// queue reproduces the original firing sequence, including FIFO
+// tie-breaks at equal timestamps.
+func (q *Queue) Pending() []PendingEvent {
+	idx := make([]*item, len(q.h))
+	copy(idx, q.h)
+	sort.Slice(idx, func(i, j int) bool {
+		if idx[i].at != idx[j].at {
+			return idx[i].at < idx[j].at
+		}
+		return idx[i].seq < idx[j].seq
+	})
+	out := make([]PendingEvent, len(idx))
+	for i, it := range idx {
+		out[i] = PendingEvent{At: it.at, Tag: it.tag}
+	}
+	return out
 }
 
 // Cancel removes a scheduled event; firing an already-fired or cancelled
@@ -180,6 +250,9 @@ func (q *Queue) Run(maxEvents int) (fired int, drained bool) {
 	for q.Step() {
 		fired++
 		if maxEvents > 0 && fired >= maxEvents {
+			return fired, q.Len() == 0
+		}
+		if q.stop != nil && q.stop.Load() {
 			return fired, q.Len() == 0
 		}
 	}

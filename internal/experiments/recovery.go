@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dsp/internal/chaos"
+	"dsp/internal/cluster"
+	"dsp/internal/preempt"
+	"dsp/internal/sched"
+	"dsp/internal/sim"
+	"dsp/internal/trace"
+	"dsp/internal/units"
+)
+
+// RecoveryCellConfig assembles the stress cell the crash-tolerance
+// harness (internal/recover/crashtest) kills and resumes: DSP scheduling
+// and preemption on the platform's cluster with every optional subsystem
+// that owns recoverable state switched on at once — chaos node faults
+// (10% flaky nodes) with the full mitigation stack (speculative
+// execution, health blacklisting, risk-averse placement, retry backoff),
+// plus an overloaded arrival rate with the admission/shedding ladder —
+// so a snapshot taken at any period exercises every serialized
+// component.
+//
+// Both the config and the workload are rebuilt from scratch on every
+// call: simulation mutates job DAGs and scheduler state in place, so a
+// resumed run must regenerate them identically rather than share them
+// (sim's world fingerprint rejects any drift). Determinism in (platform,
+// jobs, seed) is the contract the harness's byte-identity checks rest
+// on.
+func RecoveryCellConfig(p Platform, jobs int, seed int64) (sim.Config, *trace.Workload, error) {
+	d := sched.NewDSP()
+	d.RiskAversion = 0.5
+	nodes := p.Cluster().Len()
+	spec := chaos.DefaultSpec(nodes, seed)
+	spec.FaultyFraction = 0.10
+	plan, err := spec.Plan()
+	if err != nil {
+		return sim.Config{}, nil, fmt.Errorf("experiments: recovery cell fault plan: %w", err)
+	}
+	cfg := sim.Config{
+		Cluster:    p.Cluster(),
+		Scheduler:  d,
+		Preemptor:  preempt.NewDSP(),
+		Checkpoint: cluster.DefaultCheckpoint(),
+		// A short period keeps snapshot boundaries frequent relative to
+		// the cell's makespan, so kill points land in every part of the
+		// snapshot/WAL cycle.
+		Period:             30 * units.Second,
+		Epoch:              10 * units.Second,
+		Faults:             plan,
+		Speculation:        &sim.Speculation{},
+		BlacklistThreshold: 2,
+		RetryBackoff:       5 * units.Second,
+		Admission: &sim.Admission{
+			MaxPendingTasks: 600,
+			ShedInfeasible:  true,
+			Margin:          1.5,
+		},
+	}
+	wspec := trace.DefaultSpec(jobs, seed+int64(jobs)*7919)
+	wspec.TaskScale = 0.03
+	wspec.MeanTaskSizeMI /= 0.03
+	// Double the nominal 3.5 jobs/min so queues stay deep and the
+	// admission ladder actually sheds.
+	wspec.ArrivalRateMin = 7
+	wspec.ArrivalRateMax = 7
+	wspec.DeadlineSlack = 1.3
+	w, err := trace.Generate(wspec)
+	if err != nil {
+		return sim.Config{}, nil, fmt.Errorf("experiments: recovery cell workload: %w", err)
+	}
+	return cfg, w, nil
+}

@@ -8,6 +8,7 @@ import (
 
 	"dsp/internal/attrib"
 	"dsp/internal/cluster"
+	"dsp/internal/dag"
 	"dsp/internal/sim"
 	"dsp/internal/units"
 )
@@ -24,20 +25,48 @@ import (
 type AuditWriter struct {
 	sim.NopObserver
 	w   *bufio.Writer
+	cw  *countingWriter
 	rec *attrib.Recorder
 	// Verdicts tallies PreemptionConsidered lines by verdict string, a
 	// convenience for cross-checking against sim.Result totals.
 	Verdicts map[string]int
 }
 
+// countingWriter tracks how many bytes have reached the underlying
+// stream, so Offset can report the audit position for crash-recovery
+// snapshots.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
 // NewAuditWriter wraps w in a buffered JSONL emitter; call Flush when
 // the run finishes.
 func NewAuditWriter(w io.Writer) *AuditWriter {
-	a := &AuditWriter{w: bufio.NewWriter(w), Verdicts: make(map[string]int)}
+	cw := &countingWriter{w: w}
+	a := &AuditWriter{w: bufio.NewWriter(cw), cw: cw, Verdicts: make(map[string]int)}
 	a.rec = attrib.NewRecorder()
 	a.rec.OnJob(a.writeJobBlame)
 	return a
 }
+
+// Offset returns the logical byte offset of the audit stream: bytes
+// written through plus bytes still buffered. With SetBaseOffset it is
+// the absolute position in a resumed audit file; crash-recovery
+// snapshots store it so resume can truncate the file to exactly the
+// prefix the snapshot saw.
+func (a *AuditWriter) Offset() int64 { return a.cw.n + int64(a.w.Buffered()) }
+
+// SetBaseOffset declares that the underlying writer is already
+// positioned n bytes into the stream (a resumed audit file opened at
+// its truncation point), so Offset reports absolute file positions.
+func (a *AuditWriter) SetBaseOffset(n int64) { a.cw.n = n }
 
 // jstr renders a free-form string as a JSON string literal. %q is not a
 // JSON escaper — it emits Go escapes like \a and \x07 that json.Valid
@@ -195,6 +224,95 @@ func (a *AuditWriter) TaskSpanClosed(s sim.TaskSpan) {
 // the job and writeJobBlame (its OnJob callback) emits the line.
 func (a *AuditWriter) JobCompleted(now units.Time, j *sim.JobState) {
 	a.rec.JobCompleted(now, j)
+}
+
+// SnapshotTaken implements sim.Observer: one line per crash-recovery
+// snapshot. The engine emits the event before the durability sink reads
+// Offset, so the line lands inside the snapshot's audit prefix and a
+// resumed run's audit stays byte-identical to an uninterrupted one.
+// RecoveryStarted and Replayed are deliberately NOT audited: they only
+// happen on resumed processes, and auditing them would make a recovered
+// run's log differ from the uninterrupted baseline.
+func (a *AuditWriter) SnapshotTaken(now units.Time, period int) {
+	fmt.Fprintf(a.w, "{\"t\":%d,\"ev\":\"snapshot\",\"period\":%d}\n", int64(now), period)
+}
+
+// spanKindByName inverts sim.SpanKind.String for audit rehydration.
+var spanKindByName = map[string]sim.SpanKind{
+	"pending":      sim.SpanPending,
+	"queued":       sim.SpanQueued,
+	"suspend-wait": sim.SpanSuspendWait,
+	"backoff":      sim.SpanBackoff,
+	"blocked":      sim.SpanBlocked,
+	"overhead":     sim.SpanOverhead,
+	"service":      sim.SpanService,
+	"lost":         sim.SpanLost,
+}
+
+// spanCauseByName inverts sim.SpanCause.String for audit rehydration.
+var spanCauseByName = map[string]sim.SpanCause{
+	"none":       sim.CauseNone,
+	"preemption": sim.CausePreemption,
+	"task-fault": sim.CauseTaskFault,
+	"crash":      sim.CauseCrash,
+}
+
+// Rehydrate replays the span lines of an existing audit prefix into the
+// internal attribution recorder, so jobs that complete after a crash
+// resume still get correct "job-blame" lines. resolve maps a span's
+// task identity to its live state in the resumed engine; returning nil
+// skips the span (jobs already settled before the snapshot were fully
+// attributed in the prefix and must not be replayed).
+func (a *AuditWriter) Rehydrate(r io.Reader, resolve func(job dag.JobID, task dag.TaskID) *sim.TaskState) error {
+	type spanLine struct {
+		Ev    string `json:"ev"`
+		Task  string `json:"task"`
+		Kind  string `json:"kind"`
+		Cause string `json:"cause"`
+		Node  int    `json:"node"`
+		Start int64  `json:"start"`
+		End   int64  `json:"end"`
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024) // job-blame lines can be long
+	for sc.Scan() {
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var line spanLine
+		if err := json.Unmarshal(b, &line); err != nil {
+			return fmt.Errorf("obs: rehydrate: bad audit line: %w", err)
+		}
+		if line.Ev != "span" {
+			continue
+		}
+		var job, task int
+		if _, err := fmt.Sscanf(line.Task, "J%d.T%d", &job, &task); err != nil {
+			return fmt.Errorf("obs: rehydrate: bad task key %q: %w", line.Task, err)
+		}
+		kind, ok := spanKindByName[line.Kind]
+		if !ok {
+			return fmt.Errorf("obs: rehydrate: unknown span kind %q", line.Kind)
+		}
+		cause, ok := spanCauseByName[line.Cause]
+		if !ok {
+			return fmt.Errorf("obs: rehydrate: unknown span cause %q", line.Cause)
+		}
+		ts := resolve(dag.JobID(job), dag.TaskID(task))
+		if ts == nil {
+			continue
+		}
+		a.rec.TaskSpanClosed(sim.TaskSpan{
+			Task:  ts,
+			Kind:  kind,
+			Cause: cause,
+			Node:  cluster.NodeID(line.Node),
+			Start: units.Time(line.Start),
+			End:   units.Time(line.End),
+		})
+	}
+	return sc.Err()
 }
 
 // auditStep mirrors attrib.Step for the JSONL encoding.

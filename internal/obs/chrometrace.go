@@ -243,6 +243,36 @@ func (tb *TraceBuilder) NodeRecovered(now units.Time, node cluster.NodeID) {
 	})
 }
 
+// SnapshotTaken implements sim.Observer: a global marker per periodic
+// crash-recovery snapshot.
+func (tb *TraceBuilder) SnapshotTaken(now units.Time, period int) {
+	tb.emit(traceEvent{
+		Name: "snapshot", Cat: "durability", Ph: "i",
+		TS: int64(now + tb.offset), PID: enginePID, TID: 0, S: "g",
+		Args: map[string]any{"period": period},
+	})
+}
+
+// RecoveryStarted implements sim.Observer: a global marker where a
+// resumed run's roll-forward began.
+func (tb *TraceBuilder) RecoveryStarted(now units.Time, period int) {
+	tb.emit(traceEvent{
+		Name: "recovery", Cat: "durability", Ph: "i",
+		TS: int64(now + tb.offset), PID: enginePID, TID: 0, S: "g",
+		Args: map[string]any{"period": period},
+	})
+}
+
+// Replayed implements sim.Observer: a global marker where a resumed run
+// finished verifying its write-ahead log and reached the crash point.
+func (tb *TraceBuilder) Replayed(now units.Time, records int) {
+	tb.emit(traceEvent{
+		Name: "replayed", Cat: "durability", Ph: "i",
+		TS: int64(now + tb.offset), PID: enginePID, TID: 0, S: "g",
+		Args: map[string]any{"records": records},
+	})
+}
+
 // TaskRetried implements sim.Observer: a transient fault ends the
 // attempt's span (a crash eviction already closed it via TaskEvicted).
 func (tb *TraceBuilder) TaskRetried(now units.Time, t *sim.TaskState, node cluster.NodeID, attempt int, reason sim.RetryReason) {

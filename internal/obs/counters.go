@@ -50,6 +50,12 @@ type Counters struct {
 	SolverDegradations  atomic.Int64
 	JobSheds            atomic.Int64
 	InvariantViolations atomic.Int64
+
+	// Durability tallies: periodic crash-recovery snapshots, resumed-run
+	// recoveries, and completed write-ahead-log replays.
+	Snapshots  atomic.Int64
+	Recoveries atomic.Int64
+	Replays    atomic.Int64
 }
 
 // NewCounters returns a zeroed registry.
@@ -160,6 +166,21 @@ func (c *Counters) InvariantViolated(units.Time, sim.InvariantViolation) {
 	c.InvariantViolations.Add(1)
 }
 
+// SnapshotTaken implements sim.Observer.
+func (c *Counters) SnapshotTaken(units.Time, int) {
+	c.Snapshots.Add(1)
+}
+
+// RecoveryStarted implements sim.Observer.
+func (c *Counters) RecoveryStarted(units.Time, int) {
+	c.Recoveries.Add(1)
+}
+
+// Replayed implements sim.Observer.
+func (c *Counters) Replayed(units.Time, int) {
+	c.Replays.Add(1)
+}
+
 // Counter is one named tally in a snapshot.
 type Counter struct {
 	Name  string
@@ -192,6 +213,9 @@ func (c *Counters) Snapshot() []Counter {
 		{"solver-degradations", c.SolverDegradations.Load()},
 		{"jobs-shed", c.JobSheds.Load()},
 		{"invariant-violations", c.InvariantViolations.Load()},
+		{"snapshots-taken", c.Snapshots.Load()},
+		{"recoveries-started", c.Recoveries.Load()},
+		{"wal-replays", c.Replays.Load()},
 	}
 }
 

@@ -68,6 +68,15 @@ type Options struct {
 	// AuditPath receives the JSONL decision audit, streamed during the
 	// run and flushed at Close.
 	AuditPath string
+	// AuditResumeOffset, when positive, reopens AuditPath for a
+	// crash-resumed run instead of creating it fresh: the file is
+	// truncated to this byte offset (the position the recovery snapshot
+	// recorded — anything past it was written after the snapshot and is
+	// re-emitted by the deterministic roll-forward) and appended to from
+	// there, so the final file is byte-identical to an uninterrupted
+	// run's. Call Sink.Audit.Rehydrate with the retained prefix to
+	// rebuild the attribution state for jobs still in flight.
+	AuditResumeOffset int64
 	// SeriesPath receives the per-epoch time-series CSV at Close.
 	SeriesPath string
 	// Counters attaches the atomic counter registry.
@@ -119,13 +128,29 @@ func Open(o Options) (*Sink, error) {
 		s.Observers = append(s.Observers, s.Trace)
 	}
 	if o.AuditPath != "" {
-		f, err := os.Create(o.AuditPath)
+		var f *os.File
+		var err error
+		if o.AuditResumeOffset > 0 {
+			f, err = os.OpenFile(o.AuditPath, os.O_RDWR, 0o644)
+			if err == nil {
+				if terr := f.Truncate(o.AuditResumeOffset); terr != nil {
+					err = terr
+				} else if _, serr := f.Seek(o.AuditResumeOffset, io.SeekStart); serr != nil {
+					err = serr
+				}
+			}
+		} else {
+			f, err = os.Create(o.AuditPath)
+		}
 		if err != nil {
 			s.closeFiles()
 			return nil, fmt.Errorf("obs: audit: %w", err)
 		}
 		s.auditOut = f
 		s.Audit = NewAuditWriter(f)
+		if o.AuditResumeOffset > 0 {
+			s.Audit.SetBaseOffset(o.AuditResumeOffset)
+		}
 		s.Observers = append(s.Observers, s.Audit)
 	}
 	if o.ListenAddr != "" {

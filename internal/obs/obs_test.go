@@ -22,6 +22,15 @@ import (
 
 var update = flag.Bool("update", false, "rewrite golden files")
 
+// testCheckpoint is the default checkpoint policy with the interval
+// shrunk below the 1 s epoch these fixtures use, satisfying the
+// config-time live-lock check (Interval must be < Epoch).
+func testCheckpoint() cluster.CheckpointPolicy {
+	cp := cluster.DefaultCheckpoint()
+	cp.Interval = 500 * units.Millisecond
+	return cp
+}
+
 // twoJobSim runs a small deterministic workload — two generated jobs on
 // a two-node cluster under DSP scheduling and preemption — with the
 // given observer attached. The config is tight enough (tiny cluster,
@@ -33,7 +42,7 @@ func twoJobSim(t *testing.T, o sim.Observer) *sim.Result {
 		Cluster:    cluster.RealCluster(2),
 		Scheduler:  sched.NewDSP(),
 		Preemptor:  preempt.NewDSP(),
-		Checkpoint: cluster.DefaultCheckpoint(),
+		Checkpoint: testCheckpoint(),
 		Period:     units.Minute,
 		Epoch:      units.Second,
 		Observer:   o,
@@ -275,6 +284,7 @@ func TestVerdictsMatchResult(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			cp.Interval = 500 * units.Millisecond // below the 1 s epoch
 			ctr := NewCounters()
 			var buf bytes.Buffer
 			aw := NewAuditWriter(&buf)
@@ -482,7 +492,7 @@ func faultedSim(t *testing.T, o sim.Observer) *sim.Result {
 		Cluster:    cluster.RealCluster(2),
 		Scheduler:  sched.NewDSP(),
 		Preemptor:  preempt.NewDSP(),
-		Checkpoint: cluster.DefaultCheckpoint(),
+		Checkpoint: testCheckpoint(),
 		Period:     units.Minute,
 		Epoch:      units.Second,
 		Faults: &sim.FaultPlan{

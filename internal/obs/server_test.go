@@ -228,7 +228,7 @@ func TestServerConcurrentScrapeDuringRun(t *testing.T) {
 		Cluster:    cluster.RealCluster(2),
 		Scheduler:  sched.NewDSP(),
 		Preemptor:  preempt.NewDSP(),
-		Checkpoint: cluster.DefaultCheckpoint(),
+		Checkpoint: testCheckpoint(),
 		Period:     units.Minute,
 		Epoch:      units.Second,
 		Observer:   sim.Observers{ctr, srv},

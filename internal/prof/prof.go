@@ -93,6 +93,10 @@ const (
 	PhaseSpans
 	// PhaseFinalize: end-of-run accounting checks and derived metrics.
 	PhaseFinalize
+	// PhaseSnapshot: the durability hook at the end of each scheduling
+	// period — crash-recovery state capture, snapshot encoding and write,
+	// and write-ahead-log rotation/fsync (see internal/recover).
+	PhaseSnapshot
 	// PhaseCellOther: a sweep cell's residue outside sim.Run — workload
 	// generation, scheduler construction, result marshalling. The sweep
 	// runner opens this as the root phase so per-cell phase totals tile
@@ -125,6 +129,7 @@ var phaseNames = [NumPhases]string{
 	PhaseAudit:        "audit",
 	PhaseSpans:        "spans",
 	PhaseFinalize:     "finalize",
+	PhaseSnapshot:     "snapshot",
 	PhaseCellOther:    "cell-other",
 }
 

@@ -1,0 +1,112 @@
+package recover
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"strings"
+)
+
+// WAL line format: "<crc32 hex, 8 digits> <payload>\n". The CRC covers
+// the payload only; a torn final line (no newline, or a partial/garbled
+// record from a mid-write kill) fails its check and is dropped. A bad
+// record with valid records after it, by contrast, is corruption — a
+// kill cannot produce that — and is rejected with a typed error.
+
+// appendWALRecord formats one record line.
+func appendWALRecord(dst []byte, payload string) []byte {
+	dst = fmt.Appendf(dst, "%08x %s\n", crc32.ChecksumIEEE([]byte(payload)), payload)
+	return dst
+}
+
+// parseWALLine validates one complete line (without the trailing
+// newline) and returns its payload.
+func parseWALLine(line []byte) (string, bool) {
+	if len(line) < 9 || line[8] != ' ' {
+		return "", false
+	}
+	var sum uint32
+	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &sum); err != nil {
+		return "", false
+	}
+	payload := line[9:]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return "", false
+	}
+	if bytes.IndexByte(payload, '\n') >= 0 {
+		return "", false
+	}
+	return string(payload), true
+}
+
+// readWAL parses a WAL file into its records and reports the byte
+// length of the valid prefix (the offset a resumed writer truncates to
+// before appending). A missing file is an empty log. The final line is
+// allowed to be torn — dropped silently — but an invalid line followed
+// by a valid one means corruption and yields a FormatError.
+func readWAL(path string) (records []string, validLen int64, err error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("recover: read wal: %w", err)
+	}
+	off := int64(0)
+	badAt := int64(-1) // offset of first invalid line, -1 if none
+	for len(b) > 0 {
+		nl := bytes.IndexByte(b, '\n')
+		if nl < 0 {
+			// No terminator: a torn tail. Valid only as the very last
+			// thing in the file, which it is by construction here.
+			if badAt < 0 {
+				badAt = off
+			}
+			break
+		}
+		payload, ok := parseWALLine(b[:nl])
+		if !ok {
+			if badAt >= 0 {
+				// Two separate bad lines cannot come from one torn write.
+				return nil, 0, &FormatError{Path: path, Msg: fmt.Sprintf("corrupt record at offset %d", badAt)}
+			}
+			badAt = off
+		} else {
+			if badAt >= 0 {
+				// A valid record after an invalid one: the invalid line was
+				// not a torn tail but mid-file corruption.
+				return nil, 0, &FormatError{Path: path, Msg: fmt.Sprintf("corrupt record at offset %d followed by valid records", badAt)}
+			}
+			records = append(records, payload)
+			validLen = off + int64(nl) + 1
+		}
+		off += int64(nl) + 1
+		b = b[nl+1:]
+	}
+	return records, validLen, nil
+}
+
+// walName and snapName build the generation-numbered file names.
+func walName(seq int) string  { return fmt.Sprintf("wal-%08d.log", seq) }
+func snapName(seq int) string { return fmt.Sprintf("snapshot-%08d.snap", seq) }
+
+// seqOfSnap extracts the generation number from a snapshot file name
+// (-1 when the name does not match).
+func seqOfSnap(name string) int {
+	if !strings.HasPrefix(name, "snapshot-") || !strings.HasSuffix(name, ".snap") {
+		return -1
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, "snapshot-"), ".snap")
+	if len(mid) != 8 {
+		return -1
+	}
+	seq := 0
+	for _, c := range mid {
+		if c < '0' || c > '9' {
+			return -1
+		}
+		seq = seq*10 + int(c-'0')
+	}
+	return seq
+}

@@ -1,0 +1,149 @@
+package recover
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeWALFile(t *testing.T, payloads ...string) string {
+	t.Helper()
+	var b []byte
+	for _, p := range payloads {
+		b = appendWALRecord(b, p)
+	}
+	path := filepath.Join(t.TempDir(), walName(0))
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	want := []string{
+		"start t=1000 task=J0.T1 node=0",
+		"preempt t=2000 victim=J0.T1 starter=J1.T0 node=0",
+		"complete t=3000 task=J1.T0 node=0",
+	}
+	path := writeWALFile(t, want...)
+	records, validLen, err := readWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != len(want) {
+		t.Fatalf("got %d records, want %d", len(records), len(want))
+	}
+	for i := range want {
+		if records[i] != want[i] {
+			t.Errorf("record %d = %q, want %q", i, records[i], want[i])
+		}
+	}
+	fi, _ := os.Stat(path)
+	if validLen != fi.Size() {
+		t.Errorf("validLen = %d, want full file %d", validLen, fi.Size())
+	}
+}
+
+func TestWALMissingFileIsEmpty(t *testing.T) {
+	records, validLen, err := readWAL(filepath.Join(t.TempDir(), walName(3)))
+	if err != nil || len(records) != 0 || validLen != 0 {
+		t.Errorf("missing file: records=%v validLen=%d err=%v, want empty", records, validLen, err)
+	}
+}
+
+// TestWALTornTail truncates a valid log at every possible byte length
+// and expects readWAL to recover the longest intact prefix without
+// error — exactly what a mid-write kill leaves behind.
+func TestWALTornTail(t *testing.T) {
+	payloads := []string{
+		"start t=1000 task=J0.T1 node=0",
+		"complete t=9000 task=J0.T1 node=0",
+	}
+	full := writeWALFile(t, payloads...)
+	b, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Line boundaries (end offsets of each complete line).
+	var ends []int64
+	for i, c := range b {
+		if c == '\n' {
+			ends = append(ends, int64(i+1))
+		}
+	}
+	for cut := 0; cut <= len(b); cut++ {
+		path := filepath.Join(t.TempDir(), walName(0))
+		if err := os.WriteFile(path, b[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		records, validLen, err := readWAL(path)
+		if err != nil {
+			t.Fatalf("cut=%d: unexpected error %v", cut, err)
+		}
+		wantN := 0
+		wantLen := int64(0)
+		for i, end := range ends {
+			if int64(cut) >= end {
+				wantN = i + 1
+				wantLen = end
+			}
+		}
+		if len(records) != wantN || validLen != wantLen {
+			t.Fatalf("cut=%d: got %d records validLen=%d, want %d records validLen=%d",
+				cut, len(records), validLen, wantN, wantLen)
+		}
+	}
+}
+
+// TestWALMidFileCorruption flips a byte in the first record of a
+// three-record log: an invalid line followed by valid ones cannot come
+// from a torn write and must be rejected.
+func TestWALMidFileCorruption(t *testing.T) {
+	path := writeWALFile(t,
+		"start t=1000 task=J0.T1 node=0",
+		"start t=1000 task=J0.T2 node=1",
+		"complete t=9000 task=J0.T1 node=0",
+	)
+	b, _ := os.ReadFile(path)
+	b[12] ^= 0x20 // inside the first payload
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := readWAL(path)
+	var fe *FormatError
+	if !errors.As(err, &fe) {
+		t.Fatalf("err = %v, want FormatError", err)
+	}
+}
+
+// A corrupt final line (newline intact, bad CRC) is indistinguishable
+// from a torn tail and is tolerated; two bad lines are not.
+func TestWALCorruptFinalLineTolerated(t *testing.T) {
+	path := writeWALFile(t,
+		"start t=1000 task=J0.T1 node=0",
+		"complete t=9000 task=J0.T1 node=0",
+	)
+	b, _ := os.ReadFile(path)
+	b[len(b)-3] ^= 0x20
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	records, _, err := readWAL(path)
+	if err != nil || len(records) != 1 {
+		t.Errorf("records=%d err=%v, want 1 record and no error", len(records), err)
+	}
+}
+
+func TestParseWALLineRejectsEmbeddedNewline(t *testing.T) {
+	line := appendWALRecord(nil, "ok payload")
+	if _, ok := parseWALLine(line[:len(line)-1]); !ok {
+		t.Error("valid line rejected")
+	}
+	if _, ok := parseWALLine([]byte("zzzzzzzz payload")); ok {
+		t.Error("bad CRC accepted")
+	}
+	if _, ok := parseWALLine([]byte("short")); ok {
+		t.Error("short line accepted")
+	}
+}

@@ -1,0 +1,64 @@
+package sched
+
+import (
+	"encoding/json"
+	"sort"
+
+	"dsp/internal/cluster"
+	"dsp/internal/dag"
+	"dsp/internal/units"
+)
+
+// The scheduler's only round-to-round state is the warm-start memory:
+// prevPlan remembers where the previous exact solve placed each task so
+// the next period's branch-and-bound starts from a replayed incumbent.
+// Losing it across a crash would not change correctness — a cold solve
+// finds the same or a worse-bounded incumbent — but it would change the
+// solve's search order and therefore the deterministic event trace, so
+// recovery must carry it. (The preemptor's memo cache, by contrast, is
+// pure memoization keyed on live engine state and is deliberately NOT
+// durable: it is rebuilt from scratch on the first epoch after resume
+// with identical results.)
+
+// durableAssign is the serialized form of one warmAssign entry.
+type durableAssign struct {
+	Job   int        `json:"job"`
+	Task  int        `json:"task"`
+	Node  int        `json:"node"`
+	Start units.Time `json:"start"`
+}
+
+// DurableState implements sim.DurableComponent: it serializes prevPlan
+// in sorted key order so equal plans always produce equal bytes.
+func (d *DSP) DurableState() ([]byte, error) {
+	out := make([]durableAssign, 0, len(d.prevPlan))
+	for k, a := range d.prevPlan {
+		out = append(out, durableAssign{
+			Job:   int(k.Job),
+			Task:  int(k.Task),
+			Node:  int(a.node),
+			Start: a.start,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Job != out[j].Job {
+			return out[i].Job < out[j].Job
+		}
+		return out[i].Task < out[j].Task
+	})
+	return json.Marshal(out)
+}
+
+// RestoreDurableState implements sim.DurableComponent.
+func (d *DSP) RestoreDurableState(b []byte) error {
+	var in []durableAssign
+	if err := json.Unmarshal(b, &in); err != nil {
+		return err
+	}
+	d.prevPlan = make(map[dag.Key]warmAssign, len(in))
+	for _, a := range in {
+		k := dag.Key{Job: dag.JobID(a.Job), Task: dag.TaskID(a.Task)}
+		d.prevPlan[k] = warmAssign{node: cluster.NodeID(a.Node), start: a.Start}
+	}
+	return nil
+}

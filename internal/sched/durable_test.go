@@ -1,0 +1,76 @@
+package sched
+
+import (
+	"bytes"
+	"testing"
+
+	"dsp/internal/dag"
+	"dsp/internal/units"
+)
+
+func TestDurableStateRoundTrip(t *testing.T) {
+	d := NewDSP()
+	d.prevPlan = map[dag.Key]warmAssign{
+		{Job: 2, Task: 7}:  {node: 3, start: 5 * units.Second},
+		{Job: 0, Task: 1}:  {node: 0, start: units.Second},
+		{Job: 2, Task: 0}:  {node: 1, start: 0},
+		{Job: 11, Task: 4}: {node: 2, start: 90 * units.Millisecond},
+	}
+	b, err := d.DurableState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serialization must be canonical: equal plans, equal bytes.
+	b2, err := d.DurableState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Error("DurableState is not deterministic")
+	}
+
+	fresh := NewDSP()
+	if err := fresh.RestoreDurableState(b); err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh.prevPlan) != len(d.prevPlan) {
+		t.Fatalf("restored %d entries, want %d", len(fresh.prevPlan), len(d.prevPlan))
+	}
+	for k, want := range d.prevPlan {
+		got, ok := fresh.prevPlan[k]
+		if !ok || got != want {
+			t.Errorf("entry %v: got %+v ok=%v, want %+v", k, got, ok, want)
+		}
+	}
+	b3, err := fresh.DurableState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b3) {
+		t.Error("restore → serialize is not a fixed point")
+	}
+
+	if err := fresh.RestoreDurableState([]byte("{not json")); err == nil {
+		t.Error("corrupt durable state accepted")
+	}
+
+	// An empty plan round-trips to an empty (non-nil-safe) map.
+	empty := NewDSP()
+	eb, err := empty.DurableState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.RestoreDurableState(eb); err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh.prevPlan) != 0 {
+		t.Errorf("restored empty plan has %d entries", len(fresh.prevPlan))
+	}
+}
+
+// The warm-start memory must survive the snapshot path the engine uses:
+// ensure DSP actually satisfies the engine's interface.
+var _ interface {
+	DurableState() ([]byte, error)
+	RestoreDurableState([]byte) error
+} = (*DSP)(nil)

@@ -50,11 +50,13 @@ func TestAuditorQuarantinesCorruptedTask(t *testing.T) {
 	a := sizedJob(0, 5000, 5000)
 	b := sizedJob(1, 5000, 5000)
 	rec := &violationRecorder{}
+	cp := cluster.DefaultCheckpoint()
+	cp.Interval = 500 * units.Millisecond // below the 1 s epoch
 	res, err := Run(Config{
 		Cluster:         testCluster(2, 1),
 		Scheduler:       rrScheduler{},
 		Preemptor:       &corruptingPreemptor{},
-		Checkpoint:      cluster.DefaultCheckpoint(),
+		Checkpoint:      cp,
 		Epoch:           units.Second,
 		AuditInvariants: true,
 		Observer:        rec,

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"dsp/internal/cluster"
 	"dsp/internal/dag"
@@ -83,6 +84,16 @@ type Config struct {
 	// their internal work too. nil disables profiling at the cost of a
 	// nil check per phase boundary.
 	Prof *prof.Timer
+	// Durability, when non-nil, receives a callback at the end of every
+	// scheduling period so it can capture crash-recovery snapshots and
+	// rotate its write-ahead log (see internal/recover). Its cost is
+	// charged to the prof "snapshot" phase.
+	Durability DurabilitySink
+	// Interrupt, when non-nil, is polled between events: setting it makes
+	// the run stop at the next inter-event boundary, take a final
+	// durability snapshot (if a sink is configured) and return
+	// ErrInterrupted. Signal handlers use this for graceful shutdown.
+	Interrupt *atomic.Bool
 }
 
 func (c *Config) fillDefaults() {
@@ -155,11 +166,59 @@ type Engine struct {
 	// epochIndex numbers online preemption epochs from 1, for the
 	// EpochStarted/EpochEnded observer events.
 	epochIndex int
+	// periodIndex numbers offline scheduling periods from 1; the
+	// durability sink keys its snapshot cadence on it.
+	periodIndex int
+	// growthApplied records the indices into cfg.Growth whose events have
+	// fired and extended their jobs, in fire order. Snapshots carry the
+	// list so a restore can replay the structural DAG extensions before
+	// overlaying task state.
+	growthApplied []int
+	// durErr latches the first durability-sink failure; Execute surfaces
+	// it after the event pump stops.
+	durErr error
+	// worldSum fingerprints the built world (see worldFingerprint);
+	// snapshots embed it so restore rejects mismatched worlds.
+	worldSum uint64
+	// fired counts events fired by Execute (see EventsFired).
+	fired int
 }
 
 // Run simulates the workload to completion and returns the collected
 // metrics.
 func Run(cfg Config, w *trace.Workload) (*Result, error) {
+	e, err := Prepare(cfg, w)
+	if err != nil {
+		return nil, err
+	}
+	return e.Execute()
+}
+
+// Prepare validates the configuration, builds the simulation world and
+// arms its initial events, returning an engine ready to Execute. Split
+// from Run so callers needing the engine itself (durability snapshots,
+// crash-recovery harnesses) can hold it across the run.
+func Prepare(cfg Config, w *trace.Workload) (*Engine, error) {
+	e, err := newEngine(&cfg, w)
+	if err != nil {
+		return nil, err
+	}
+	tm := cfg.Prof
+	tm.Enter(prof.PhaseSetup)
+	err = e.buildWorld(w)
+	if err == nil {
+		err = e.armInitialEvents()
+	}
+	tm.Exit()
+	if err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// newEngine runs the config checks shared by Prepare and PrepareResume
+// and returns the empty engine shell with profilers attached.
+func newEngine(cfg *Config, w *trace.Workload) (*Engine, error) {
 	cfg.fillDefaults()
 	if cfg.Cluster == nil || cfg.Cluster.Len() == 0 {
 		return nil, fmt.Errorf("sim: config needs a non-empty cluster")
@@ -170,7 +229,18 @@ func Run(cfg Config, w *trace.Workload) (*Result, error) {
 	if len(w.Jobs) == 0 {
 		return nil, fmt.Errorf("sim: empty workload")
 	}
-	e := &Engine{cfg: cfg, q: eventq.New()}
+	if cfg.Checkpoint.Enabled && cfg.Checkpoint.Interval >= cfg.Epoch {
+		// DefaultCheckpoint's doc comment warns that a checkpoint interval
+		// at or above the preemption epoch retains no progress across a
+		// preempt-resume cycle and can live-lock the pair; reject it here
+		// instead of relying on callers to read the comment.
+		return nil, fmt.Errorf("sim: checkpoint interval %v must be shorter than the epoch %v (a task preempted every epoch would never retain progress)",
+			cfg.Checkpoint.Interval, cfg.Epoch)
+	}
+	e := &Engine{cfg: *cfg, q: eventq.New()}
+	if cfg.Interrupt != nil {
+		e.q.SetStop(cfg.Interrupt)
+	}
 	tm := cfg.Prof
 	// Attach (or detach, when Prof is nil) the profiler on components
 	// that can attribute their own work — unconditional, so a scheduler
@@ -183,16 +253,30 @@ func Run(cfg Config, w *trace.Workload) (*Result, error) {
 			in.SetProfiler(tm)
 		}
 	}
-	tm.Enter(prof.PhaseSetup)
-	err := e.setup(w)
-	tm.Exit()
-	if err != nil {
-		return nil, err
-	}
+	return e, nil
+}
 
+// Execute drains the event queue and finalizes the metrics. It returns
+// ErrInterrupted when stopped via Config.Interrupt (after handing the
+// durability sink its final-snapshot callback).
+func (e *Engine) Execute() (*Result, error) {
+	cfg := e.cfg
+	tm := cfg.Prof
 	tm.Enter(prof.PhaseEventPump)
 	fired, drained := e.q.Run(cfg.MaxEvents)
 	tm.Exit()
+	e.fired = fired
+	if cfg.Interrupt != nil && cfg.Interrupt.Load() {
+		if d := cfg.Durability; d != nil {
+			if err := d.OnInterrupt(e, e.q.Now()); err != nil {
+				return nil, fmt.Errorf("sim: interrupted; final snapshot failed: %w", err)
+			}
+		}
+		return nil, ErrInterrupted
+	}
+	if e.durErr != nil {
+		return nil, fmt.Errorf("sim: durability sink failed: %w", e.durErr)
+	}
 	if !drained {
 		return nil, fmt.Errorf("sim: event cap %d exceeded at t=%v with %d jobs incomplete (policy live-lock?)",
 			fired, e.q.Now(), e.jobsRemaining)
@@ -211,11 +295,19 @@ func Run(cfg Config, w *trace.Workload) (*Result, error) {
 	return &e.metrics, nil
 }
 
-// setup builds the engine's world from the workload — node and task
-// state, per-task deadlines, cross-job dependency resolution, fault and
-// growth installation — and arms the first period/epoch/speculation
-// ticks. Split out of Run so the profiler can charge it as one phase.
-func (e *Engine) setup(w *trace.Workload) error {
+// EventsFired returns the number of events Execute fired. The crash
+// harness uses it to pick kill points inside a recorded run.
+func (e *Engine) EventsFired() int { return e.fired }
+
+// Now returns the engine clock.
+func (e *Engine) Now() units.Time { return e.q.Now() }
+
+// buildWorld constructs the engine's static world from the workload —
+// node and task state, per-task deadlines, cross-job dependency
+// resolution — without arming any events, so a restore can overlay
+// snapshot state onto the same structures. armInitialEvents completes a
+// fresh setup.
+func (e *Engine) buildWorld(w *trace.Workload) error {
 	cfg := e.cfg
 	e.view = &View{engine: e}
 	if db, ok := cfg.Scheduler.(DependencyBlind); ok && db.DependencyBlind() {
@@ -227,16 +319,16 @@ func (e *Engine) setup(w *trace.Workload) error {
 	if err := cfg.Faults.Validate(cfg.Cluster.Len()); err != nil {
 		return err
 	}
-	e.installFaults(cfg.Faults)
 	meanSpeed := cfg.Cluster.MeanSpeed()
 
 	e.firstArrival = units.Forever
-	for _, tj := range w.Jobs {
+	for jobIdx, tj := range w.Jobs {
 		js := &JobState{
 			Dag:       tj.DAG,
 			Arrival:   tj.Arrival,
 			DoneAt:    -1,
 			remaining: tj.DAG.Len(),
+			idx:       jobIdx,
 		}
 		if tj.DAG.Deadline > 0 {
 			js.Deadline = tj.Arrival + units.FromSeconds(tj.DAG.Deadline)
@@ -276,14 +368,6 @@ func (e *Engine) setup(w *trace.Workload) error {
 		if tj.Arrival < e.firstArrival {
 			e.firstArrival = tj.Arrival
 		}
-		e.q.At(tj.Arrival, eventq.Func(func(at units.Time) {
-			// Pending tasks become visible to the next scheduling period
-			// via arrivedPending — unless admission control sheds the job
-			// here at the door.
-			e.cfg.Prof.Enter(prof.PhaseAdmission)
-			e.admitJob(js, at)
-			e.cfg.Prof.Exit()
-		}))
 	}
 
 	// Resolve cross-job dependencies and reject cycles (a cyclic job
@@ -307,19 +391,43 @@ func (e *Engine) setup(w *trace.Workload) error {
 	if err := validateJobGraph(e.jobs); err != nil {
 		return err
 	}
+	e.worldSum = e.worldFingerprint()
+	return nil
+}
+
+// armInitialEvents schedules the events of a fresh (non-resumed) run:
+// job arrivals, injected faults, dynamic growth, and the first
+// period/epoch/speculation ticks.
+func (e *Engine) armInitialEvents() error {
+	cfg := e.cfg
+	e.installFaults(cfg.Faults)
+	for _, js := range e.jobs {
+		e.armArrival(js, js.Arrival)
+	}
 	if err := e.installGrowth(cfg.Growth); err != nil {
 		return err
 	}
 
 	// First scheduling period fires at the first arrival.
-	e.q.At(e.firstArrival, eventq.Func(e.periodTick))
+	e.q.AtTag(e.firstArrival, eventq.Tag{Kind: evPeriodTick}, eventq.Func(e.periodTick))
 	if cfg.Preemptor != nil {
-		e.q.At(e.firstArrival+cfg.Epoch, eventq.Func(e.epochTick))
+		e.q.AtTag(e.firstArrival+cfg.Epoch, eventq.Tag{Kind: evEpochTick}, eventq.Func(e.epochTick))
 	}
 	if cfg.Speculation != nil {
-		e.q.At(e.firstArrival+cfg.Speculation.Interval, eventq.Func(e.specTick))
+		e.q.AtTag(e.firstArrival+cfg.Speculation.Interval, eventq.Tag{Kind: evSpecTick}, eventq.Func(e.specTick))
 	}
 	return nil
+}
+
+// armArrival schedules a job's arrival event: its pending tasks become
+// visible to the next scheduling period via arrivedPending — unless
+// admission control sheds the job at the door.
+func (e *Engine) armArrival(js *JobState, at units.Time) {
+	e.q.AtTag(at, eventq.Tag{Kind: evArrival, A: int32(js.idx)}, eventq.Func(func(at units.Time) {
+		e.cfg.Prof.Enter(prof.PhaseAdmission)
+		e.admitJob(js, at)
+		e.cfg.Prof.Exit()
+	}))
 }
 
 // arrivedPending returns jobs that have arrived by now, have every
@@ -379,8 +487,10 @@ func validateJobGraph(jobs []*JobState) error {
 }
 
 // periodTick runs the offline scheduler and re-arms itself while work
-// remains.
+// remains. When a durability sink is configured it runs last, at the
+// fully settled period boundary — the canonical snapshot point.
 func (e *Engine) periodTick(now units.Time) {
+	e.periodIndex++
 	tm := e.cfg.Prof
 	tm.Enter(prof.PhasePlanBuild)
 	e.notePendingPeak(now)
@@ -407,7 +517,20 @@ func (e *Engine) periodTick(now units.Time) {
 		tm.Exit()
 	}
 	if e.jobsRemaining > 0 {
-		e.q.After(e.cfg.Period, eventq.Func(e.periodTick))
+		e.q.AfterTag(e.cfg.Period, eventq.Tag{Kind: evPeriodTick}, eventq.Func(e.periodTick))
+	}
+	if d := e.cfg.Durability; d != nil {
+		tm.Enter(prof.PhaseSnapshot)
+		if d.SnapshotDue(e.periodIndex) && e.cfg.Observer != nil {
+			// The audit line for the snapshot event must precede the offset
+			// the snapshot records, so a resumed run's truncated audit
+			// already contains it — emit before the sink captures state.
+			e.cfg.Observer.SnapshotTaken(now, e.periodIndex)
+		}
+		if err := d.OnPeriod(e, e.periodIndex, now); err != nil && e.durErr == nil {
+			e.durErr = err
+		}
+		tm.Exit()
 	}
 }
 
@@ -521,7 +644,7 @@ func (e *Engine) start(k cluster.NodeID, t *TaskState, now units.Time) {
 		t.blocked = true
 		t.effStart = now // occupancy start, for blocked-time accounting
 		e.metrics.BlindStarts++
-		t.blockEv = e.q.After(e.cfg.BlindTimeout, eventq.Func(func(at units.Time) {
+		t.blockEv = e.q.AfterTag(e.cfg.BlindTimeout, taskTag(evBlockTimeout, t), eventq.Func(func(at units.Time) {
 			e.kickBlocked(k, t, at)
 		}))
 		t.hasBlockEv = true
@@ -771,7 +894,7 @@ func (e *Engine) epochTick(now units.Time) {
 		e.cfg.Observer.EpochEnded(now, e.epochIndex, e.view)
 	}
 	if e.jobsRemaining > 0 {
-		e.q.After(e.cfg.Epoch, eventq.Func(e.epochTick))
+		e.q.AfterTag(e.cfg.Epoch, eventq.Tag{Kind: evEpochTick}, eventq.Func(e.epochTick))
 	}
 }
 

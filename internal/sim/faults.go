@@ -130,22 +130,22 @@ func (e *Engine) installFaults(plan *FaultPlan) {
 	}
 	for _, f := range plan.Failures {
 		f := f
-		e.q.At(f.At, eventq.Func(func(now units.Time) {
+		e.q.AtTag(f.At, eventq.Tag{Kind: evNodeFail, A: int32(f.Node)}, eventq.Func(func(now units.Time) {
 			e.failNode(f.Node, now)
 		}))
 		if f.RecoverAfter > 0 {
-			e.q.At(f.At+f.RecoverAfter, eventq.Func(func(now units.Time) {
+			e.q.AtTag(f.At+f.RecoverAfter, eventq.Tag{Kind: evNodeRecover, A: int32(f.Node)}, eventq.Func(func(now units.Time) {
 				e.recoverNode(f.Node, now)
 			}))
 		}
 	}
 	for _, s := range plan.Stragglers {
 		s := s
-		e.q.At(s.At, eventq.Func(func(now units.Time) {
+		e.q.AtTag(s.At, eventq.Tag{Kind: evSpeed, A: int32(s.Node), F: s.Factor}, eventq.Func(func(now units.Time) {
 			e.setSpeedFactor(s.Node, s.Factor, now)
 		}))
 		if s.Duration > 0 {
-			e.q.At(s.At+s.Duration, eventq.Func(func(now units.Time) {
+			e.q.AtTag(s.At+s.Duration, eventq.Tag{Kind: evSpeed, A: int32(s.Node), F: 1}, eventq.Func(func(now units.Time) {
 				e.setSpeedFactor(s.Node, 1, now)
 			}))
 		}
@@ -322,16 +322,12 @@ func (e *Engine) setSpeedFactor(k cluster.NodeID, factor float64, now units.Time
 	respec := append([]*backupRun(nil), ns.spec...)
 	sort.Slice(respec, func(a, b int) bool { return lessTaskState(respec[a].task, respec[b].task) })
 	for _, br := range respec {
-		br := br
 		start := units.Max(br.effStart, now)
 		fin := units.Forever
 		if newSpeed > 0 {
 			fin = addTime(start, remainingTimeMI(br.task.Task.Size-br.base-br.done, newSpeed))
 		}
-		br.ev = e.q.At(fin, eventq.Func(func(at units.Time) {
-			e.backupComplete(br, at)
-		}))
-		br.hasEv = true
+		e.armBackupComplete(br, fin)
 	}
 }
 

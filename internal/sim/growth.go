@@ -41,14 +41,14 @@ func (e *Engine) installGrowth(plans []TaskGrowth) error {
 	for _, j := range e.jobs {
 		byID[j.Dag.ID] = j
 	}
-	for _, g := range plans {
+	for gi, g := range plans {
 		js, ok := byID[g.Job]
 		if !ok {
 			return fmt.Errorf("sim: growth references unknown job %d", g.Job)
 		}
-		g := g
-		e.q.At(g.At, eventq.Func(func(now units.Time) {
-			e.applyGrowth(js, g, now)
+		gi, g := gi, g
+		e.q.AtTag(g.At, eventq.Tag{Kind: evGrowth, A: int32(gi)}, eventq.Func(func(now units.Time) {
+			e.applyGrowth(js, gi, g, now)
 		}))
 		// The job cannot be allowed to "complete" before its growth
 		// arrives, or the extension would race job teardown; accounting
@@ -60,11 +60,21 @@ func (e *Engine) installGrowth(plans []TaskGrowth) error {
 	return nil
 }
 
-// applyGrowth extends the job's DAG and task set.
-func (e *Engine) applyGrowth(js *JobState, g TaskGrowth, now units.Time) {
+// applyGrowth extends the job's DAG and task set, recording the applied
+// batch index for snapshot replay.
+func (e *Engine) applyGrowth(js *JobState, gi int, g TaskGrowth, now units.Time) {
 	if js.failed || js.shed {
 		return // the job died (or was shed) before its extension arrived
 	}
+	e.growthApplied = append(e.growthApplied, gi)
+	e.metrics.GrownTasks += e.growStructure(js, g, now)
+}
+
+// growStructure performs the structural part of a growth batch — DAG
+// extension, dependency edges, fresh task states — and returns the task
+// count. Restore replays it for every batch the snapshot recorded as
+// applied, before overlaying the tasks' serialized dynamic state.
+func (e *Engine) growStructure(js *JobState, g TaskGrowth, spanStart units.Time) int {
 	ids := js.Dag.Grow(len(g.Tasks))
 	for i, spec := range g.Tasks {
 		task := js.Dag.Task(ids[i])
@@ -85,9 +95,9 @@ func (e *Engine) applyGrowth(js *JobState, g TaskGrowth, now units.Time) {
 			FirstStart: -1,
 			DoneAt:     -1,
 			Deadline:   units.Forever,
-			spanStart:  now,
+			spanStart:  spanStart,
 		}
 		js.Tasks = append(js.Tasks, ts)
-		e.metrics.GrownTasks++
 	}
+	return len(g.Tasks)
 }

@@ -288,6 +288,18 @@ type Observer interface {
 	// gapless and non-overlapping over [job arrival, task completion];
 	// the attribution layer relies on this tiling.
 	TaskSpanClosed(s TaskSpan)
+	// SnapshotTaken fires just before the durability sink captures a
+	// periodic crash-recovery snapshot at the end of a scheduling period
+	// (see Config.Durability); periods count from 1.
+	SnapshotTaken(now units.Time, period int)
+	// RecoveryStarted fires once on a resumed run, before the
+	// deterministic roll-forward from the restored snapshot begins;
+	// period is the snapshot's scheduling period.
+	RecoveryStarted(now units.Time, period int)
+	// Replayed fires on a resumed run when the roll-forward has verified
+	// every surviving write-ahead-log record — the run has reached the
+	// crash point and switches the log back to append mode.
+	Replayed(now units.Time, records int)
 }
 
 // NopObserver implements Observer with no-ops. Embed it to write
@@ -359,6 +371,15 @@ func (NopObserver) InvariantViolated(units.Time, InvariantViolation) {}
 
 // TaskSpanClosed implements Observer.
 func (NopObserver) TaskSpanClosed(TaskSpan) {}
+
+// SnapshotTaken implements Observer.
+func (NopObserver) SnapshotTaken(units.Time, int) {}
+
+// RecoveryStarted implements Observer.
+func (NopObserver) RecoveryStarted(units.Time, int) {}
+
+// Replayed implements Observer.
+func (NopObserver) Replayed(units.Time, int) {}
 
 // Observers composes multiple observers; nil entries are skipped, so call
 // sites can build the slice from optional components without filtering.
@@ -562,6 +583,33 @@ func (os Observers) TaskSpanClosed(s TaskSpan) {
 	}
 }
 
+// SnapshotTaken implements Observer.
+func (os Observers) SnapshotTaken(now units.Time, period int) {
+	for _, o := range os {
+		if o != nil {
+			o.SnapshotTaken(now, period)
+		}
+	}
+}
+
+// RecoveryStarted implements Observer.
+func (os Observers) RecoveryStarted(now units.Time, period int) {
+	for _, o := range os {
+		if o != nil {
+			o.RecoveryStarted(now, period)
+		}
+	}
+}
+
+// Replayed implements Observer.
+func (os Observers) Replayed(now units.Time, records int) {
+	for _, o := range os {
+		if o != nil {
+			o.Replayed(now, records)
+		}
+	}
+}
+
 // LogObserver writes one line per event, suitable for debugging small
 // simulations.
 type LogObserver struct {
@@ -695,4 +743,19 @@ func (l *LogObserver) TaskSpanClosed(s TaskSpan) {
 	}
 	fmt.Fprintf(l.W, "%-12v span     %-8v %s [%v, %v) node%d (%s)\n",
 		s.End, s.Task.Key(), s.Kind, s.Start, s.End, s.Node, s.Cause)
+}
+
+// SnapshotTaken implements Observer.
+func (l *LogObserver) SnapshotTaken(now units.Time, period int) {
+	fmt.Fprintf(l.W, "%-12v snapshot period=%d\n", now, period)
+}
+
+// RecoveryStarted implements Observer.
+func (l *LogObserver) RecoveryStarted(now units.Time, period int) {
+	fmt.Fprintf(l.W, "%-12v recovery period=%d\n", now, period)
+}
+
+// Replayed implements Observer.
+func (l *LogObserver) Replayed(now units.Time, records int) {
+	fmt.Fprintf(l.W, "%-12v replayed records=%d\n", now, records)
 }

@@ -90,7 +90,13 @@ func (e *Engine) retryOrFail(k cluster.NodeID, t *TaskState, now units.Time, rea
 		return // already Pending; the next period re-places it
 	}
 	t.Phase = Backoff
-	t.retryEv = e.q.After(delay, eventq.Func(func(at units.Time) {
+	e.armRetry(t, e.q.Now()+delay)
+}
+
+// armRetry schedules the backoff expiry that re-admits t to Pending at
+// absolute time at. Shared by retryOrFail and snapshot restore.
+func (e *Engine) armRetry(t *TaskState, at units.Time) {
+	t.retryEv = e.q.AtTag(at, taskTag(evRetry, t), eventq.Func(func(at units.Time) {
 		t.hasRetryEv = false
 		if t.Phase != Backoff {
 			return
@@ -283,14 +289,27 @@ func (e *Engine) armAttemptFault(t *TaskState, workStart units.Time, workTime un
 func (e *Engine) scheduleAttempt(k cluster.NodeID, t *TaskState, finishAt, now units.Time) {
 	if t.attemptFailAt > 0 && t.attemptFailAt < finishAt {
 		at := units.Max(t.attemptFailAt, now)
-		t.doneEv = e.q.At(at, eventq.Func(func(at units.Time) {
-			e.transientFail(k, t, at)
-		}))
+		e.armTransientFail(k, t, at)
 	} else {
-		t.doneEv = e.q.At(finishAt, eventq.Func(func(at units.Time) {
-			e.complete(k, t, at)
-		}))
+		e.armComplete(k, t, finishAt)
 	}
+}
+
+// armComplete schedules t's burst completion on node k at absolute time
+// at. Shared by scheduleAttempt and snapshot restore.
+func (e *Engine) armComplete(k cluster.NodeID, t *TaskState, at units.Time) {
+	t.doneEv = e.q.AtTag(at, taskTag(evComplete, t), eventq.Func(func(at units.Time) {
+		e.complete(k, t, at)
+	}))
+	t.hasDoneEv = true
+}
+
+// armTransientFail schedules t's burst to die transiently on node k at
+// absolute time at. Shared by scheduleAttempt and snapshot restore.
+func (e *Engine) armTransientFail(k cluster.NodeID, t *TaskState, at units.Time) {
+	t.doneEv = e.q.AtTag(at, taskTag(evTransientFail, t), eventq.Func(func(at units.Time) {
+		e.transientFail(k, t, at)
+	}))
 	t.hasDoneEv = true
 }
 

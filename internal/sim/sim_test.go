@@ -140,8 +140,8 @@ func TestCrossNodeDependency(t *testing.T) {
 
 func TestPreemptionAccounting(t *testing.T) {
 	// One slot: A = 10 s, B = 1 s. At the first epoch (2 s) a custom
-	// preemptor suspends A for B. Checkpoint interval 10 s means A's 2 s
-	// of progress roll back; resume penalty is 100 ms.
+	// preemptor suspends A for B. Checkpoint interval 1.5 s means A's
+	// 2 s of progress roll back to the 1.5 s checkpoint boundary.
 	j := sizedJob(0, 10000, 1000)
 	pre := &onceActor{act: func(now units.Time, v *View) []Action {
 		running := v.Running(0)
@@ -152,7 +152,7 @@ func TestPreemptionAccounting(t *testing.T) {
 		return []Action{{Node: 0, Victim: running[0], Starter: queue[0]}}
 	}}
 	cp := cluster.DefaultCheckpoint()
-	cp.Interval = 10 * units.Second
+	cp.Interval = 1500 * units.Millisecond
 	res, err := Run(Config{
 		Cluster:    testCluster(1, 1),
 		Scheduler:  rrScheduler{},
@@ -169,10 +169,10 @@ func TestPreemptionAccounting(t *testing.T) {
 	if res.Disorders != 0 {
 		t.Errorf("disorders = %d, want 0", res.Disorders)
 	}
-	// Timeline: A runs [0,2), preempted (progress lost, <1 checkpoint).
-	// B runs [2,3). A resumes at 3 with the 2.05 s resume penalty, full
-	// 10 s left: completes at 15.05 s.
-	want := 15*units.Second + 50*units.Millisecond
+	// Timeline: A runs [0,2), preempted with 1.5 s retained (one full
+	// checkpoint interval). B runs [2,3). A resumes at 3 with the 2.05 s
+	// resume penalty and 8.5 s left: completes at 13.55 s.
+	want := 13*units.Second + 550*units.Millisecond
 	if res.Makespan != want {
 		t.Errorf("makespan = %v, want %v", res.Makespan, want)
 	}
@@ -290,6 +290,51 @@ func TestRunValidation(t *testing.T) {
 	}
 	if _, err := Run(Config{Cluster: testCluster(1, 1), Scheduler: rrScheduler{}}, &trace.Workload{}); err == nil {
 		t.Error("empty workload accepted")
+	}
+}
+
+func TestCheckpointIntervalMustBeatEpoch(t *testing.T) {
+	// Interval >= Epoch is the live-lock configuration the
+	// DefaultCheckpoint doc warns about: a task preempted every epoch
+	// would never complete a checkpoint and so never retain progress.
+	// The config must be rejected up front, not rely on callers reading
+	// the comment.
+	j := sizedJob(0, 100)
+	w := mkWorkload([]units.Time{0}, j)
+	run := func(interval, epoch units.Time) error {
+		cp := cluster.DefaultCheckpoint()
+		cp.Interval = interval
+		_, err := Run(Config{
+			Cluster:    testCluster(1, 1),
+			Scheduler:  rrScheduler{},
+			Checkpoint: cp,
+			Epoch:      epoch,
+		}, w)
+		return err
+	}
+	if err := run(2*units.Second, units.Second); err == nil {
+		t.Error("interval > epoch accepted")
+	}
+	if err := run(units.Second, units.Second); err == nil {
+		t.Error("interval == epoch accepted")
+	}
+	if err := run(500*units.Millisecond, units.Second); err != nil {
+		t.Errorf("interval < epoch rejected: %v", err)
+	}
+	// Interval 0 means continuous checkpointing — always legal.
+	if err := run(0, units.Second); err != nil {
+		t.Errorf("continuous checkpointing rejected: %v", err)
+	}
+	// A disabled policy never checkpoints, so the interval is inert.
+	cp := cluster.NoCheckpoint()
+	cp.Interval = 10 * units.Second
+	if _, err := Run(Config{
+		Cluster:    testCluster(1, 1),
+		Scheduler:  rrScheduler{},
+		Checkpoint: cp,
+		Epoch:      units.Second,
+	}, w); err != nil {
+		t.Errorf("disabled checkpointing rejected: %v", err)
 	}
 }
 

@@ -87,11 +87,13 @@ func spanWorkload(t *testing.T, jobs int, seed int64) *trace.Workload {
 // online preemption, suspensions and resumes.
 func TestSpanTilingPlain(t *testing.T) {
 	c := newSpanCollector()
+	cp := cluster.DefaultCheckpoint()
+	cp.Interval = 500 * units.Millisecond // below the 1 s epoch
 	_, err := sim.Run(sim.Config{
 		Cluster:    cluster.RealCluster(4),
 		Scheduler:  sched.NewDSP(),
 		Preemptor:  preempt.NewDSP(),
-		Checkpoint: cluster.DefaultCheckpoint(),
+		Checkpoint: cp,
 		Period:     units.Minute,
 		Epoch:      units.Second,
 		Observer:   c,

@@ -74,7 +74,7 @@ func (e *Engine) specTick(now units.Time) {
 	if e.jobsRemaining <= 0 {
 		return
 	}
-	defer e.q.After(sp.Interval, eventq.Func(e.specTick))
+	defer e.q.AfterTag(sp.Interval, eventq.Tag{Kind: evSpecTick}, eventq.Func(e.specTick))
 
 	// Idle capacity: free slots on live, non-blacklisted nodes.
 	freeSlots := make([]int, len(e.nodes))
@@ -196,10 +196,7 @@ func (e *Engine) launchBackup(t *TaskState, k cluster.NodeID, now units.Time) {
 	br.effStart = now + pen
 	speed := e.speedOf(k)
 	fin := br.effStart + remainingTimeMI(t.Task.Size-br.base, speed)
-	br.ev = e.q.At(fin, eventq.Func(func(at units.Time) {
-		e.backupComplete(br, at)
-	}))
-	br.hasEv = true
+	e.armBackupComplete(br, fin)
 	ns.spec = append(ns.spec, br)
 	t.backup = br
 	e.activeBackups++
@@ -207,6 +204,16 @@ func (e *Engine) launchBackup(t *TaskState, k cluster.NodeID, now units.Time) {
 	if o := e.cfg.Observer; o != nil {
 		o.SpeculationLaunched(now, t, t.Node, k)
 	}
+}
+
+// armBackupComplete schedules a speculative copy's completion at
+// absolute time at. Shared by launchBackup, straggler re-pacing and
+// snapshot restore.
+func (e *Engine) armBackupComplete(br *backupRun, at units.Time) {
+	br.ev = e.q.AtTag(at, taskTag(evBackupComplete, br.task), eventq.Func(func(at units.Time) {
+		e.backupComplete(br, at)
+	}))
+	br.hasEv = true
 }
 
 // backupComplete is first-copy-wins in the backup's favour: the primary

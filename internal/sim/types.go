@@ -247,6 +247,9 @@ type JobState struct {
 	// shedding of a job it waits for). Shed jobs never run; they count
 	// as shed, not failed or deadline-missed.
 	shed bool
+	// idx is the job's position in the workload's job list — the stable
+	// integer identity event tags and snapshots use.
+	idx int
 }
 
 // Failed reports whether the job was terminated by a terminal task
