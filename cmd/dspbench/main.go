@@ -76,7 +76,7 @@ func main() {
 
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("dspbench", flag.ContinueOnError)
-	figs := fs.String("fig", "all", "figures to run: 5a,5b,6,7,8,table2 or all")
+	figs := fs.String("fig", "all", "figures to run: 5a,5b,6,7,8,table2,resilience,overload,attrib, all, or none")
 	scale := fs.Float64("scale", 0.03, "workload task scale (1.0 = paper-size jobs)")
 	seed := fs.Int64("seed", 0, "sweep seed (0 = default)")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")

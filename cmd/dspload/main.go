@@ -1,0 +1,79 @@
+// Command dspload is the serving-mode load generator: it submits a
+// deterministic synthetic workload to a running dspserve daemon over
+// HTTP at a target wall-clock rate, honoring 429 backpressure, probing
+// job statuses mid-run, and scraping /metrics for heap and
+// serve-period-latency evidence. The CI smoke job and the acceptance
+// run in results/serve_real50.txt both drive it.
+//
+// Usage:
+//
+//	dspload [flags]
+//
+//	-url URL         dspserve base URL (default http://127.0.0.1:8080)
+//	-jobs N          jobs to submit (default 100)
+//	-rate F          target submission rate in jobs per wall minute
+//	                 (default 1000)
+//	-seed N          workload seed (default 1)
+//	-scale F         workload task scale (default 0.03)
+//	-sample-every N  status probe + metrics scrape cadence (default 25)
+//	-out FILE        also write the report to FILE
+//
+// Exit status is 0 only if every job was eventually accepted.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"dsp/internal/experiments"
+)
+
+func main() {
+	var (
+		url         = flag.String("url", "http://127.0.0.1:8080", "dspserve base URL")
+		jobs        = flag.Int("jobs", 100, "jobs to submit")
+		rate        = flag.Float64("rate", 1000, "target jobs per wall minute")
+		seed        = flag.Int64("seed", 1, "workload seed")
+		scale       = flag.Float64("scale", 0.03, "workload task scale")
+		sampleEvery = flag.Int("sample-every", 25, "status probe + metrics scrape cadence (submissions)")
+		out         = flag.String("out", "", "also write the report to FILE")
+	)
+	flag.Parse()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		cancel()
+	}()
+
+	rep, err := experiments.RunServeLoad(ctx, experiments.ServeLoadOptions{
+		BaseURL:       *url,
+		Jobs:          *jobs,
+		Seed:          *seed,
+		Scale:         *scale,
+		JobsPerMinute: *rate,
+		SampleEvery:   *sampleEvery,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "dspload: "+format+"\n", args...)
+		},
+	})
+	if rep != nil {
+		fmt.Print(rep.Format())
+		if *out != "" {
+			if werr := os.WriteFile(*out, []byte(rep.Format()), 0o644); werr != nil {
+				fmt.Fprintf(os.Stderr, "dspload: %v\n", werr)
+				os.Exit(1)
+			}
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dspload: %v\n", err)
+		os.Exit(1)
+	}
+}

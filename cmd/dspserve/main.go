@@ -1,0 +1,181 @@
+// Command dspserve runs the scheduler as a long-lived service: a
+// streaming simulation engine whose virtual clock is paced against wall
+// time, accepting job submissions over HTTP/JSON for as long as the
+// process lives. See OPERATIONS.md for the full API reference and
+// runbook.
+//
+// Usage:
+//
+//	dspserve [flags]
+//
+//	-listen ADDR           HTTP address for job routes + telemetry on one
+//	                       mux (default 127.0.0.1:8080; :0 for ephemeral)
+//	-platform real|ec2     testbed profile (default real: 50 nodes)
+//	-scheduler NAME        DSP | Aalo | TetrisW/SimDep | TetrisW/oDep
+//	-preemptor NAME        none | DSP | DSPW/oPP | Amoeba | Natjam | SRPT
+//	-period SEC            scheduling period in virtual seconds (default 300)
+//	-epoch SEC             preemption epoch in virtual seconds (default 10)
+//	-rate F                virtual seconds per wall second (default 1;
+//	                       60 compresses a virtual minute into a second)
+//	-max-pending N         backpressure bound: POST /jobs answers 429 with
+//	                       Retry-After once the pending-task backlog would
+//	                       exceed N, and the engine's admission control
+//	                       sheds anything that slips past (0 disables)
+//
+// Durability flags:
+//
+//	-checkpoint-dir DIR    persist crash-recovery state under DIR: engine
+//	                       snapshots + decision WAL (internal/recover) and
+//	                       the fsynced submission journal
+//	-checkpoint-every K    snapshot cadence in scheduling periods (default 3)
+//	-resume                restore from DIR's newest snapshot and replay the
+//	                       journal tail; scheduling flags must match the
+//	                       interrupted run
+//
+// Replay flags:
+//
+//	-replay FILE           submit a dsptrace workload file through the
+//	                       ingestion path, paced at the trace's own arrival
+//	                       times (scaled by -rate), then drain and exit
+//
+// Signals: the first SIGINT/SIGTERM stops accepting work and drains —
+// every queued and in-flight job runs to completion at CPU speed, the
+// final metrics print, and dspserve exits 0. A second signal stops at
+// the next event boundary instead, leaving a resumable checkpoint, and
+// exits 130.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"dsp/internal/experiments"
+	"dsp/internal/prof"
+	"dsp/internal/serve"
+	"dsp/internal/sim"
+	"dsp/internal/trace"
+	"dsp/internal/units"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:8080", "HTTP listen address (job routes + telemetry)")
+		platform  = flag.String("platform", "real", "testbed profile: real | ec2")
+		scheduler = flag.String("scheduler", "DSP", "scheduling method: DSP | Aalo | TetrisW/SimDep | TetrisW/oDep")
+		preemptor = flag.String("preemptor", "DSP", "preemption method: none | DSP | DSPW/oPP | Amoeba | Natjam | SRPT")
+		periodSec = flag.Float64("period", 300, "scheduling period in virtual seconds")
+		epochSec  = flag.Float64("epoch", 10, "preemption epoch in virtual seconds")
+		rate      = flag.Float64("rate", 1, "virtual seconds per wall second")
+		maxPend   = flag.Int("max-pending", 0, "pending-task backlog bound for 429 backpressure and admission shedding (0 = unbounded)")
+		ckptDir   = flag.String("checkpoint-dir", "", "directory for snapshots, WAL and submission journal")
+		everyK    = flag.Int("checkpoint-every", 3, "snapshot every K scheduling periods")
+		resume    = flag.Bool("resume", false, "resume from -checkpoint-dir instead of starting fresh")
+		replay    = flag.String("replay", "", "workload JSON file to replay through the ingestion path, then drain and exit")
+	)
+	flag.Parse()
+
+	plat := experiments.Real
+	switch *platform {
+	case "real":
+	case "ec2":
+		plat = experiments.EC2
+	default:
+		fmt.Fprintf(os.Stderr, "dspserve: unknown platform %q\n", *platform)
+		os.Exit(2)
+	}
+	pre := *preemptor
+	if pre == "none" {
+		pre = ""
+	}
+
+	var w *trace.Workload
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dspserve: %v\n", err)
+			os.Exit(2)
+		}
+		w, err = trace.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dspserve: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	d, err := serve.New(serve.Config{
+		Listen:          *listen,
+		CheckpointDir:   *ckptDir,
+		Resume:          *resume,
+		SnapshotEveryK:  *everyK,
+		Scheduler:       *scheduler,
+		Preemptor:       pre,
+		Platform:        plat,
+		Period:          units.FromSeconds(*periodSec),
+		Epoch:           units.FromSeconds(*epochSec),
+		MaxPendingTasks: *maxPend,
+		Rate:            *rate,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "dspserve: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dspserve: %v\n", err)
+		os.Exit(1)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "dspserve: draining (signal again to stop at the next event boundary)")
+		cancel()
+		<-sigs
+		fmt.Fprintln(os.Stderr, "dspserve: interrupting")
+		d.Interrupt()
+	}()
+
+	if w != nil {
+		// Replay drives ingestion in-process; once every job is accepted
+		// and the engine goes idle, drain and exit.
+		go func() {
+			n, err := d.Replay(ctx, w)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dspserve: replay: %v\n", err)
+				cancel()
+				return
+			}
+			fmt.Fprintf(os.Stderr, "dspserve: replay submitted %d jobs, waiting for idle\n", n)
+			d.WaitIdle(ctx)
+			cancel()
+		}()
+	}
+
+	res, err := d.Run(ctx)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		if errors.Is(err, sim.ErrInterrupted) {
+			fmt.Fprintln(os.Stderr, "dspserve: interrupted; checkpoint is resumable with -resume")
+			os.Exit(130)
+		}
+		fmt.Fprintf(os.Stderr, "dspserve: %v\n", err)
+		os.Exit(1)
+	}
+	if res != nil {
+		fmt.Printf("jobs: %d completed, %d failed, %d shed (%d cancelled)\n",
+			res.JobsCompleted, res.JobsFailed, res.JobsShed, res.JobsCancelled)
+		fmt.Printf("makespan: %.1fs virtual, %.2f deadline-meeting jobs/min\n",
+			res.Makespan.Seconds(), res.JobThroughputPerMin)
+	}
+	for _, row := range d.Profile() {
+		if row.Phase == prof.PhaseServePeriod.String() {
+			fmt.Printf("serve-period latency: n=%d p50=%.2fms p99=%.2fms max=%.2fms\n",
+				row.Count, row.P50US/1e3, row.P99US/1e3, row.MaxUS/1e3)
+		}
+	}
+}

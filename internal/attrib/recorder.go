@@ -19,6 +19,14 @@ type Recorder struct {
 	spans map[dag.Key][]Span
 	jobs  []JobAttribution
 	onJob func(JobAttribution)
+	// agg and aggJobs accumulate the blame sum and count at completion
+	// time, so Aggregate stays O(1) and correct even after old per-job
+	// records are evicted under a retention bound.
+	agg     Blame
+	aggJobs int
+	// retention bounds len(jobs): once full, each completion evicts the
+	// oldest record. 0 = unbounded (the batch default).
+	retention int
 }
 
 // NewRecorder returns an empty recorder.
@@ -30,15 +38,30 @@ func NewRecorder() *Recorder {
 // event loop) with each completed job's attribution.
 func (r *Recorder) OnJob(fn func(JobAttribution)) { r.onJob = fn }
 
+// SetRetention bounds the per-job attribution history to the most
+// recent n completions (0 restores the unbounded batch default). A
+// long-running daemon sets this so Jobs cannot grow with the job
+// history; Aggregate still covers every completion ever recorded.
+func (r *Recorder) SetRetention(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.retention = n
+	if n > 0 && len(r.jobs) > n {
+		r.jobs = append(r.jobs[:0], r.jobs[len(r.jobs)-n:]...)
+	}
+}
+
 // BeginRun resets the recorder between runs of a sweep.
 func (r *Recorder) BeginRun(string) { r.Reset() }
 
-// Reset discards all recorded spans and attributions.
+// Reset discards all recorded spans, attributions and aggregates.
 func (r *Recorder) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.spans = make(map[dag.Key][]Span)
 	r.jobs = nil
+	r.agg = Blame{}
+	r.aggJobs = 0
 }
 
 // TaskSpanClosed implements sim.Observer.
@@ -66,28 +89,31 @@ func (r *Recorder) JobCompleted(_ units.Time, j *sim.JobState) {
 	for id := range j.Tasks {
 		delete(r.spans, dag.Key{Job: j.Dag.ID, Task: dag.TaskID(id)})
 	}
-	r.jobs = append(r.jobs, att)
+	r.agg.Merge(att.Blame)
+	r.aggJobs++
+	if r.retention > 0 && len(r.jobs) >= r.retention {
+		n := copy(r.jobs, r.jobs[len(r.jobs)-r.retention+1:])
+		r.jobs = append(r.jobs[:n], att)
+	} else {
+		r.jobs = append(r.jobs, att)
+	}
 	if r.onJob != nil {
 		r.onJob(att)
 	}
 }
 
-// Jobs returns a copy of the attributions recorded so far, in
-// completion order.
+// Jobs returns a copy of the attributions recorded so far (the most
+// recent ones, under a retention bound), in completion order.
 func (r *Recorder) Jobs() []JobAttribution {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return append([]JobAttribution(nil), r.jobs...)
 }
 
-// Aggregate sums the blame vectors of all completed jobs and returns
-// the sum with the job count.
+// Aggregate returns the blame sum and count over every job ever
+// attributed — including records evicted by the retention bound.
 func (r *Recorder) Aggregate() (Blame, int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	var b Blame
-	for i := range r.jobs {
-		b.Merge(r.jobs[i].Blame)
-	}
-	return b, len(r.jobs)
+	return r.agg, r.aggJobs
 }

@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"dsp/internal/trace"
+)
+
+// Serving-mode load generator: drives a running dspserve daemon over
+// HTTP at a target wall-clock submission rate, honoring its 429
+// backpressure (sleep for Retry-After, retry the same job), polling job
+// statuses mid-run, and scraping /metrics for the evidence the
+// acceptance run needs — heap growth across the run and the
+// serve-period latency quantiles. results/serve_real50.txt records one
+// such run; scripts/serve_smoke.sh replays a small one in CI.
+
+// ServeLoadOptions configures RunServeLoad.
+type ServeLoadOptions struct {
+	// BaseURL is the daemon's root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Jobs is how many jobs to submit.
+	Jobs int
+	// Seed and Scale parameterize the generated workload (defaults: 1,
+	// 0.03 — the repo's reduced-scale default).
+	Seed  int64
+	Scale float64
+	// JobsPerMinute is the target wall-clock submission rate (default
+	// 1000).
+	JobsPerMinute float64
+	// SampleEvery polls one submitted job's status and scrapes /metrics
+	// every N submissions (default 25).
+	SampleEvery int
+	// Client overrides the HTTP client (default: 10s timeout).
+	Client *http.Client
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// ServeLoadReport is the generator's outcome summary.
+type ServeLoadReport struct {
+	Submitted     int     // jobs accepted by the daemon
+	Backpressured int     // 429 responses absorbed (with retry)
+	StatusChecks  int     // GET /jobs/{id} probes issued
+	WallSeconds   float64 // wall time spent submitting
+	AchievedPerMin float64
+
+	// Heap samples from /metrics (dsp_heap_alloc_bytes): first, last and
+	// the maximum seen across periodic scrapes — the bounded-memory
+	// evidence.
+	HeapStartBytes float64
+	HeapEndBytes   float64
+	HeapPeakBytes  float64
+
+	// Serve-period latency quantiles from the final /metrics scrape
+	// (dsp_phase_seconds{phase="serve-period"}), in milliseconds.
+	PeriodCount int
+	PeriodP50Ms float64
+	PeriodP99Ms float64
+	PeriodMaxMs float64
+}
+
+// Format renders the report as the plain-text block the results file
+// records.
+func (r *ServeLoadReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "submitted             %d\n", r.Submitted)
+	fmt.Fprintf(&b, "backpressured (429)   %d\n", r.Backpressured)
+	fmt.Fprintf(&b, "status checks         %d\n", r.StatusChecks)
+	fmt.Fprintf(&b, "wall seconds          %.1f\n", r.WallSeconds)
+	fmt.Fprintf(&b, "achieved jobs/min     %.0f\n", r.AchievedPerMin)
+	fmt.Fprintf(&b, "heap start            %.1f MiB\n", r.HeapStartBytes/(1<<20))
+	fmt.Fprintf(&b, "heap end              %.1f MiB\n", r.HeapEndBytes/(1<<20))
+	fmt.Fprintf(&b, "heap peak             %.1f MiB\n", r.HeapPeakBytes/(1<<20))
+	fmt.Fprintf(&b, "serve-period samples  %d\n", r.PeriodCount)
+	fmt.Fprintf(&b, "serve-period p50      %.2f ms\n", r.PeriodP50Ms)
+	fmt.Fprintf(&b, "serve-period p99      %.2f ms\n", r.PeriodP99Ms)
+	fmt.Fprintf(&b, "serve-period max      %.2f ms\n", r.PeriodMaxMs)
+	return b.String()
+}
+
+// RunServeLoad generates a deterministic workload and submits it to a
+// running daemon at the target rate. Jobs are submitted with arrival 0
+// so each becomes schedulable at the next period boundary after its
+// submission — wall-clock pacing, not the trace's virtual arrivals,
+// shapes the load.
+func RunServeLoad(ctx context.Context, o ServeLoadOptions) (*ServeLoadReport, error) {
+	if o.Jobs <= 0 {
+		return nil, fmt.Errorf("experiments: serve load needs Jobs > 0")
+	}
+	if o.Scale <= 0 {
+		o.Scale = 0.03
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.JobsPerMinute <= 0 {
+		o.JobsPerMinute = 1000
+	}
+	if o.SampleEvery <= 0 {
+		o.SampleEvery = 25
+	}
+	client := o.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	logf := o.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	w, err := workloadAtRate(o.Jobs, Options{Scale: o.Scale, Seed: o.Seed}, 3.5)
+	if err != nil {
+		return nil, err
+	}
+	bodies := make([][]byte, 0, len(w.Jobs))
+	for _, tj := range w.Jobs {
+		tj.Arrival = 0
+		b, err := trace.EncodeJob(tj)
+		if err != nil {
+			return nil, err
+		}
+		bodies = append(bodies, b)
+	}
+
+	rep := &ServeLoadReport{}
+	if heap, ok := scrapeGauge(client, o.BaseURL, "dsp_heap_alloc_bytes"); ok {
+		rep.HeapStartBytes, rep.HeapPeakBytes = heap, heap
+	}
+
+	interval := time.Duration(float64(time.Minute) / o.JobsPerMinute)
+	start := time.Now()
+	next := start
+	for i, body := range bodies {
+		if sleep := time.Until(next); sleep > 0 {
+			select {
+			case <-ctx.Done():
+				return rep, ctx.Err()
+			case <-time.After(sleep):
+			}
+		}
+		next = next.Add(interval)
+		for {
+			code, retryAfter, err := postJob(client, o.BaseURL, body)
+			if err != nil {
+				return rep, fmt.Errorf("experiments: submit job %d: %w", i, err)
+			}
+			if code == http.StatusAccepted {
+				rep.Submitted++
+				break
+			}
+			if code == http.StatusTooManyRequests {
+				rep.Backpressured++
+				select {
+				case <-ctx.Done():
+					return rep, ctx.Err()
+				case <-time.After(retryAfter):
+				}
+				continue
+			}
+			return rep, fmt.Errorf("experiments: submit job %d: unexpected HTTP %d", i, code)
+		}
+		if rep.Submitted%o.SampleEvery == 0 {
+			// Mid-run probes: one status read and one metrics scrape.
+			id := w.Jobs[i].DAG.ID
+			if code := getStatus(client, o.BaseURL, int(id)); code == http.StatusOK {
+				rep.StatusChecks++
+			}
+			if heap, ok := scrapeGauge(client, o.BaseURL, "dsp_heap_alloc_bytes"); ok {
+				if heap > rep.HeapPeakBytes {
+					rep.HeapPeakBytes = heap
+				}
+			}
+			logf("submitted %d/%d (%d backpressured)", rep.Submitted, len(bodies), rep.Backpressured)
+		}
+	}
+	rep.WallSeconds = time.Since(start).Seconds()
+	if rep.WallSeconds > 0 {
+		rep.AchievedPerMin = float64(rep.Submitted) / rep.WallSeconds * 60
+	}
+	if heap, ok := scrapeGauge(client, o.BaseURL, "dsp_heap_alloc_bytes"); ok {
+		rep.HeapEndBytes = heap
+		if heap > rep.HeapPeakBytes {
+			rep.HeapPeakBytes = heap
+		}
+	}
+	rep.PeriodCount = int(scrapeOr(client, o.BaseURL, `dsp_phase_count{phase="serve-period"}`, 0))
+	rep.PeriodP50Ms = scrapeOr(client, o.BaseURL, `dsp_phase_seconds{phase="serve-period",quantile="0.5"}`, 0) * 1e3
+	rep.PeriodP99Ms = scrapeOr(client, o.BaseURL, `dsp_phase_seconds{phase="serve-period",quantile="0.99"}`, 0) * 1e3
+	rep.PeriodMaxMs = scrapeOr(client, o.BaseURL, `dsp_phase_seconds{phase="serve-period",quantile="max"}`, 0) * 1e3
+	return rep, nil
+}
+
+func postJob(client *http.Client, base string, body []byte) (code int, retryAfter time.Duration, err error) {
+	resp, err := client.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, err
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining for connection reuse
+	resp.Body.Close()
+	retryAfter = time.Second
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			retryAfter = time.Duration(n) * time.Second
+		}
+	}
+	return resp.StatusCode, retryAfter, nil
+}
+
+func getStatus(client *http.Client, base string, id int) int {
+	resp, err := client.Get(fmt.Sprintf("%s/jobs/%d", base, id))
+	if err != nil {
+		return 0
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining for connection reuse
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// scrapeGauge fetches /metrics and returns the value of the named
+// series (exact match on the text before the space).
+func scrapeGauge(client *http.Client, base, series string) (float64, bool) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return 0, false
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, false
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		name, val, ok := strings.Cut(line, " ")
+		if ok && name == series {
+			f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+			return f, err == nil
+		}
+	}
+	return 0, false
+}
+
+func scrapeOr(client *http.Client, base, series string, def float64) float64 {
+	if v, ok := scrapeGauge(client, base, series); ok {
+		return v
+	}
+	return def
+}

@@ -1,0 +1,75 @@
+package experiments_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"dsp/internal/experiments"
+	"dsp/internal/serve"
+	"dsp/internal/units"
+)
+
+// TestServeLoadSmoke drives a real daemon over HTTP with the load
+// generator: every job accepted, statuses probed mid-run, heap and
+// serve-period quantiles scraped. (The external test package avoids the
+// serve -> experiments import cycle.)
+func TestServeLoadSmoke(t *testing.T) {
+	d, err := serve.New(serve.Config{
+		Listen: "127.0.0.1:0",
+		Period: 30 * units.Second,
+		Epoch:  10 * units.Second,
+		Rate:   600, // half a wall second per virtual period
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() {
+		_, err := d.Run(ctx)
+		runDone <- err
+	}()
+	for i := 0; d.Addr() == "" && i < 100; i++ {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if d.Addr() == "" {
+		t.Fatal("daemon never bound a listener")
+	}
+
+	rep, err := experiments.RunServeLoad(ctx, experiments.ServeLoadOptions{
+		BaseURL:       "http://" + d.Addr(),
+		Jobs:          30,
+		Seed:          11,
+		JobsPerMinute: 2400,
+		SampleEvery:   10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Submitted != 30 {
+		t.Errorf("submitted %d of 30", rep.Submitted)
+	}
+	if rep.StatusChecks == 0 {
+		t.Error("no mid-run status checks succeeded")
+	}
+	if rep.HeapStartBytes <= 0 || rep.HeapPeakBytes < rep.HeapStartBytes {
+		t.Errorf("heap sampling broken: start %.0f peak %.0f", rep.HeapStartBytes, rep.HeapPeakBytes)
+	}
+	if rep.AchievedPerMin < 1000 {
+		t.Errorf("achieved %.0f jobs/min, want >= 1000", rep.AchievedPerMin)
+	}
+	if rep.Format() == "" {
+		t.Error("empty report")
+	}
+
+	cancel()
+	select {
+	case err := <-runDone:
+		if err != nil && err != context.Canceled {
+			t.Fatalf("daemon run: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon did not drain")
+	}
+}

@@ -46,9 +46,11 @@ type Counters struct {
 	Blacklistings    atomic.Int64
 
 	// Overload tallies: scheduler degradation-ladder downgrades,
-	// admission-control sheddings, and invariant-auditor detections.
+	// admission-control sheddings, explicit job cancellations (streaming
+	// ingestion), and invariant-auditor detections.
 	SolverDegradations  atomic.Int64
 	JobSheds            atomic.Int64
+	JobCancellations    atomic.Int64
 	InvariantViolations atomic.Int64
 
 	// Durability tallies: periodic crash-recovery snapshots, resumed-run
@@ -161,6 +163,11 @@ func (c *Counters) JobShed(units.Time, *sim.JobState, sim.ShedReason) {
 	c.JobSheds.Add(1)
 }
 
+// JobCancelled implements sim.Observer.
+func (c *Counters) JobCancelled(units.Time, *sim.JobState) {
+	c.JobCancellations.Add(1)
+}
+
 // InvariantViolated implements sim.Observer.
 func (c *Counters) InvariantViolated(units.Time, sim.InvariantViolation) {
 	c.InvariantViolations.Add(1)
@@ -212,6 +219,7 @@ func (c *Counters) Snapshot() []Counter {
 		{"node-blacklistings", c.Blacklistings.Load()},
 		{"solver-degradations", c.SolverDegradations.Load()},
 		{"jobs-shed", c.JobSheds.Load()},
+		{"job-cancellations", c.JobCancellations.Load()},
 		{"invariant-violations", c.InvariantViolations.Load()},
 		{"snapshots-taken", c.Snapshots.Load()},
 		{"recoveries-started", c.Recoveries.Load()},

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -66,33 +67,55 @@ type Server struct {
 	srv *http.Server
 }
 
+// NewTelemetry builds the telemetry surface without binding a listener,
+// for embedding in a larger mux (the serving daemon mounts job routes
+// and telemetry on one port). counters, rec and tm may be nil; the
+// corresponding sections are omitted from the exposition. tm is read
+// via atomic snapshots, so a scrape can overlap live recording (and
+// concurrent Timer.Merge calls) without torn stats.
+func NewTelemetry(counters *Counters, rec *attrib.Recorder, tm *prof.Timer) *Server {
+	return &Server{counters: counters, attrib: rec, prof: tm}
+}
+
+// Register mounts the telemetry endpoints (/metrics, /healthz,
+// /snapshot) on mux.
+func (s *Server) Register(mux *http.ServeMux) {
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
+}
+
 // StartServer binds addr (e.g. "127.0.0.1:9090", or ":0" for an
-// ephemeral port) and serves telemetry until Close. counters, rec and tm
-// may be nil; the corresponding sections are omitted from the
-// exposition. tm is read via atomic snapshots, so a scrape can overlap
-// live recording (and concurrent Timer.Merge calls) without torn stats.
+// ephemeral port) and serves telemetry until Close — NewTelemetry plus
+// a dedicated listener, for callers that want telemetry on its own
+// port.
 func StartServer(addr string, counters *Counters, rec *attrib.Recorder, tm *prof.Timer) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	s := &Server{counters: counters, attrib: rec, prof: tm, ln: ln}
+	s := NewTelemetry(counters, rec, tm)
+	s.ln = ln
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	s.Register(mux)
 	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go s.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
 	return s, nil
 }
 
 // Addr returns the bound address ("127.0.0.1:54321"), useful when the
-// caller asked for port 0.
+// caller asked for port 0. Only valid for servers built by StartServer.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
 // Close stops serving. In-flight scrapes are cut off; the simulation is
-// unaffected.
-func (s *Server) Close() error { return s.srv.Close() }
+// unaffected. No-op for embedded (NewTelemetry) servers — the embedding
+// daemon owns the listener.
+func (s *Server) Close() error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
 
 // EpochEnded implements sim.Observer: copy the epoch gauges out of the
 // engine-owned view so scrapes never touch live engine state.
@@ -155,6 +178,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	snap := s.snap
 	s.mu.Unlock()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
 	for _, g := range []struct {
 		name, help string
 		value      float64
@@ -165,6 +190,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"dsp_running_tasks", "Tasks occupying slots.", float64(snap.RunningTasks)},
 		{"dsp_busy_slots", "Occupied slots cluster-wide.", float64(snap.BusySlots)},
 		{"dsp_total_slots", "Total slots cluster-wide.", float64(snap.TotalSlots)},
+		{"dsp_heap_alloc_bytes", "Live heap bytes of the serving process (runtime.MemStats.HeapAlloc).", float64(ms.HeapAlloc)},
+		{"dsp_heap_sys_bytes", "Heap bytes obtained from the OS (runtime.MemStats.HeapSys).", float64(ms.HeapSys)},
+		{"dsp_gc_runs", "Completed garbage-collection cycles (runtime.MemStats.NumGC).", float64(ms.NumGC)},
 	} {
 		fmt.Fprintf(&b, "# HELP %s %s\n", g.name, g.help)
 		fmt.Fprintf(&b, "# TYPE %s gauge\n", g.name)

@@ -84,6 +84,17 @@ func (m *Memo) BeginEpoch(p Params, now units.Time, v SpeedSource) {
 	m.now = now
 	m.view = v
 	m.mean = v.Cluster().MeanSpeed()
+	// Drop cache entries for jobs that stopped demanding priorities long
+	// ago (settled, or retired by a streaming engine) — without this the
+	// map pins every job a long-running daemon ever saw. Amortized: the
+	// sweep runs every 64 epochs and evicts entries 64+ epochs stale.
+	if m.epoch%64 == 0 {
+		for j, jm := range m.jobs {
+			if jm.stamp+64 <= m.epoch {
+				delete(m.jobs, j)
+			}
+		}
+	}
 }
 
 // Priority returns P for t at the BeginEpoch evaluation time, evaluating

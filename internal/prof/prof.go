@@ -102,6 +102,13 @@ const (
 	// runner opens this as the root phase so per-cell phase totals tile
 	// the cell's full wall time.
 	PhaseCellOther
+	// PhaseServePeriod: the serving daemon's wall-clock duration of one
+	// scheduling-period step (drain ingest, plan, schedule, apply, audit,
+	// snapshot). Unlike every phase above it is recorded as a direct
+	// latency sample (Timer.Observe), not via the exclusive Enter/Exit
+	// stack, so it overlaps — rather than tiles with — the engine phases
+	// it contains. PERF.md documents the distinction.
+	PhaseServePeriod
 
 	// NumPhases is the number of phases; valid phases are < NumPhases.
 	NumPhases
@@ -131,6 +138,7 @@ var phaseNames = [NumPhases]string{
 	PhaseFinalize:     "finalize",
 	PhaseSnapshot:     "snapshot",
 	PhaseCellOther:    "cell-other",
+	PhaseServePeriod:  "serve-period",
 }
 
 func (p Phase) String() string {

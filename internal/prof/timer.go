@@ -129,6 +129,20 @@ func (t *Timer) Depth() int {
 	return t.depth
 }
 
+// Observe records one direct duration sample for phase p, bypassing the
+// exclusive Enter/Exit stack. It exists for latency metrics measured
+// outside the simulation loop (the serving daemon's per-period wall
+// time): the sample lands in the same count/total/max/histogram cell,
+// but it is NOT exclusive time — it may overlap phases recorded on the
+// stack, so it must not be summed with them. Unlike Enter/Exit, Observe
+// touches only the atomic cells and is safe from any goroutine.
+func (t *Timer) Observe(p Phase, ns int64) {
+	if t == nil || p >= NumPhases {
+		return
+	}
+	t.record(p, ns)
+}
+
 // record folds one closed phase occurrence into its accumulator cell.
 func (t *Timer) record(p Phase, ns int64) {
 	if ns < 0 {

@@ -577,3 +577,8 @@ func (m *Manager) TaskEvicted(now units.Time, t *sim.TaskState, node cluster.Nod
 func (m *Manager) JobShed(now units.Time, j *sim.JobState, reason sim.ShedReason) {
 	m.record(now, fmt.Sprintf("shed t=%d job=%d reason=%s", int64(now), int(j.Dag.ID), reason))
 }
+
+// JobCancelled implements sim.Observer.
+func (m *Manager) JobCancelled(now units.Time, j *sim.JobState) {
+	m.record(now, fmt.Sprintf("cancel t=%d job=%d", int64(now), int(j.ID())))
+}

@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+
+	"dsp/internal/attrib"
+	"dsp/internal/dag"
+	"dsp/internal/trace"
+)
+
+// HTTP surface. All job routes speak JSON; error bodies are always
+// {"error": "..."}. The full reference (schemas, status codes,
+// Retry-After semantics) lives in OPERATIONS.md.
+//
+//	POST   /jobs       submit one job (trace per-job JSON layout) -> 202
+//	GET    /jobs/{id}  status (+ latency blame once completed)    -> 200
+//	DELETE /jobs/{id}  cancel                                     -> 202
+//	GET    /metrics    Prometheus exposition   (internal/obs)
+//	GET    /snapshot   telemetry JSON document (internal/obs)
+//	GET    /healthz    liveness probe          (internal/obs)
+
+// submitResponse acknowledges an accepted submission.
+type submitResponse struct {
+	ID int `json:"id"`
+	// StampUS is the virtual arrival stamp the scheduler assigned; the
+	// job becomes schedulable at the first period boundary at or after
+	// it.
+	StampUS int64  `json:"stamp_us"`
+	Status  string `json:"status"` // always "accepted"
+}
+
+// statusResponse is the GET /jobs/{id} document.
+type statusResponse struct {
+	ID         int    `json:"id"`
+	State      string `json:"state"`
+	ArrivalUS  int64  `json:"arrival_us"`
+	DoneAtUS   int64  `json:"done_at_us"` // -1 unless completed
+	TasksTotal int    `json:"tasks_total"`
+	TasksDone  int    `json:"tasks_done"`
+	// Blame is the per-cause completion-latency attribution
+	// (internal/attrib), present only for completed jobs still inside
+	// the daemon's attribution retention window.
+	Blame *attrib.Blame `json:"blame,omitempty"`
+}
+
+// cancelResponse acknowledges a cancellation request.
+type cancelResponse struct {
+	ID      int    `json:"id"`
+	StampUS int64  `json:"stamp_us"`
+	Status  string `json:"status"` // always "cancelling"
+}
+
+func (d *Daemon) buildMux() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", d.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", d.handleStatus)
+	mux.HandleFunc("DELETE /jobs/{id}", d.handleCancel)
+	d.tel.Register(mux)
+	d.mux = mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, doc any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(doc) //nolint:errcheck // client went away
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// retryAfterSeconds is the 429 hint: worst-case wall time until the
+// next scheduling-period boundary drains backlog, i.e. the remainder of
+// the current period divided by the pacing rate, rounded up and clamped
+// to at least one second.
+func (d *Daemon) retryAfterSeconds() int {
+	vn := d.VirtualNow()
+	next := (vn/d.cfg.Period + 1) * d.cfg.Period
+	wall := (next - vn).Seconds() / d.cfg.Rate
+	s := int(math.Ceil(wall))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, d.cfg.MaxBodyBytes)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				"submission body exceeds %d bytes", d.cfg.MaxBodyBytes)
+			return
+		}
+		writeErr(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	tj, err := trace.DecodeJob(body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	stamp, err := d.SubmitJob(tj)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, submitResponse{
+			ID: int(tj.DAG.ID), StampUS: int64(stamp), Status: "accepted",
+		})
+	case errors.Is(err, ErrBusy):
+		w.Header().Set("Retry-After", strconv.Itoa(d.retryAfterSeconds()))
+		writeErr(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, ErrDuplicate):
+		writeErr(w, http.StatusConflict, "%v", err)
+	case errors.Is(err, ErrShuttingDown):
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		// Engine-side validation (malformed DAG, unknown dependency...).
+		writeErr(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
+// pathID parses the {id} segment.
+func pathID(r *http.Request) (dag.JobID, error) {
+	n, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("job id must be a non-negative integer, got %q", r.PathValue("id"))
+	}
+	return dag.JobID(n), nil
+}
+
+func (d *Daemon) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	st, att, ok := d.Status(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job id %d", id)
+		return
+	}
+	resp := statusResponse{
+		ID:         int(st.ID),
+		State:      st.State,
+		ArrivalUS:  int64(st.Arrival),
+		DoneAtUS:   int64(st.DoneAt),
+		TasksTotal: st.TasksTotal,
+		TasksDone:  st.TasksDone,
+	}
+	if att != nil {
+		b := att.Blame
+		resp.Blame = &b
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (d *Daemon) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	stamp, err := d.CancelJob(id)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, cancelResponse{
+			ID: int(id), StampUS: int64(stamp), Status: "cancelling",
+		})
+	case errors.Is(err, ErrUnknownJob):
+		writeErr(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, ErrShuttingDown):
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		writeErr(w, http.StatusBadRequest, "%v", err)
+	}
+}

@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"dsp/internal/dag"
+	"dsp/internal/sim"
+	"dsp/internal/trace"
+	"dsp/internal/units"
+)
+
+// testConfig is a daemon with short periods and no pacer use: tests
+// drive virtual time explicitly through Step, so every stamp and drain
+// is deterministic.
+func testConfig() Config {
+	return Config{
+		Period: 10 * units.Second,
+		Epoch:  5 * units.Second,
+	}
+}
+
+func newTestDaemon(t *testing.T, cfg Config) *Daemon {
+	t.Helper()
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// jobBody builds a submission body: `tasks` independent tasks of
+// sizeMI each.
+func jobBody(t *testing.T, id, tasks int, sizeMI float64) []byte {
+	t.Helper()
+	j := dag.NewJob(dag.JobID(id), tasks)
+	for i := 0; i < tasks; i++ {
+		tk := j.Task(dag.TaskID(i))
+		tk.Size = sizeMI
+		tk.Demand = dag.Resources{CPU: 1, Mem: 1, DiskMB: 10, Bandwidth: 10}
+	}
+	b, err := trace.EncodeJob(&trace.Job{Class: trace.Small, DAG: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func do(d *Daemon, method, path string, body []byte) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(method, path, bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	d.Handler().ServeHTTP(w, req)
+	return w
+}
+
+func TestHandlerErrors(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxBodyBytes = 512
+	d := newTestDaemon(t, cfg)
+
+	if w := do(d, "POST", "/jobs", []byte("{not json")); w.Code != http.StatusBadRequest {
+		t.Errorf("bad JSON: code %d, want 400", w.Code)
+	}
+	big := bytes.Repeat([]byte("x"), 2048)
+	if w := do(d, "POST", "/jobs", big); w.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: code %d, want 413", w.Code)
+	}
+	if w := do(d, "GET", "/jobs/42", nil); w.Code != http.StatusNotFound {
+		t.Errorf("unknown job status: code %d, want 404", w.Code)
+	}
+	if w := do(d, "DELETE", "/jobs/42", nil); w.Code != http.StatusNotFound {
+		t.Errorf("unknown job cancel: code %d, want 404", w.Code)
+	}
+	if w := do(d, "GET", "/jobs/banana", nil); w.Code != http.StatusBadRequest {
+		t.Errorf("non-numeric id: code %d, want 400", w.Code)
+	}
+
+	body := jobBody(t, 1, 2, 1000)
+	if w := do(d, "POST", "/jobs", body); w.Code != http.StatusAccepted {
+		t.Fatalf("submit: code %d, want 202: %s", w.Code, w.Body)
+	}
+	if w := do(d, "POST", "/jobs", body); w.Code != http.StatusConflict {
+		t.Errorf("duplicate submit: code %d, want 409", w.Code)
+	}
+	// Cancel twice: both accepted (idempotent for known jobs).
+	if w := do(d, "DELETE", "/jobs/1", nil); w.Code != http.StatusAccepted {
+		t.Errorf("cancel: code %d, want 202: %s", w.Code, w.Body)
+	}
+	if w := do(d, "DELETE", "/jobs/1", nil); w.Code != http.StatusAccepted {
+		t.Errorf("double cancel: code %d, want 202: %s", w.Code, w.Body)
+	}
+}
+
+func TestStatusDocument(t *testing.T) {
+	d := newTestDaemon(t, testConfig())
+	if w := do(d, "POST", "/jobs", jobBody(t, 3, 1, 1000)); w.Code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", w.Code, w.Body)
+	}
+	var st statusResponse
+	w := do(d, "GET", "/jobs/3", nil)
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != 3 || st.State != "accepted" || st.TasksTotal != 1 {
+		t.Errorf("pre-drain status = %+v", st)
+	}
+	// Run the job to completion: the status flips to completed and
+	// carries its latency attribution.
+	if err := d.Step(40 * units.Second); err != nil {
+		t.Fatal(err)
+	}
+	w = do(d, "GET", "/jobs/3", nil)
+	st = statusResponse{}
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "completed" || st.TasksDone != 1 {
+		t.Fatalf("final status = %+v, want completed 1/1", st)
+	}
+	if st.Blame == nil {
+		t.Error("completed status missing blame attribution")
+	}
+}
+
+// TestBackpressure checks the 429 threshold is exact: submissions are
+// rejected precisely when backlog + ingest-queue + new tasks would
+// exceed MaxPendingTasks, and the response carries Retry-After.
+func TestBackpressure(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxPendingTasks = 4
+	d := newTestDaemon(t, cfg)
+
+	if w := do(d, "POST", "/jobs", jobBody(t, 0, 3, 50000)); w.Code != http.StatusAccepted {
+		t.Fatalf("3 tasks into bound 4: code %d, want 202: %s", w.Code, w.Body)
+	}
+	// 3 queued + 2 new = 5 > 4: rejected.
+	w := do(d, "POST", "/jobs", jobBody(t, 1, 2, 1000))
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("5 > 4: code %d, want 429: %s", w.Code, w.Body)
+	}
+	ra, err := strconv.Atoi(w.Result().Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Errorf("Retry-After = %q, want an integer >= 1", w.Result().Header.Get("Retry-After"))
+	}
+	// 3 + 1 = 4 == bound: still admitted — the bound is inclusive.
+	if w := do(d, "POST", "/jobs", jobBody(t, 2, 1, 1000)); w.Code != http.StatusAccepted {
+		t.Errorf("4 == 4: code %d, want 202: %s", w.Code, w.Body)
+	}
+	// And now any task is one too many.
+	if w := do(d, "POST", "/jobs", jobBody(t, 3, 1, 1000)); w.Code != http.StatusTooManyRequests {
+		t.Errorf("5 > 4: code %d, want 429: %s", w.Code, w.Body)
+	}
+}
+
+// submitDirect pushes a prebuilt body through the HTTP path and fails
+// the test on anything but 202.
+func submitDirect(t *testing.T, d *Daemon, id, tasks int, sizeMI float64) {
+	t.Helper()
+	if w := do(d, "POST", "/jobs", jobBody(t, id, tasks, sizeMI)); w.Code != http.StatusAccepted {
+		t.Fatalf("submit %d: code %d: %s", id, w.Code, w.Body)
+	}
+}
+
+// TestKillAndResume drives two daemons through the same submission
+// script; one is killed (WAL buffers dropped, no drain — the crash
+// idiom from internal/recover/crashtest) mid-run and resumed. Job
+// statuses and terminal metrics must match the uninterrupted run
+// exactly.
+func TestKillAndResume(t *testing.T) {
+	dirA, dirR := t.TempDir(), t.TempDir()
+	mk := func(dir string, resume bool) *Daemon {
+		cfg := testConfig()
+		cfg.CheckpointDir = dir
+		cfg.Resume = resume
+		cfg.SnapshotEveryK = 1
+		return newTestDaemon(t, cfg)
+	}
+	a, r := mk(dirA, false), mk(dirR, false)
+
+	// Identical pre-kill script on both daemons. Job 2 is cancelled;
+	// job 3 is submitted after the last pre-kill snapshot boundary, so
+	// resume must replay it from the journal tail.
+	script := func(d *Daemon) {
+		submitDirect(t, d, 0, 3, 20000)
+		submitDirect(t, d, 1, 2, 8000)
+		if err := d.Step(10 * units.Second); err != nil {
+			t.Fatal(err)
+		}
+		submitDirect(t, d, 2, 1, 90000)
+		if err := d.Step(20 * units.Second); err != nil {
+			t.Fatal(err)
+		}
+		if w := do(d, "DELETE", "/jobs/2", nil); w.Code != http.StatusAccepted {
+			t.Fatalf("cancel: %d %s", w.Code, w.Body)
+		}
+		submitDirect(t, d, 3, 2, 5000)
+		if err := d.Step(25*units.Second - 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	script(a)
+	script(r)
+
+	// Crash A: drop buffered WAL records, abandon the daemon without a
+	// drain. Only fsynced bytes (every journal entry, snapshots up to
+	// the 20 s boundary) survive.
+	a.mgr.Kill()
+	a.jl.Close() //nolint:errcheck // crash path
+
+	a2 := mk(dirA, true)
+	const horizon = 60 * units.Second
+	if err := a2.Step(horizon); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Step(horizon); err != nil {
+		t.Fatal(err)
+	}
+	for id := dag.JobID(0); id <= 3; id++ {
+		ja, oka := statusOf(a2, id)
+		jr, okr := statusOf(r, id)
+		if !oka || !okr {
+			t.Fatalf("job %d: present resumed=%v reference=%v", id, oka, okr)
+		}
+		if !reflect.DeepEqual(ja, jr) {
+			t.Errorf("job %d: resumed %+v != reference %+v", id, ja, jr)
+		}
+	}
+
+	resA, errA := a2.Drain()
+	resR, errR := r.Drain()
+	if errA != nil || errR != nil {
+		t.Fatalf("drain: resumed %v, reference %v", errA, errR)
+	}
+	if resA.JobsCompleted != resR.JobsCompleted ||
+		resA.JobsFailed != resR.JobsFailed ||
+		resA.JobsShed != resR.JobsShed ||
+		resA.JobsCancelled != resR.JobsCancelled ||
+		resA.Makespan != resR.Makespan {
+		t.Errorf("terminal metrics diverge:\nresumed   %+v\nreference %+v", resA, resR)
+	}
+}
+
+func statusOf(d *Daemon, id dag.JobID) (sim.JobStatus, bool) {
+	st, _, ok := d.Status(id)
+	return st, ok
+}

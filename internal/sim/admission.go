@@ -50,7 +50,7 @@ func (e *Engine) admitJob(j *JobState, now units.Time) {
 			exec := func(id dag.TaskID) float64 { return j.Dag.Task(id).Size / fastest }
 			if _, cp, err := j.Dag.CriticalPath(exec); err == nil {
 				if addTime(now, units.FromSeconds(cp)) > j.Deadline {
-					e.shedJob(j, now, ShedDeadlineInfeasible)
+					e.shedJob(j, j.Arrival, ShedDeadlineInfeasible)
 					return
 				}
 				margin := ad.Margin
@@ -62,7 +62,7 @@ func (e *Engine) admitJob(j *JobState, now units.Time) {
 					est := addTime(now, units.FromSeconds(cp+delay))
 					budget := addTime(j.Arrival, units.Time(margin*float64(j.Deadline-j.Arrival)))
 					if est > budget {
-						e.shedJob(j, now, ShedDeadlineInfeasible)
+						e.shedJob(j, j.Arrival, ShedDeadlineInfeasible)
 						return
 					}
 				}
@@ -71,7 +71,7 @@ func (e *Engine) admitJob(j *JobState, now units.Time) {
 	}
 	if ad.MaxPendingTasks > 0 && e.pendingBacklog(now) > ad.MaxPendingTasks {
 		// The backlog already includes this job's tasks (it has arrived).
-		e.shedJob(j, now, ShedQueueFull)
+		e.shedJob(j, j.Arrival, ShedQueueFull)
 		return
 	}
 	e.notePendingPeak(now)
@@ -79,8 +79,16 @@ func (e *Engine) admitJob(j *JobState, now units.Time) {
 
 // shedJob rejects a job at admission: it never runs, its tasks are
 // terminally parked, and jobs waiting on it — which can now never become
-// eligible — are shed with it.
-func (e *Engine) shedJob(j *JobState, now units.Time, reason ShedReason) {
+// eligible — are shed with it. eventAt is the timestamp the JobShed
+// observer event carries: the arrival stamp of the job whose admission
+// decision triggered the shed. In batch mode the decision runs inside
+// the arrival event, so eventAt equals the decision time; under
+// streaming ingestion the decision runs at the period boundary that
+// drained the job, and eventAt keeps the audit stream and blame
+// attribution aligned with wall-clock ingestion. Dependency-cascade
+// sheds inherit the triggering decision's eventAt unchanged: the whole
+// cascade is one decision.
+func (e *Engine) shedJob(j *JobState, eventAt units.Time, reason ShedReason) {
 	if j.failed || j.shed || j.Done() {
 		return
 	}
@@ -93,7 +101,7 @@ func (e *Engine) shedJob(j *JobState, now units.Time, reason ShedReason) {
 		t.Phase = Failed
 	}
 	if o := e.cfg.Observer; o != nil {
-		o.JobShed(now, j, reason)
+		o.JobShed(eventAt, j, reason)
 	}
 	for _, other := range e.jobs {
 		if other.failed || other.shed || other.Done() {
@@ -101,7 +109,7 @@ func (e *Engine) shedJob(j *JobState, now units.Time, reason ShedReason) {
 		}
 		for _, p := range other.waitsFor {
 			if p == j {
-				e.shedJob(other, now, ShedDependency)
+				e.shedJob(other, eventAt, ShedDependency)
 				break
 			}
 		}

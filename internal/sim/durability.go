@@ -109,6 +109,11 @@ type EngineState struct {
 	// have fired, in fire order; restore replays their structural DAG
 	// extensions before overlaying task state.
 	GrowthApplied []int
+	// IngestApplied is the streaming-ingestion journal splice point: how
+	// many accepted entries had been drained into the world at capture
+	// time. The serving layer rebuilds the resume workload from the
+	// first IngestApplied journal entries and re-submits the rest.
+	IngestApplied int `json:",omitempty"`
 	// WorldSum fingerprints (workload, cluster, key config) so a snapshot
 	// cannot be restored against a different world.
 	WorldSum uint64
@@ -134,6 +139,12 @@ type jobSnap struct {
 	Assigned  int
 	Failed    bool
 	Shed      bool
+	// Cancelled and Retired carry the streaming-mode flags: a cancelled
+	// job is failed with a recorded cause; a retired job's task state
+	// was released, so its snapshot carries no Tasks and restore
+	// re-releases the rebuilt ones.
+	Cancelled bool `json:",omitempty"`
+	Retired   bool `json:",omitempty"`
 	Tasks     []taskSnap
 }
 
@@ -213,6 +224,7 @@ func (e *Engine) CaptureState() (*EngineState, error) {
 		JobsRemaining: e.jobsRemaining,
 		ActiveBackups: e.activeBackups,
 		GrowthApplied: append([]int(nil), e.growthApplied...),
+		IngestApplied: e.ingestApplied,
 		WorldSum:      e.worldSum,
 		AuditOffset:   -1,
 	}
@@ -223,6 +235,8 @@ func (e *Engine) CaptureState() (*EngineState, error) {
 			Assigned:  js.assigned,
 			Failed:    js.failed,
 			Shed:      js.shed,
+			Cancelled: js.cancelled,
+			Retired:   js.retired,
 			Tasks:     make([]taskSnap, 0, len(js.Tasks)),
 		}
 		for _, t := range js.Tasks {
@@ -356,14 +370,24 @@ func (e *Engine) applyState(st *EngineState) error {
 	// needed.
 	for i, js := range e.jobs {
 		snap := &st.Jobs[i]
-		if len(snap.Tasks) != len(js.Tasks) {
-			return fmt.Errorf("sim: snapshot job %d has %d tasks, world has %d", js.Dag.ID, len(snap.Tasks), len(js.Tasks))
-		}
 		js.DoneAt = snap.DoneAt
 		js.remaining = snap.Remaining
 		js.assigned = snap.Assigned
 		js.failed = snap.Failed
 		js.shed = snap.Shed
+		js.cancelled = snap.Cancelled
+		if snap.Retired {
+			// The snapshot released this settled job's state; release the
+			// freshly rebuilt copy the same way instead of overlaying.
+			js.Tasks = nil
+			js.Dag = nil
+			js.waitsFor = nil
+			js.retired = true
+			continue
+		}
+		if len(snap.Tasks) != len(js.Tasks) {
+			return fmt.Errorf("sim: snapshot job %d has %d tasks, world has %d", js.id, len(snap.Tasks), len(js.Tasks))
+		}
 		for ti, t := range js.Tasks {
 			ts := &snap.Tasks[ti]
 			if n := int(ts.Node); n < -1 || n >= len(e.nodes) {
@@ -437,6 +461,7 @@ func (e *Engine) applyState(st *EngineState) error {
 	e.lastDone = st.LastDone
 	e.epochIndex = st.EpochIndex
 	e.periodIndex = st.PeriodIndex
+	e.ingestApplied = st.IngestApplied
 	if dc, ok := e.cfg.Scheduler.(DurableComponent); ok && st.Scheduler != nil {
 		if err := dc.RestoreDurableState(st.Scheduler); err != nil {
 			return fmt.Errorf("sim: scheduler durable state: %w", err)
@@ -457,14 +482,7 @@ func (e *Engine) applyState(st *EngineState) error {
 }
 
 // jobByID finds a job state by DAG identity (nil if unknown).
-func (e *Engine) jobByID(id dag.JobID) *JobState {
-	for _, js := range e.jobs {
-		if js.Dag.ID == id {
-			return js
-		}
-	}
-	return nil
-}
+func (e *Engine) jobByID(id dag.JobID) *JobState { return e.byID[id] }
 
 // taskOf resolves a snapshot task reference, bounds-checked.
 func (e *Engine) taskOf(ref taskRef) (*TaskState, error) {
@@ -646,10 +664,12 @@ func (e *Engine) worldFingerprint() uint64 {
 		mix(uint64(len(p.Stragglers)))
 	}
 	for _, js := range e.jobs {
-		mix(uint64(js.Dag.ID))
+		// Cached identity, not js.Dag — retired streaming jobs have
+		// released their DAG, and the fingerprint must survive that.
+		mix(uint64(js.id))
 		mix(uint64(js.Arrival))
-		mix(uint64(js.Dag.Len()))
-		mix(math.Float64bits(js.Dag.TotalSize()))
+		mix(uint64(js.fpLen))
+		mix(math.Float64bits(js.fpSize))
 	}
 	return h
 }

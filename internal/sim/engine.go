@@ -94,6 +94,18 @@ type Config struct {
 	// durability snapshot (if a sink is configured) and return
 	// ErrInterrupted. Signal handlers use this for graceful shutdown.
 	Interrupt *atomic.Bool
+	// Streaming switches the engine from batch simulation to online
+	// serving: the initial workload may be empty, jobs are submitted over
+	// time through Submit and drained into the world at period
+	// boundaries, the period/epoch ticks keep re-arming while ingestion
+	// is open, and settled jobs are retired (DAG and task state released)
+	// to bound memory. Drive a streaming engine with StepUntil and finish
+	// it with CloseIngest + FinishStreaming; see ingest.go. Incompatible
+	// with Growth (dynamic DAG extension is keyed to the initial job
+	// set). In streaming mode per-job records (Result.Jobs) are not
+	// accumulated, so the derived AvgJobQueueing/AvgJobWaiting metrics
+	// are unavailable.
+	Streaming bool
 }
 
 func (c *Config) fillDefaults() {
@@ -182,6 +194,18 @@ type Engine struct {
 	worldSum uint64
 	// fired counts events fired by Execute (see EventsFired).
 	fired int
+	// byID indexes jobs by DAG identity (built once in buildWorld,
+	// extended as streamed jobs are drained).
+	byID map[dag.JobID]*JobState
+	// Streaming-ingestion state (see ingest.go): the undrained submission
+	// queue, its task count, the last stamp issued (stamps are
+	// monotonic), how many entries have been drained into the world (the
+	// resume splice point), and whether ingestion has been closed.
+	ingest          []ingestEntry
+	ingestTasks     int
+	lastIngestStamp units.Time
+	ingestApplied   int
+	ingestClosed    bool
 }
 
 // Run simulates the workload to completion and returns the collected
@@ -226,8 +250,11 @@ func newEngine(cfg *Config, w *trace.Workload) (*Engine, error) {
 	if cfg.Scheduler == nil {
 		return nil, fmt.Errorf("sim: config needs a scheduler")
 	}
-	if len(w.Jobs) == 0 {
+	if len(w.Jobs) == 0 && !cfg.Streaming {
 		return nil, fmt.Errorf("sim: empty workload")
+	}
+	if cfg.Streaming && len(cfg.Growth) > 0 {
+		return nil, fmt.Errorf("sim: streaming mode is incompatible with dynamic growth (growth plans are keyed to the initial job set)")
 	}
 	if cfg.Checkpoint.Enabled && cfg.Checkpoint.Interval >= cfg.Epoch {
 		// DefaultCheckpoint's doc comment warns that a checkpoint interval
@@ -322,6 +349,7 @@ func (e *Engine) buildWorld(w *trace.Workload) error {
 	meanSpeed := cfg.Cluster.MeanSpeed()
 
 	e.firstArrival = units.Forever
+	e.byID = make(map[dag.JobID]*JobState, len(w.Jobs))
 	for jobIdx, tj := range w.Jobs {
 		js := &JobState{
 			Dag:       tj.DAG,
@@ -329,6 +357,9 @@ func (e *Engine) buildWorld(w *trace.Workload) error {
 			DoneAt:    -1,
 			remaining: tj.DAG.Len(),
 			idx:       jobIdx,
+			id:        tj.DAG.ID,
+			fpLen:     tj.DAG.Len(),
+			fpSize:    tj.DAG.TotalSize(),
 		}
 		if tj.DAG.Deadline > 0 {
 			js.Deadline = tj.Arrival + units.FromSeconds(tj.DAG.Deadline)
@@ -372,13 +403,12 @@ func (e *Engine) buildWorld(w *trace.Workload) error {
 
 	// Resolve cross-job dependencies and reject cycles (a cyclic job
 	// graph can never finish).
-	byID := make(map[dag.JobID]*JobState, len(e.jobs))
 	for _, js := range e.jobs {
-		byID[js.Dag.ID] = js
+		e.byID[js.id] = js
 	}
 	for i, tj := range w.Jobs {
 		for _, dep := range tj.WaitsFor {
-			pre, ok := byID[dep]
+			pre, ok := e.byID[dep]
 			if !ok {
 				return fmt.Errorf("sim: job %d waits for unknown job %d", tj.DAG.ID, dep)
 			}
@@ -408,13 +438,19 @@ func (e *Engine) armInitialEvents() error {
 		return err
 	}
 
-	// First scheduling period fires at the first arrival.
-	e.q.AtTag(e.firstArrival, eventq.Tag{Kind: evPeriodTick}, eventq.Func(e.periodTick))
+	// First scheduling period fires at the first arrival. A streaming
+	// engine starts ticking at t=0: jobs may arrive at any moment, so
+	// the cadence cannot key off a workload that may be empty.
+	start := e.firstArrival
+	if cfg.Streaming {
+		start = 0
+	}
+	e.q.AtTag(start, eventq.Tag{Kind: evPeriodTick}, eventq.Func(e.periodTick))
 	if cfg.Preemptor != nil {
-		e.q.AtTag(e.firstArrival+cfg.Epoch, eventq.Tag{Kind: evEpochTick}, eventq.Func(e.epochTick))
+		e.q.AtTag(start+cfg.Epoch, eventq.Tag{Kind: evEpochTick}, eventq.Func(e.epochTick))
 	}
 	if cfg.Speculation != nil {
-		e.q.AtTag(e.firstArrival+cfg.Speculation.Interval, eventq.Tag{Kind: evSpecTick}, eventq.Func(e.specTick))
+		e.q.AtTag(start+cfg.Speculation.Interval, eventq.Tag{Kind: evSpecTick}, eventq.Func(e.specTick))
 	}
 	return nil
 }
@@ -492,6 +528,14 @@ func validateJobGraph(jobs []*JobState) error {
 func (e *Engine) periodTick(now units.Time) {
 	e.periodIndex++
 	tm := e.cfg.Prof
+	if e.cfg.Streaming {
+		// Pull submitted jobs whose stamps have been reached into the
+		// world (admission decides at the boundary, but JobShed events
+		// carry the arrival stamp), then release the state of jobs that
+		// settled since the previous boundary.
+		e.drainIngest(now)
+		e.retireSettled()
+	}
 	tm.Enter(prof.PhasePlanBuild)
 	e.notePendingPeak(now)
 	pending := e.arrivedPending(now)
@@ -516,7 +560,7 @@ func (e *Engine) periodTick(now units.Time) {
 		e.auditInvariants(now)
 		tm.Exit()
 	}
-	if e.jobsRemaining > 0 {
+	if e.jobsRemaining > 0 || e.streamingLive() {
 		e.q.AfterTag(e.cfg.Period, eventq.Tag{Kind: evPeriodTick}, eventq.Func(e.periodTick))
 	}
 	if d := e.cfg.Durability; d != nil {
@@ -819,24 +863,29 @@ func (e *Engine) finish(k cluster.NodeID, t *TaskState, now units.Time) {
 		}
 		e.metrics.jobWaitSamples++
 
-		rec := JobRecord{
-			Job:         j.Dag.ID,
-			Arrival:     j.Arrival,
-			DoneAt:      now,
-			FirstStart:  first,
-			Ideal:       j.ideal,
-			MetDeadline: j.MetDeadline(),
+		// Per-job records are a batch-analysis artifact; a streaming
+		// engine runs indefinitely and must not accumulate one entry
+		// per job forever.
+		if !e.cfg.Streaming {
+			rec := JobRecord{
+				Job:         j.Dag.ID,
+				Arrival:     j.Arrival,
+				DoneAt:      now,
+				FirstStart:  first,
+				Ideal:       j.ideal,
+				MetDeadline: j.MetDeadline(),
+			}
+			if j.ideal > 0 {
+				rec.Slowdown = (now - j.Arrival).Seconds() / j.ideal.Seconds()
+			}
+			var queueWait units.Time
+			for _, ts := range j.Tasks {
+				queueWait += ts.totalWait
+			}
+			rec.AvgTaskQueueWait = queueWait / units.Time(len(j.Tasks))
+			e.metrics.totalJobQueueWait += rec.AvgTaskQueueWait
+			e.metrics.Jobs = append(e.metrics.Jobs, rec)
 		}
-		if j.ideal > 0 {
-			rec.Slowdown = (now - j.Arrival).Seconds() / j.ideal.Seconds()
-		}
-		var queueWait units.Time
-		for _, ts := range j.Tasks {
-			queueWait += ts.totalWait
-		}
-		rec.AvgTaskQueueWait = queueWait / units.Time(len(j.Tasks))
-		e.metrics.totalJobQueueWait += rec.AvgTaskQueueWait
-		e.metrics.Jobs = append(e.metrics.Jobs, rec)
 		if e.cfg.Observer != nil {
 			e.cfg.Observer.JobCompleted(now, j)
 		}
@@ -893,7 +942,7 @@ func (e *Engine) epochTick(now units.Time) {
 	if e.cfg.Observer != nil {
 		e.cfg.Observer.EpochEnded(now, e.epochIndex, e.view)
 	}
-	if e.jobsRemaining > 0 {
+	if e.jobsRemaining > 0 || e.streamingLive() {
 		e.q.AfterTag(e.cfg.Epoch, eventq.Tag{Kind: evEpochTick}, eventq.Func(e.epochTick))
 	}
 }

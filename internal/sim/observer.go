@@ -277,8 +277,18 @@ type Observer interface {
 	// instead of placing work with the tier it attempted.
 	SolverDegraded(now units.Time, d SolverDegradation)
 	// JobShed fires when admission control rejects a job at arrival; the
-	// job counts as shed, not failed or deadline-missed.
+	// job counts as shed, not failed or deadline-missed. now is the job's
+	// arrival (ingestion) timestamp — under streaming ingestion the
+	// decision is evaluated at the period boundary that drained the job,
+	// but the event carries the arrival instant so audit streams and
+	// blame attribution line up with wall-clock ingestion.
 	JobShed(now units.Time, j *JobState, reason ShedReason)
+	// JobCancelled fires when an explicit cancel request (streaming
+	// ingestion) withdraws a live job. The job's remaining tasks are
+	// withdrawn as by a terminal failure, and jobs waiting on it fail
+	// with it; for accounting the job counts under JobsFailed, with
+	// Result.JobsCancelled recording the cause.
+	JobCancelled(now units.Time, j *JobState)
 	// InvariantViolated fires when the runtime auditor catches the engine
 	// in an inconsistent state; the offending node or task is quarantined
 	// rather than allowed to keep computing garbage.
@@ -365,6 +375,9 @@ func (NopObserver) SolverDegraded(units.Time, SolverDegradation) {}
 
 // JobShed implements Observer.
 func (NopObserver) JobShed(units.Time, *JobState, ShedReason) {}
+
+// JobCancelled implements Observer.
+func (NopObserver) JobCancelled(units.Time, *JobState) {}
 
 // InvariantViolated implements Observer.
 func (NopObserver) InvariantViolated(units.Time, InvariantViolation) {}
@@ -565,6 +578,15 @@ func (os Observers) JobShed(now units.Time, j *JobState, reason ShedReason) {
 	}
 }
 
+// JobCancelled implements Observer.
+func (os Observers) JobCancelled(now units.Time, j *JobState) {
+	for _, o := range os {
+		if o != nil {
+			o.JobCancelled(now, j)
+		}
+	}
+}
+
 // InvariantViolated implements Observer.
 func (os Observers) InvariantViolated(now units.Time, v InvariantViolation) {
 	for _, o := range os {
@@ -725,6 +747,11 @@ func (l *LogObserver) SolverDegraded(now units.Time, d SolverDegradation) {
 // JobShed implements Observer.
 func (l *LogObserver) JobShed(now units.Time, j *JobState, reason ShedReason) {
 	fmt.Fprintf(l.W, "%-12v shed     J%d (%s)\n", now, j.Dag.ID, reason)
+}
+
+// JobCancelled implements Observer.
+func (l *LogObserver) JobCancelled(now units.Time, j *JobState) {
+	fmt.Fprintf(l.W, "%-12v cancel   J%d\n", now, j.ID())
 }
 
 // InvariantViolated implements Observer.

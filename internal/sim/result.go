@@ -116,6 +116,11 @@ type Result struct {
 	// JobsShed counts jobs rejected by admission control — load the
 	// system declined at the door rather than missed (see Admission).
 	JobsShed int
+	// JobsCancelled counts jobs withdrawn by explicit cancel requests
+	// (streaming ingestion). Cancelled jobs also count under JobsFailed —
+	// their live tasks are withdrawn exactly like a terminal failure's —
+	// so this is a cause breakdown, not an additional outcome class.
+	JobsCancelled int
 	// PeakPendingTasks is the high-water mark of the admitted-but-
 	// unassigned task backlog, sampled at arrivals and period boundaries.
 	// Bounded admission keeps it near Admission.MaxPendingTasks no matter

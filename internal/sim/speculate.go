@@ -71,7 +71,7 @@ type backupRun struct {
 // specTick scans for stragglers and launches backups on idle slots.
 func (e *Engine) specTick(now units.Time) {
 	sp := e.cfg.Speculation
-	if e.jobsRemaining <= 0 {
+	if e.jobsRemaining <= 0 && !e.streamingLive() {
 		return
 	}
 	defer e.q.AfterTag(sp.Interval, eventq.Tag{Kind: evSpecTick}, eventq.Func(e.specTick))

@@ -247,14 +247,45 @@ type JobState struct {
 	// shedding of a job it waits for). Shed jobs never run; they count
 	// as shed, not failed or deadline-missed.
 	shed bool
+	// cancelled marks a job withdrawn by an explicit cancel request
+	// (streaming ingestion only). A cancelled job is failed for
+	// accounting purposes — its live tasks are withdrawn exactly like a
+	// terminal failure's — with this flag recording the cause.
+	cancelled bool
+	// retired marks a settled job whose Dag and task state were released
+	// to bound streaming-mode memory; only scalar fields (and the cached
+	// id/fpLen/fpSize identity below) remain valid.
+	retired bool
+	// id, fpLen and fpSize cache Dag.ID, Dag.Len() and Dag.TotalSize()
+	// at build time so retired jobs keep their identity and the world
+	// fingerprint never needs the released DAG.
+	id     dag.JobID
+	fpLen  int
+	fpSize float64
 	// idx is the job's position in the workload's job list — the stable
 	// integer identity event tags and snapshots use.
 	idx int
 }
 
+// ID returns the job's DAG identity. Unlike j.Dag.ID it stays valid
+// after a settled streaming job is retired and its DAG released.
+func (j *JobState) ID() dag.JobID { return j.id }
+
+// TaskCount returns the job's total task count as of build time (before
+// any dynamic growth), valid even after retirement.
+func (j *JobState) TaskCount() int { return j.fpLen }
+
 // Failed reports whether the job was terminated by a terminal task
 // failure (directly, or transitively via a failed prerequisite job).
 func (j *JobState) Failed() bool { return j.failed }
+
+// Cancelled reports whether the job was withdrawn by an explicit cancel
+// request (streaming ingestion). Cancelled implies Failed.
+func (j *JobState) Cancelled() bool { return j.cancelled }
+
+// Retired reports whether the settled job's DAG and task state were
+// released to bound streaming memory (see Config.Streaming).
+func (j *JobState) Retired() bool { return j.retired }
 
 // Shed reports whether admission control rejected the job (directly, or
 // transitively via a shed prerequisite job).

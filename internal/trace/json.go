@@ -39,36 +39,109 @@ type jsonWorkload struct {
 	Jobs        []jsonJob `json:"jobs"`
 }
 
+// jobToJSON renders one job into the wire layout shared by workload
+// files, the serving daemon's HTTP bodies and its submission journal.
+func jobToJSON(j *Job) jsonJob {
+	jj := jsonJob{
+		ID:         int(j.DAG.ID),
+		Class:      j.Class.String(),
+		ArrivalUS:  int64(j.Arrival),
+		Deadline:   j.DAG.Deadline,
+		Production: j.DAG.Production,
+	}
+	for _, dep := range j.WaitsFor {
+		jj.WaitsFor = append(jj.WaitsFor, int(dep))
+	}
+	for _, t := range j.DAG.Tasks {
+		jt := jsonTask{
+			ID:        int(t.ID),
+			SizeMI:    t.Size,
+			CPU:       t.Demand.CPU,
+			MemGB:     t.Demand.Mem,
+			DiskMB:    t.Demand.DiskMB,
+			BandMBps:  t.Demand.Bandwidth,
+			Preferred: t.Preferred,
+		}
+		for _, p := range j.DAG.Parents(t.ID) {
+			jt.Parents = append(jt.Parents, int(p))
+		}
+		jj.Tasks = append(jj.Tasks, jt)
+	}
+	return jj
+}
+
+// jobFromJSON rebuilds and validates one job from the wire layout.
+func jobFromJSON(jj *jsonJob) (*Job, error) {
+	j := dag.NewJob(dag.JobID(jj.ID), len(jj.Tasks))
+	j.Deadline = jj.Deadline
+	j.Production = jj.Production
+	var class JobClass
+	switch jj.Class {
+	case "small":
+		class = Small
+	case "medium":
+		class = Medium
+	case "large":
+		class = Large
+	default:
+		return nil, fmt.Errorf("trace: job %d has unknown class %q", jj.ID, jj.Class)
+	}
+	for i, jt := range jj.Tasks {
+		if jt.ID != i {
+			return nil, fmt.Errorf("trace: job %d task IDs not dense at %d", jj.ID, i)
+		}
+		t := j.Task(dag.TaskID(i))
+		t.Size = jt.SizeMI
+		t.Preferred = jt.Preferred
+		t.Demand = dag.Resources{
+			CPU:       jt.CPU,
+			Mem:       jt.MemGB,
+			DiskMB:    jt.DiskMB,
+			Bandwidth: jt.BandMBps,
+		}
+	}
+	// Edges after all tasks exist.
+	for i, jt := range jj.Tasks {
+		for _, p := range jt.Parents {
+			if err := j.AddDep(dag.TaskID(p), dag.TaskID(i)); err != nil {
+				return nil, fmt.Errorf("trace: job %d: %w", jj.ID, err)
+			}
+		}
+	}
+	if err := j.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: job %d: %w", jj.ID, err)
+	}
+	tj := &Job{Class: class, Arrival: units.Time(jj.ArrivalUS), DAG: j}
+	for _, dep := range jj.WaitsFor {
+		tj.WaitsFor = append(tj.WaitsFor, dag.JobID(dep))
+	}
+	return tj, nil
+}
+
+// EncodeJob marshals a single job in the same per-job layout WriteJSON
+// uses, for HTTP submission bodies and the serving daemon's journal.
+func EncodeJob(j *Job) ([]byte, error) {
+	if j == nil || j.DAG == nil {
+		return nil, fmt.Errorf("trace: nil job")
+	}
+	return json.Marshal(jobToJSON(j))
+}
+
+// DecodeJob unmarshals and validates a single job encoded by EncodeJob
+// (or written by hand in the documented submission schema).
+func DecodeJob(data []byte) (*Job, error) {
+	var jj jsonJob
+	if err := json.Unmarshal(data, &jj); err != nil {
+		return nil, fmt.Errorf("trace: decoding job: %w", err)
+	}
+	return jobFromJSON(&jj)
+}
+
 // WriteJSON encodes the workload.
 func (w *Workload) WriteJSON(out io.Writer) error {
 	jw := jsonWorkload{ArrivalRate: w.ArrivalRate}
 	for _, j := range w.Jobs {
-		jj := jsonJob{
-			ID:         int(j.DAG.ID),
-			Class:      j.Class.String(),
-			ArrivalUS:  int64(j.Arrival),
-			Deadline:   j.DAG.Deadline,
-			Production: j.DAG.Production,
-		}
-		for _, dep := range j.WaitsFor {
-			jj.WaitsFor = append(jj.WaitsFor, int(dep))
-		}
-		for _, t := range j.DAG.Tasks {
-			jt := jsonTask{
-				ID:        int(t.ID),
-				SizeMI:    t.Size,
-				CPU:       t.Demand.CPU,
-				MemGB:     t.Demand.Mem,
-				DiskMB:    t.Demand.DiskMB,
-				BandMBps:  t.Demand.Bandwidth,
-				Preferred: t.Preferred,
-			}
-			for _, p := range j.DAG.Parents(t.ID) {
-				jt.Parents = append(jt.Parents, int(p))
-			}
-			jj.Tasks = append(jj.Tasks, jt)
-		}
-		jw.Jobs = append(jw.Jobs, jj)
+		jw.Jobs = append(jw.Jobs, jobToJSON(j))
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
@@ -82,49 +155,10 @@ func ReadJSON(in io.Reader) (*Workload, error) {
 		return nil, fmt.Errorf("trace: decoding workload: %w", err)
 	}
 	w := &Workload{ArrivalRate: jw.ArrivalRate}
-	for _, jj := range jw.Jobs {
-		j := dag.NewJob(dag.JobID(jj.ID), len(jj.Tasks))
-		j.Deadline = jj.Deadline
-		j.Production = jj.Production
-		var class JobClass
-		switch jj.Class {
-		case "small":
-			class = Small
-		case "medium":
-			class = Medium
-		case "large":
-			class = Large
-		default:
-			return nil, fmt.Errorf("trace: job %d has unknown class %q", jj.ID, jj.Class)
-		}
-		for i, jt := range jj.Tasks {
-			if jt.ID != i {
-				return nil, fmt.Errorf("trace: job %d task IDs not dense at %d", jj.ID, i)
-			}
-			t := j.Task(dag.TaskID(i))
-			t.Size = jt.SizeMI
-			t.Preferred = jt.Preferred
-			t.Demand = dag.Resources{
-				CPU:       jt.CPU,
-				Mem:       jt.MemGB,
-				DiskMB:    jt.DiskMB,
-				Bandwidth: jt.BandMBps,
-			}
-		}
-		// Edges after all tasks exist.
-		for i, jt := range jj.Tasks {
-			for _, p := range jt.Parents {
-				if err := j.AddDep(dag.TaskID(p), dag.TaskID(i)); err != nil {
-					return nil, fmt.Errorf("trace: job %d: %w", jj.ID, err)
-				}
-			}
-		}
-		if err := j.Validate(); err != nil {
-			return nil, fmt.Errorf("trace: job %d: %w", jj.ID, err)
-		}
-		tj := &Job{Class: class, Arrival: units.Time(jj.ArrivalUS), DAG: j}
-		for _, dep := range jj.WaitsFor {
-			tj.WaitsFor = append(tj.WaitsFor, dag.JobID(dep))
+	for i := range jw.Jobs {
+		tj, err := jobFromJSON(&jw.Jobs[i])
+		if err != nil {
+			return nil, err
 		}
 		w.Jobs = append(w.Jobs, tj)
 	}

@@ -18,6 +18,19 @@ for dir in internal/*; do
         fail=1
     fi
 done
+# Every command must appear in both the architecture map and the
+# operations guide — a new cmd/ binary that skips either fails CI here.
+for dir in cmd/*; do
+    [ -d "$dir" ] || continue
+    ls "$dir"/*.go >/dev/null 2>&1 || continue
+    name=$(basename "$dir")
+    for doc in ARCHITECTURE.md OPERATIONS.md; do
+        if ! grep -q "$name" "$doc"; then
+            echo "$doc does not mention cmd/$name" >&2
+            fail=1
+        fi
+    done
+done
 for dir in . internal/* cmd/* examples/*; do
     [ -d "$dir" ] || continue
     ls "$dir"/*.go >/dev/null 2>&1 || continue
